@@ -1,0 +1,73 @@
+"""Experiment E7: Q-certainty (Theorem 4 / Corollary 1).
+
+Q-certainty is coNP-complete even for CQs: answering through the full
+recovery set requires enumerating ``Chase^{-1}(Sigma, J)``, whose size
+grows exponentially on ambiguous targets (E6).  The tractable escape
+hatches — Theorem 7's forced instance and Definition 12's
+``I_{Sigma,J}`` — answer soundly in polynomial time.  The benchmark
+measures the widening gap between exact certainty and the sound
+approximations on the Lemma-1-remark family, and reports the answer
+counts (the approximations stay sound: never a superset).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import certain_answer, cq_sound_instance, parse_query, sound_ucq_instance
+from repro.reporting import format_table
+from repro.workloads import lemma1_remark
+
+QUERY = parse_query("q(x, y) :- R(x, y)")
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_e7_exact_certainty_cost(benchmark, report, k):
+    scenario = lemma1_remark(k)
+
+    def run():
+        return certain_answer(
+            QUERY,
+            scenario.mapping,
+            scenario.target,
+            max_recoveries=100000,
+        )
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["k", "|CERT| (exact, via Chase^{-1})"],
+            [(k, len(answers))],
+            title="E7: exact certainty cost grows with the recovery set",
+        )
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4, 6])
+def test_e7_sound_polynomial_answers(benchmark, report, k):
+    scenario = lemma1_remark(k)
+
+    def run():
+        forced = sound_ucq_instance(scenario.mapping, scenario.target)
+        sub_universal = cq_sound_instance(scenario.mapping, scenario.target)
+        return forced, sub_universal
+
+    forced, sub_universal = benchmark(run)
+    rows = [
+        ("Theorem 7 forced instance", len(QUERY.certain_evaluate(forced))),
+        ("Definition 12 I_{Sigma,J}", len(QUERY.certain_evaluate(sub_universal))),
+    ]
+    if k <= 3:
+        exact = certain_answer(
+            QUERY, scenario.mapping, scenario.target, max_recoveries=100000
+        )
+        rows.append(("exact CERT", len(exact)))
+        assert QUERY.certain_evaluate(forced) <= exact
+        assert QUERY.certain_evaluate(sub_universal) <= exact
+    report(
+        format_table(
+            ["method", "|answers|"],
+            rows,
+            title=f"E7 sound approximations (k = {k})",
+        )
+    )

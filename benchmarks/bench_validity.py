@@ -1,0 +1,70 @@
+"""Experiment E5: the J-validity decision problem (Theorem 3).
+
+Theorem 3 shows J-validity is NP-complete in ``|J|``.  The benchmark
+measures the decision procedure on (a) honestly exchanged targets —
+where a witness covering is found quickly — and (b) corrupted targets
+with random extra facts — where the search must refute every covering.
+The expected shape: honest targets stay fast as ``|J|`` grows, refuting
+corrupted targets is the expensive direction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import is_valid_for_recovery
+from repro.errors import BudgetExceededError
+from repro.reporting import format_table
+from repro.workloads import corrupted_target, exchange_workload
+
+
+def _workload(seed: int, source_facts: int):
+    return exchange_workload(
+        seed,
+        tgds=2,
+        source_facts=source_facts,
+        domain_size=max(3, source_facts // 2),
+        max_arity=2,
+        max_body_atoms=1,
+        existential_probability=0.2,
+    )
+
+
+@pytest.mark.parametrize("source_facts", [4, 8, 16, 32])
+def test_e5_honest_targets_are_validated_quickly(benchmark, report, source_facts):
+    mapping, _, target = _workload(source_facts, source_facts)
+
+    def run():
+        return is_valid_for_recovery(mapping, target, max_covers=10000)
+
+    valid = benchmark(run)
+    report(
+        format_table(
+            ["|J|", "valid", "expected"],
+            [(len(target), valid, True)],
+            title=f"E5 honest exchange (source facts = {source_facts})",
+        )
+    )
+    assert valid
+
+
+@pytest.mark.parametrize("source_facts", [4, 8])
+def test_e5_corrupted_targets(benchmark, report, source_facts):
+    mapping, _, target = _workload(source_facts + 100, source_facts)
+    corrupted = corrupted_target(source_facts, mapping, target, extra_facts=2)
+
+    def run():
+        try:
+            return is_valid_for_recovery(mapping, corrupted, max_covers=500)
+        except BudgetExceededError:
+            return "budget"
+
+    verdict = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["|J|", "extra facts", "verdict"],
+            [(len(corrupted), len(corrupted) - len(target), verdict)],
+            title=f"E5 corrupted target (source facts = {source_facts})",
+        )
+    )
+    assert verdict in (True, False, "budget")

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to get both the
+timing tables from pytest-benchmark and the reproduction tables
+(paper-stated artifact vs. measured artifact) printed by each
+experiment.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a reproduction table, visible under ``-s``."""
+    print("\n" + text, file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def report():
+    return emit

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: exchange data forward, then recover the source back.
+
+Runs the paper's motivating example (equations 1-3): the mapping
+``R(x, y) -> S(x), P(y)`` splits a binary relation into two unary
+ones.  Given only the exchanged target, instance-based recovery
+reconstructs the join — which the classical mapping-based inverse
+cannot do.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Mapping,
+    atomwise_reverse_mapping,
+    certain_answer,
+    chase,
+    inverse_chase,
+    parse_instance,
+    parse_query,
+    parse_tgds,
+)
+
+
+def main() -> None:
+    # 1. A source-to-target schema mapping, written in the tgd DSL.
+    mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+    print("mapping:", mapping)
+
+    # 2. Exchange a source instance forward with the chase.
+    source = parse_instance("R(alice, math), R(alice, physics)")
+    target = chase(mapping, source).result
+    print("source:", source)
+    print("exchanged target:", target)
+
+    # 3. The source is later lost; recover it from the target alone.
+    recoveries = inverse_chase(mapping, target)
+    print(f"\n{len(recoveries)} recovery(ies) of the target:")
+    for recovery in recoveries:
+        print("  ", recovery)
+
+    # 4. Certain answers over ALL recoveries: the join is recovered.
+    query = parse_query("q(x) :- R(x, 'physics')")
+    answers = certain_answer(query, mapping, target)
+    print("\nCERT(who teaches physics?):", sorted(str(t[0]) for t in answers))
+
+    # 5. The mapping-based maximum recovery misses it.
+    baseline = atomwise_reverse_mapping(mapping).apply_single(target)
+    print("maximum-recovery chase result:", baseline)
+    print(
+        "same query on it:",
+        sorted(str(t[0]) for t in query.certain_evaluate(baseline)) or "nothing",
+    )
+
+
+if __name__ == "__main__":
+    main()

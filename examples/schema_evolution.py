@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Schema evolution rollback: the paper's Example 8, end to end.
+
+A company migrated ``Emp(Name, Dept), Bnf(Dept, Benefit)`` into the
+new schema ``EmpDept(Name, Dept), EmpBnf(Name, Benefit)``, discarded
+the old database, and now wants the old schema back (employees may
+work in several departments, which the new schema cannot express).
+
+The mapping is quasi-guarded safe and the exchanged instance is
+uniquely covered, so Theorem 5's polynomial algorithm produces a
+*complete UCQ recovery*: the recovered instance answers every union of
+conjunctive queries exactly as the certain answers over all possible
+recoveries would.
+
+Run with::
+
+    python examples/schema_evolution.py
+"""
+
+from repro import (
+    complete_ucq_recovery,
+    cq_max_recovery_chase,
+    is_quasi_guarded_safe,
+    parse_query,
+)
+from repro.reporting import format_table
+from repro.workloads import employee_benefits
+
+
+def main() -> None:
+    scenario = employee_benefits()
+    print("mapping:", scenario.mapping)
+    print("\nexchanged company database (the paper's table):")
+    for fact in scenario.target:
+        print("  ", fact)
+
+    assert is_quasi_guarded_safe(scenario.mapping)
+    recovered = complete_ucq_recovery(scenario.mapping, scenario.target)
+    print("\nrecovered pre-evolution database (Theorem 5):")
+    for fact in recovered:
+        print("  ", fact)
+
+    # The paper's headline query: which benefits does HR offer?
+    query = scenario.queries["hr_benefits"]
+    ours = sorted(str(t[0]) for t in query.certain_evaluate(recovered))
+    chased = cq_max_recovery_chase(scenario.mapping, scenario.target)
+    theirs = sorted(str(t[0]) for t in query.certain_evaluate(chased))
+    print(
+        "\n"
+        + format_table(
+            ["approach", "benefits of HR"],
+            [
+                ("instance-based recovery", ", ".join(ours)),
+                ("CQ-maximum recovery chase", ", ".join(theirs) or "(none)"),
+            ],
+            title="Q(x) = Bnf(HR, x)",
+        )
+    )
+
+    # The recovered instance supports arbitrary UCQs, e.g. employees
+    # enjoying profit sharing through their department.
+    profit = parse_query("q(n) :- Emp(n, d), Bnf(d, 'profit')")
+    print(
+        "\nemployees with profit sharing:",
+        sorted(str(t[0]) for t in profit.certain_evaluate(recovered)),
+    )
+
+
+if __name__ == "__main__":
+    main()

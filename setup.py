@@ -1,0 +1,7 @@
+"""Setuptools shim for editable installs in environments without the
+``wheel`` package (PEP 517 builds need bdist_wheel; ``setup.py develop``
+does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Baselines: the mapping-based inverses the paper compares against."""
+
+from .cq_max import cq_max_recovery_chase, derive_cq_max_recovery
+from .recovery_mappings import (
+    RecoveryMapping,
+    atomwise_reverse_mapping,
+    full_single_head_max_recovery,
+)
+from .reverse import naive_inverse_chase
+
+__all__ = [
+    "RecoveryMapping",
+    "atomwise_reverse_mapping",
+    "cq_max_recovery_chase",
+    "derive_cq_max_recovery",
+    "full_single_head_max_recovery",
+    "naive_inverse_chase",
+]

@@ -1,0 +1,177 @@
+"""Mapping-based inverses: the baselines the paper argues against.
+
+The static approach to inversion compiles a target-to-source mapping
+``Sigma'`` and applies it to the materialized target.  This module
+implements the machinery those baselines need:
+
+* :class:`RecoveryMapping` — a set of target-to-source dependencies
+  whose heads may be disjunctive (the maximum recovery of a set of
+  full tgds needs disjunction, as in equation (4) of the paper), and
+  its application to a target instance via the disjunctive chase.
+* :func:`atomwise_reverse_mapping` — the per-head-atom reversal that
+  yields the *maximum recovery* of Arenas et al. for the paper's
+  running examples: every head atom of every tgd becomes a
+  target-to-source tgd whose head is the full original body with the
+  lost variables existentially quantified (e.g. equation (1)'s
+  ``R(x, y) -> S(x), P(y)`` inverts to ``S(x) -> exists y R(x, y)``
+  and ``P(y) -> exists x R(x, y)``).
+* :func:`full_single_head_max_recovery` — the disjunctive maximum
+  recovery for sets of *full* tgds with single-atom heads, grouping
+  the possible producers of each target relation into one disjunctive
+  dependency (equation (4)'s ``S(x) -> R(x) \\/ M(x)``).
+
+These constructions reproduce the maximum-recovery mappings the paper
+states for all of its examples; the exact general-purpose compilation
+of Arenas et al. additionally needs inequalities and constant
+predicates, which the paper's comparison never exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.substitutions import Substitution
+from ..data.terms import NullFactory, Variable
+from ..errors import DependencyError
+from ..logic.tgds import Mapping
+from ..chase.disjunctive import DisjunctiveTGD, disjunctive_chase
+
+
+class RecoveryMapping:
+    """A target-to-source mapping, possibly with disjunctive heads."""
+
+    __slots__ = ("_dependencies",)
+
+    def __init__(self, dependencies: Iterable[DisjunctiveTGD]):
+        dependencies = tuple(dependencies)
+        if not dependencies:
+            raise DependencyError("a recovery mapping needs at least one dependency")
+        object.__setattr__(self, "_dependencies", dependencies)
+
+    @property
+    def dependencies(self) -> tuple[DisjunctiveTGD, ...]:
+        return self._dependencies
+
+    @property
+    def is_disjunction_free(self) -> bool:
+        return all(dep.is_plain for dep in self._dependencies)
+
+    def __iter__(self) -> Iterator[DisjunctiveTGD]:
+        return iter(self._dependencies)
+
+    def __len__(self) -> int:
+        return len(self._dependencies)
+
+    def apply(
+        self,
+        target: Instance,
+        factory: Optional[NullFactory] = None,
+        max_results: int = 4096,
+    ) -> list[Instance]:
+        """All source instances produced by chasing ``target``.
+
+        Disjunction-free mappings yield exactly one instance; each
+        disjunctive trigger multiplies the alternatives.
+        """
+        return disjunctive_chase(
+            self._dependencies, target, factory, max_results=max_results
+        )
+
+    def apply_single(
+        self, target: Instance, factory: Optional[NullFactory] = None
+    ) -> Instance:
+        """The unique chase result of a disjunction-free mapping."""
+        if not self.is_disjunction_free:
+            raise DependencyError(
+                "mapping has disjunctive heads; use apply() for the full set"
+            )
+        results = self.apply(target, factory)
+        assert len(results) == 1
+        return results[0]
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(d) for d in self._dependencies)
+        return f"RecoveryMapping[{inner}]"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("RecoveryMapping is immutable")
+
+
+def atomwise_reverse_mapping(mapping: Mapping) -> RecoveryMapping:
+    """Reverse every head atom into its own target-to-source tgd.
+
+    For each s-t tgd ``alpha(x, y) -> beta_1, ..., beta_k`` produce the
+    ``k`` dependencies ``beta_i -> exists(rest) alpha``; variables of
+    ``alpha`` not occurring in ``beta_i`` become existential.  This is
+    the maximum recovery stated by the paper for equation (1) and for
+    Example 8.
+    """
+    dependencies: list[DisjunctiveTGD] = []
+    for tgd in mapping:
+        for i, head_atom in enumerate(tgd.head, start=1):
+            dependencies.append(
+                DisjunctiveTGD(
+                    [head_atom],
+                    [list(tgd.body)],
+                    name=f"{tgd.name}.{i}" if tgd.name else None,
+                )
+            )
+    return RecoveryMapping(dependencies)
+
+
+def full_single_head_max_recovery(mapping: Mapping) -> RecoveryMapping:
+    """The disjunctive maximum recovery of full, single-head-atom tgds.
+
+    Groups the tgds by target relation: one dependency per relation
+    whose body is the generic atom over that relation and whose head
+    disjoins the (suitably renamed) bodies of every producer.  For
+    equation (4) this yields ``T(x) -> R(x)`` and
+    ``S(x) -> R(x) \\/ M(x)``, matching the paper's stated maximum
+    recovery and extended recovery.
+
+    :raises DependencyError: when a tgd is not full or its head has
+        more than one atom (the construction is only stated for that
+        class).
+    """
+    producers: dict[str, list[tuple[Atom, tuple[Atom, ...]]]] = {}
+    for tgd in mapping:
+        if not tgd.is_full:
+            raise DependencyError(
+                f"{tgd!r} is not full; the grouped construction requires full tgds"
+            )
+        if len(tgd.head) != 1:
+            raise DependencyError(
+                f"{tgd!r} has several head atoms; the grouped construction "
+                "requires single-atom heads"
+            )
+        head_atom = tgd.head[0]
+        producers.setdefault(head_atom.relation, []).append((head_atom, tgd.body))
+
+    dependencies: list[DisjunctiveTGD] = []
+    for relation in sorted(producers):
+        entries = producers[relation]
+        arity = entries[0][0].arity
+        generic = Atom(relation, tuple(Variable(f"u{i}") for i in range(arity)))
+        disjuncts: list[list[Atom]] = []
+        for head_atom, body in entries:
+            renaming: dict[Variable, Variable] = {}
+            consistent = True
+            for pattern_var, head_term in zip(generic.args, head_atom.args):
+                if not isinstance(head_term, Variable):
+                    consistent = False
+                    break
+                if head_term in renaming and renaming[head_term] != pattern_var:
+                    consistent = False
+                    break
+                renaming[head_term] = pattern_var
+            if not consistent:
+                raise DependencyError(
+                    f"head atom {head_atom} repeats variables or uses constants; "
+                    "the grouped construction requires generic heads"
+                )
+            sub = Substitution(dict(renaming))
+            disjuncts.append(sub.apply_atoms(body))
+        dependencies.append(DisjunctiveTGD([generic], disjuncts, name=relation))
+    return RecoveryMapping(dependencies)

@@ -1,0 +1,33 @@
+"""The naive reversed-mapping baseline.
+
+Reversing the arrows of ``Sigma`` and running the *standard* chase on
+the target is the obvious first attempt at recovery.  The paper's
+introduction (cases one to three, §1) shows three ways it fails:
+
+1. it applies every trigger, so alternatives collapse into one
+   over-committed source instance;
+2. it ignores the subsumption constraints, recovering facts whose
+   forward consequences are absent from the target (unsound);
+3. it cannot equate the invented nulls with existing values the way
+   the final homomorphism step of Definition 9 does (incomplete).
+
+The benchmarks quantify these failures against the inverse chase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data.instances import Instance
+from ..data.terms import NullFactory
+from ..logic.tgds import Mapping
+from ..chase.standard import chase
+
+
+def naive_inverse_chase(
+    mapping: Mapping,
+    target: Instance,
+    factory: Optional[NullFactory] = None,
+) -> Instance:
+    """``Chase(Sigma^{-1}, J)`` with the plain standard chase."""
+    return chase(mapping.reversed_tgds(), target, factory).result

@@ -1,0 +1,23 @@
+"""Chase engines: standard s-t chase, trigger-restricted chase, disjunctive chase."""
+
+from .disjunctive import DisjunctiveTGD, disjunctive_chase
+from .provenance import ChaseResult, TriggerApplication
+from .standard import (
+    chase,
+    chase_restricted,
+    oblivious_chase_instance,
+    satisfies,
+    violated_triggers,
+)
+
+__all__ = [
+    "ChaseResult",
+    "DisjunctiveTGD",
+    "TriggerApplication",
+    "chase",
+    "chase_restricted",
+    "disjunctive_chase",
+    "oblivious_chase_instance",
+    "satisfies",
+    "violated_triggers",
+]

@@ -1,0 +1,154 @@
+"""A disjunctive chase for target-to-source recovery mappings.
+
+The inverse-mapping literature the paper compares against (maximum
+recovery, extended recovery) expresses inverses as target-to-source
+dependencies whose heads may be *disjunctions* of conjunctions, e.g.::
+
+    S(x) -> R(x) \\/ M(x)
+
+Chasing a target instance with such a mapping yields a *set* of
+possible source instances — one per combination of disjunct choices.
+Because the dependencies run strictly from the target schema to the
+source schema, no produced fact can re-trigger a dependency, so a
+single pass over all triggers terminates, mirroring
+:mod:`repro.chase.standard`.
+
+The number of results is exponential in the number of triggers with
+more than one disjunct; :func:`disjunctive_chase` accepts a limit and
+raises :class:`~repro.errors.BudgetExceededError` beyond it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Optional, Sequence
+
+from ..data.atoms import Atom, atoms_variables
+from ..data.instances import Instance
+from ..data.substitutions import Substitution
+from ..data.terms import NullFactory, Term, Variable
+from ..errors import BudgetExceededError, DependencyError
+from ..logic.homomorphisms import homomorphisms
+
+
+class DisjunctiveTGD:
+    """A dependency ``body -> head_1 \\/ ... \\/ head_k``.
+
+    Each ``head_i`` is a conjunction of atoms; variables occurring in a
+    head but not in the body are existentially quantified within that
+    disjunct.  A plain tgd is the ``k = 1`` special case.
+    """
+
+    __slots__ = ("_body", "_disjuncts", "_name")
+
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        disjuncts: Sequence[Sequence[Atom]],
+        name: Optional[str] = None,
+    ):
+        body = tuple(body)
+        cleaned = tuple(tuple(d) for d in disjuncts)
+        if not body:
+            raise DependencyError("a disjunctive tgd needs a non-empty body")
+        if not cleaned or any(not d for d in cleaned):
+            raise DependencyError("every disjunct must be a non-empty conjunction")
+        object.__setattr__(self, "_body", body)
+        object.__setattr__(self, "_disjuncts", cleaned)
+        object.__setattr__(self, "_name", name)
+
+    @property
+    def body(self) -> tuple[Atom, ...]:
+        return self._body
+
+    @property
+    def disjuncts(self) -> tuple[tuple[Atom, ...], ...]:
+        return self._disjuncts
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._name
+
+    @property
+    def body_variables(self) -> set[Variable]:
+        return atoms_variables(self._body)
+
+    @property
+    def is_plain(self) -> bool:
+        """True when there is a single disjunct (an ordinary tgd)."""
+        return len(self._disjuncts) == 1
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(a) for a in self._body)
+        heads = " \\/ ".join(
+            "(" + ", ".join(str(a) for a in d) + ")" for d in self._disjuncts
+        )
+        label = f"{self._name}: " if self._name else ""
+        return f"{label}{body} -> {heads}"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("DisjunctiveTGD is immutable")
+
+
+def _trigger_options(
+    dep: DisjunctiveTGD,
+    instance: Instance,
+    factory: NullFactory,
+) -> list[list[frozenset[Atom]]]:
+    """For each trigger of ``dep``, the produced fact sets per disjunct."""
+    options: list[list[frozenset[Atom]]] = []
+    body_vars = sorted(dep.body_variables)
+    seen: set[tuple[Term, ...]] = set()
+    for hom in homomorphisms(dep.body, instance):
+        key = tuple(hom.image(v) for v in body_vars)
+        if key in seen:
+            continue
+        seen.add(key)
+        per_disjunct: list[frozenset[Atom]] = []
+        for disjunct in dep.disjuncts:
+            existential = sorted(atoms_variables(disjunct) - set(hom.keys()))
+            extension = Substitution({v: factory.fresh() for v in existential})
+            assignment = hom.extend(dict(extension))
+            per_disjunct.append(frozenset(assignment.apply_atoms(disjunct)))
+        options.append(per_disjunct)
+    return options
+
+
+def disjunctive_chase(
+    dependencies: Iterable[DisjunctiveTGD],
+    instance: Instance,
+    factory: Optional[NullFactory] = None,
+    max_results: int = 4096,
+) -> list[Instance]:
+    """All source instances obtainable by one choice per trigger.
+
+    Returns one instance per combination of disjunct choices across all
+    triggers of all dependencies, deduplicated.  An instance with no
+    triggers yields the single empty instance (chasing added nothing).
+
+    :raises BudgetExceededError: when the number of combinations
+        exceeds ``max_results``.
+    """
+    factory = factory or NullFactory()
+    factory.avoid(instance.domain())
+    all_options: list[list[frozenset[Atom]]] = []
+    for dep in dependencies:
+        all_options.extend(_trigger_options(dep, instance, factory))
+
+    total = 1
+    for option in all_options:
+        total *= len(option)
+        if total > max_results:
+            raise BudgetExceededError("disjunctive chase results", max_results)
+
+    results: list[Instance] = []
+    seen: set[frozenset[Atom]] = set()
+    for combination in product(*all_options):
+        facts: set[Atom] = set()
+        for chosen in combination:
+            facts |= chosen
+        frozen = frozenset(facts)
+        if frozen not in seen:
+            seen.add(frozen)
+            results.append(Instance(frozen))
+    return results

@@ -1,0 +1,131 @@
+"""Provenance records for chase runs.
+
+Each chase step is a *trigger application*: a tgd together with the
+homomorphism that fired it, the fresh-null extension chosen for its
+existential variables, and the facts it produced.  The inverse-chase
+algorithms need this provenance to relate produced source facts back
+to the covering homomorphisms, and the test suite uses it to assert
+the paper's justification semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.substitutions import Substitution
+from ..logic.tgds import TGD
+
+
+class TriggerApplication:
+    """One fired trigger: ``(tgd, homomorphism, extension) -> facts``."""
+
+    __slots__ = ("_tgd", "_homomorphism", "_extension", "_produced")
+
+    def __init__(
+        self,
+        tgd: TGD,
+        homomorphism: Substitution,
+        extension: Substitution,
+        produced: Sequence[Atom],
+    ):
+        object.__setattr__(self, "_tgd", tgd)
+        object.__setattr__(self, "_homomorphism", homomorphism)
+        object.__setattr__(self, "_extension", extension)
+        object.__setattr__(self, "_produced", tuple(produced))
+
+    @property
+    def tgd(self) -> TGD:
+        """The dependency that fired."""
+        return self._tgd
+
+    @property
+    def homomorphism(self) -> Substitution:
+        """The body-matching homomorphism that triggered the tgd."""
+        return self._homomorphism
+
+    @property
+    def extension(self) -> Substitution:
+        """Fresh nulls assigned to the existential variables."""
+        return self._extension
+
+    @property
+    def produced(self) -> tuple[Atom, ...]:
+        """The head facts added by this application."""
+        return self._produced
+
+    @property
+    def full_assignment(self) -> Substitution:
+        """Homomorphism and extension combined (the ``h'`` of the paper)."""
+        return self._homomorphism.extend(dict(self._extension))
+
+    def __repr__(self) -> str:
+        facts = ", ".join(str(a) for a in self._produced)
+        return f"<{self._tgd.name or 'tgd'} @ {self._homomorphism} => {facts}>"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("TriggerApplication is immutable")
+
+
+class ChaseResult:
+    """The outcome of a chase run.
+
+    ``result`` contains only the facts *produced* by the chase (the
+    target instance of a forward chase; the source instance of an
+    inverse chase step), not the input instance — matching the use of
+    ``Chase`` in Definition 9 of the paper, where homomorphisms are
+    sought from the chased instance alone.
+    """
+
+    __slots__ = ("_input", "_result", "_applications")
+
+    def __init__(
+        self,
+        input_instance: Instance,
+        result: Instance,
+        applications: Sequence[TriggerApplication],
+    ):
+        object.__setattr__(self, "_input", input_instance)
+        object.__setattr__(self, "_result", result)
+        object.__setattr__(self, "_applications", tuple(applications))
+
+    @property
+    def input_instance(self) -> Instance:
+        """The instance the chase started from."""
+        return self._input
+
+    @property
+    def result(self) -> Instance:
+        """All facts produced by the chase."""
+        return self._result
+
+    @property
+    def applications(self) -> tuple[TriggerApplication, ...]:
+        """The trigger applications, in execution order."""
+        return self._applications
+
+    def applications_of(self, tgd: TGD) -> Iterator[TriggerApplication]:
+        """The applications that fired a specific dependency."""
+        return (app for app in self._applications if app.tgd == tgd)
+
+    def producers_of(self, fact: Atom) -> list[TriggerApplication]:
+        """All applications that produced ``fact``."""
+        return [app for app in self._applications if fact in app.produced]
+
+    @property
+    def combined(self) -> Instance:
+        """Input and produced facts together (``I union Chase(Sigma, I)``)."""
+        return self._input | self._result
+
+    def __len__(self) -> int:
+        return len(self._applications)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaseResult({len(self._applications)} applications, "
+            f"{len(self._result)} facts)"
+        )
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("ChaseResult is immutable")

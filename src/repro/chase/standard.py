@@ -1,0 +1,166 @@
+"""The standard (oblivious) chase for sets of s-t tgds.
+
+Because every dependency is source-to-target, the chase terminates
+after a single pass: bodies only match the input instance and heads
+only produce facts over the other schema, so no produced fact can
+re-trigger a dependency.  ``Chase(Sigma, I)`` fires *every*
+homomorphism from every body into ``I``, inventing a fresh labeled
+null for each existential variable of each firing — exactly the
+definition in §2 of the paper.
+
+:func:`chase_restricted` implements ``Chase_H``: the chase restricted
+to a given set of triggers, the primitive underlying the inverse chase
+of Definition 9.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.substitutions import Substitution
+from ..data.terms import NullFactory, Term, Variable
+from ..logic.homomorphisms import has_homomorphism, homomorphisms
+from ..logic.tgds import TGD, Mapping
+from .provenance import ChaseResult, TriggerApplication
+
+TgdSource = Union[Mapping, Iterable[TGD]]
+
+
+def _tgd_list(tgds: TgdSource) -> list[TGD]:
+    if isinstance(tgds, Mapping):
+        return list(tgds.tgds)
+    return list(tgds)
+
+
+def _apply_trigger(
+    tgd: TGD,
+    hom: Substitution,
+    factory: NullFactory,
+) -> TriggerApplication:
+    """Fire one trigger: invent fresh nulls and instantiate the head."""
+    existential = sorted(set(tgd.head_variables) - set(hom.keys()))
+    extension = Substitution({v: factory.fresh() for v in existential})
+    assignment = hom.extend(dict(extension))
+    produced = assignment.apply_atoms(tgd.head)
+    return TriggerApplication(tgd, hom, extension, produced)
+
+
+def chase(
+    tgds: TgdSource,
+    instance: Instance,
+    factory: Optional[NullFactory] = None,
+    dedup: str = "homomorphism",
+) -> ChaseResult:
+    """``Chase(Sigma, I)``: fire every trigger of every dependency once.
+
+    The result instance contains only the produced facts.  Fresh nulls
+    are drawn from ``factory`` (a new one per call by default), seeded
+    to avoid every null already present in the input instance.
+
+    ``dedup`` selects the firing granularity: ``"homomorphism"`` (the
+    paper's definition — one firing per body homomorphism) or
+    ``"frontier"`` (the semi-oblivious chase — one firing per frontier
+    binding).  Two body homomorphisms sharing a frontier binding
+    impose the *same* constraint, so the semi-oblivious result is the
+    canonical solution the recovery semantics reasons over.
+    """
+    if dedup not in ("homomorphism", "frontier"):
+        raise ValueError(f"unknown chase dedup mode {dedup!r}")
+    tgd_list = _tgd_list(tgds)
+    factory = factory or NullFactory()
+    factory.avoid(instance.domain())
+    applications: list[TriggerApplication] = []
+    produced: list[Atom] = []
+    for tgd in tgd_list:
+        key_vars = (
+            sorted(tgd.body_variables)
+            if dedup == "homomorphism"
+            else sorted(tgd.frontier_variables)
+        )
+        seen: set[tuple[Term, ...]] = set()
+        for hom in homomorphisms(tgd.body, instance):
+            key = tuple(hom.image(v) for v in key_vars)
+            if key in seen:
+                continue
+            seen.add(key)
+            app = _apply_trigger(tgd, hom.restrict(tgd.frontier_variables), factory)
+            applications.append(app)
+            produced.extend(app.produced)
+    return ChaseResult(instance, Instance(produced), applications)
+
+
+def chase_restricted(
+    triggers: Sequence[tuple[TGD, Substitution]],
+    instance: Instance,
+    factory: Optional[NullFactory] = None,
+) -> ChaseResult:
+    """``Chase_H``: apply exactly the given ``(tgd, homomorphism)`` triggers.
+
+    Each homomorphism must bind (at least) the non-existential head
+    variables of its dependency; the remaining variables receive fresh
+    nulls.  This is the restricted chase the paper uses both forwards
+    (``Chase_H(Sigma, I)``) and backwards (``Chase_H(Sigma^{-1}, J)``,
+    where the triggers come from ``HOM(Sigma, J)``).
+    """
+    factory = factory or NullFactory()
+    factory.avoid(instance.domain())
+    applications: list[TriggerApplication] = []
+    produced: list[Atom] = []
+    for tgd, hom in triggers:
+        app = _apply_trigger(tgd, hom, factory)
+        applications.append(app)
+        produced.extend(app.produced)
+    return ChaseResult(instance, Instance(produced), applications)
+
+
+def oblivious_chase_instance(
+    tgds: TgdSource,
+    instance: Instance,
+    factory: Optional[NullFactory] = None,
+) -> Instance:
+    """Convenience wrapper returning only the produced instance."""
+    return chase(tgds, instance, factory).result
+
+
+def satisfies(source: Instance, target: Instance, tgds: TgdSource) -> bool:
+    """``(I, J) |= Sigma``: model checking for a set of s-t tgds.
+
+    For every homomorphism from a body into the source there must be an
+    extension of its frontier bindings mapping the head into the
+    target.
+    """
+    for tgd in _tgd_list(tgds):
+        frontier = tgd.frontier_variables
+        checked: set[Substitution] = set()
+        for hom in homomorphisms(tgd.body, source):
+            base = hom.restrict(frontier)
+            if base in checked:
+                continue
+            checked.add(base)
+            if not has_homomorphism(tgd.head, target, base=dict(base)):
+                return False
+    return True
+
+
+def violated_triggers(
+    source: Instance, target: Instance, tgds: TgdSource
+) -> list[tuple[TGD, Substitution]]:
+    """The triggers witnessing ``(I, J) |=/= Sigma`` (empty when a model).
+
+    Returns one entry per frontier binding whose head has no extension
+    into the target — useful in error messages and tests.
+    """
+    failures: list[tuple[TGD, Substitution]] = []
+    for tgd in _tgd_list(tgds):
+        frontier = tgd.frontier_variables
+        checked: set[Substitution] = set()
+        for hom in homomorphisms(tgd.body, source):
+            base = hom.restrict(frontier)
+            if base in checked:
+                continue
+            checked.add(base)
+            if not has_homomorphism(tgd.head, target, base=dict(base)):
+                failures.append((tgd, base))
+    return failures

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Five commands cover the library's main workflows, all operating on DSL
+files (see :mod:`repro.data.io`):
+
+* ``exchange``  — chase a source instance forward into a target;
+* ``recover``   — compute ``Chase^{-1}(Sigma, J)``, optionally cored;
+* ``validate``  — decide J-validity, reporting uncoverable facts;
+* ``certain``   — certain answers of a source query over the target;
+* ``repair``    — repair an altered target and recover from it.
+
+Example::
+
+    python -m repro recover --mapping orders.mapping --target dump.instance
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .chase.standard import chase
+from .core.certain import certain_answer
+from .core.cores import core_recoveries
+from .core.inverse_chase import inverse_chase
+from .core.repair import recover_after_alteration, uncoverable_facts
+from .core.validity import is_valid_for_recovery
+from .data.io import load_instance, load_mapping, load_query, save_instance
+from .errors import NotRecoverableError, ReproError
+from .reporting import format_answers
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Instance-based recovery of exchanged data (PODS 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--mapping", required=True, help="mapping DSL file")
+
+    p_exchange = sub.add_parser("exchange", help="chase a source forward")
+    common(p_exchange)
+    p_exchange.add_argument("--source", required=True, help="source instance file")
+    p_exchange.add_argument("--out", help="write the target here (default stdout)")
+
+    p_recover = sub.add_parser("recover", help="compute Chase^{-1}(Sigma, J)")
+    common(p_recover)
+    p_recover.add_argument("--target", required=True, help="target instance file")
+    p_recover.add_argument(
+        "--max-recoveries", type=int, default=1000, help="enumeration budget"
+    )
+    p_recover.add_argument(
+        "--cores",
+        action="store_true",
+        help="present the recovery set minimally (cores, deduplicated)",
+    )
+
+    p_validate = sub.add_parser("validate", help="decide validity for recovery")
+    common(p_validate)
+    p_validate.add_argument("--target", required=True)
+
+    p_certain = sub.add_parser("certain", help="certain answers of a source query")
+    common(p_certain)
+    p_certain.add_argument("--target", required=True)
+    p_certain.add_argument("--query", required=True, help="query DSL file")
+    p_certain.add_argument("--max-recoveries", type=int, default=1000)
+
+    p_repair = sub.add_parser("repair", help="repair an altered target and recover")
+    common(p_repair)
+    p_repair.add_argument("--target", required=True)
+    p_repair.add_argument("--max-removals", type=int, default=3)
+    return parser
+
+
+def _cmd_exchange(args) -> int:
+    mapping = load_mapping(args.mapping)
+    source = load_instance(args.source)
+    target = chase(mapping, source).result
+    if args.out:
+        save_instance(target, args.out)
+        print(f"wrote {len(target)} facts to {args.out}")
+    else:
+        for fact in target:
+            print(fact)
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    mapping = load_mapping(args.mapping)
+    target = load_instance(args.target)
+    recoveries = inverse_chase(
+        mapping, target, max_recoveries=args.max_recoveries
+    )
+    if not recoveries:
+        print("target is not valid for recovery; no recoveries exist")
+        return 1
+    if args.cores:
+        recoveries = core_recoveries(recoveries)
+    print(f"{len(recoveries)} recovery(ies):")
+    for recovery in recoveries:
+        print("  ", recovery)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    mapping = load_mapping(args.mapping)
+    target = load_instance(args.target)
+    if is_valid_for_recovery(mapping, target):
+        print("valid: some source instance justifies every target fact")
+        return 0
+    print("INVALID: no source instance can justify this target")
+    orphans = uncoverable_facts(mapping, target)
+    for fact in sorted(orphans):
+        print("  uncoverable:", fact)
+    return 1
+
+
+def _cmd_certain(args) -> int:
+    mapping = load_mapping(args.mapping)
+    target = load_instance(args.target)
+    query = load_query(args.query)
+    try:
+        answers = certain_answer(
+            query, mapping, target, max_recoveries=args.max_recoveries
+        )
+    except NotRecoverableError:
+        print("target is not valid for recovery; certain answers undefined")
+        return 1
+    print(format_answers(answers))
+    return 0
+
+
+def _cmd_repair(args) -> int:
+    mapping = load_mapping(args.mapping)
+    target = load_instance(args.target)
+    repaired, recoveries = recover_after_alteration(
+        mapping, target, max_removals=args.max_removals
+    )
+    if repaired is None:
+        print("no repair found within the removal budget")
+        return 1
+    removed = target.facts - repaired.facts
+    print(f"repair removes {len(removed)} fact(s):")
+    for fact in sorted(removed):
+        print("  -", fact)
+    print(f"{len(recoveries)} recovery(ies) of the repaired target:")
+    for recovery in recoveries:
+        print("  ", recovery)
+    return 0
+
+
+_COMMANDS = {
+    "exchange": _cmd_exchange,
+    "recover": _cmd_recover,
+    "validate": _cmd_validate,
+    "certain": _cmd_certain,
+    "repair": _cmd_repair,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""The paper's contribution: instance-based recovery of exchanged data."""
+
+from .certain import certain_answer, certain_answers, certain_boolean
+from .cores import core, core_recoveries, cores_isomorphic, is_core
+from .covers import (
+    count_covers,
+    coverage_index,
+    enumerate_covers,
+    is_coverable,
+    unique_cover,
+    uniquely_covered_facts,
+)
+from .cq_sound import (
+    cq_sound_instance,
+    generalized_source_instance,
+    minimal_coverings_for,
+    per_hom_glb,
+)
+from .glb import PairingFunction, glb, glb2
+from .hom_sets import TargetHomomorphism, covered_by, hom_set, tgd_homomorphisms
+from .inverse_chase import (
+    RecoveryCandidate,
+    inverse_chase,
+    inverse_chase_candidates,
+)
+from .semantics import (
+    is_justified,
+    is_minimal_solution,
+    is_recovery,
+    minimal_solution_images,
+)
+from .subsumption import (
+    SubsumptionConstraint,
+    is_tautological,
+    minimal_subsumers,
+    models_all,
+    models_constraint,
+)
+from .tractable import (
+    complete_ucq_recovery,
+    forced_homomorphisms,
+    is_quasi_guarded_safe,
+    k_cover_recoveries,
+    maximal_unique_subset,
+    sound_ucq_instance,
+)
+from .repair import (
+    recover_after_alteration,
+    repair_target,
+    repairs,
+    uncoverable_facts,
+)
+from .universal import (
+    find_universal_source,
+    is_canonical_solution_for,
+    is_universal_solution_for,
+    is_universal_solution_for_some_source,
+)
+from .validity import find_recovery, is_valid_for_recovery
+
+__all__ = [
+    "PairingFunction",
+    "RecoveryCandidate",
+    "SubsumptionConstraint",
+    "TargetHomomorphism",
+    "certain_answer",
+    "certain_answers",
+    "certain_boolean",
+    "complete_ucq_recovery",
+    "core",
+    "core_recoveries",
+    "cores_isomorphic",
+    "count_covers",
+    "coverage_index",
+    "covered_by",
+    "cq_sound_instance",
+    "enumerate_covers",
+    "find_recovery",
+    "find_universal_source",
+    "forced_homomorphisms",
+    "generalized_source_instance",
+    "glb",
+    "glb2",
+    "hom_set",
+    "inverse_chase",
+    "inverse_chase_candidates",
+    "is_canonical_solution_for",
+    "is_core",
+    "is_coverable",
+    "is_justified",
+    "is_minimal_solution",
+    "is_quasi_guarded_safe",
+    "is_recovery",
+    "is_tautological",
+    "is_universal_solution_for",
+    "is_universal_solution_for_some_source",
+    "is_valid_for_recovery",
+    "k_cover_recoveries",
+    "maximal_unique_subset",
+    "minimal_coverings_for",
+    "minimal_solution_images",
+    "minimal_subsumers",
+    "models_all",
+    "models_constraint",
+    "per_hom_glb",
+    "recover_after_alteration",
+    "repair_target",
+    "repairs",
+    "sound_ucq_instance",
+    "tgd_homomorphisms",
+    "uncoverable_facts",
+    "unique_cover",
+    "uniquely_covered_facts",
+]

@@ -1,0 +1,85 @@
+"""Certain answers over recovery sets (Section 3, Definition 4).
+
+``CERT(Q, Sigma, J)`` is the intersection of the null-free answers of
+``Q`` over all recoveries of ``J``.  By Theorem 2 the finite set
+``Chase^{-1}(Sigma, J)`` is a UCQ-universal recovery, so for any UCQ
+the intersection over that set equals the certain answer; this module
+implements exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..data.instances import Instance
+from ..data.terms import Term
+from ..errors import NotRecoverableError
+from ..logic.queries import Query, as_ucq
+from ..logic.tgds import Mapping
+from .covers import CoverMode
+from .inverse_chase import inverse_chase
+from .subsumption import SubsumptionConstraint
+
+
+def certain_answers(
+    query: Query, instances: Iterable[Instance]
+) -> set[tuple[Term, ...]]:
+    """The intersection of null-free answers over a set of instances.
+
+    Raises :class:`ValueError` on an empty collection: the certain
+    answer over no instances is undefined (it would be "everything").
+    """
+    ucq = as_ucq(query)
+    result: Optional[set[tuple[Term, ...]]] = None
+    for instance in instances:
+        answers = ucq.certain_evaluate(instance)
+        result = answers if result is None else (result & answers)
+        if not result:
+            return set()
+    if result is None:
+        raise ValueError("certain answers over an empty set of instances")
+    return result
+
+
+def certain_answer(
+    query: Query,
+    mapping: Mapping,
+    target: Instance,
+    *,
+    cover_mode: CoverMode = "minimal",
+    subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
+    max_covers: Optional[int] = None,
+    max_recoveries: Optional[int] = None,
+) -> set[tuple[Term, ...]]:
+    """``CERT(Q, Sigma, J)`` computed through the inverse chase.
+
+    :raises NotRecoverableError: when ``J`` is not valid for recovery
+        under ``Sigma`` (the recovery set is empty and the certain
+        answer undefined).
+    """
+    recoveries = inverse_chase(
+        mapping,
+        target,
+        cover_mode=cover_mode,
+        subsumption=subsumption,
+        max_covers=max_covers,
+        max_recoveries=max_recoveries,
+    )
+    if not recoveries:
+        raise NotRecoverableError(
+            "target instance is not valid for recovery under the mapping"
+        )
+    return certain_answers(query, recoveries)
+
+
+def certain_boolean(
+    query: Query,
+    mapping: Mapping,
+    target: Instance,
+    **options,
+) -> bool:
+    """Certain truth of a Boolean query: true in every recovery."""
+    ucq = as_ucq(query)
+    if not ucq.is_boolean:
+        raise ValueError("certain_boolean expects a Boolean query")
+    return () in certain_answer(ucq, mapping, target, **options)

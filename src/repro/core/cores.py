@@ -1,0 +1,86 @@
+"""Cores of instances.
+
+The *core* of an instance is its smallest retract: a sub-instance the
+whole instance maps into homomorphically, containing no smaller such
+sub-instance.  Cores are the canonical representatives of homomorphic
+equivalence classes — two instances are homomorphically equivalent iff
+their cores are isomorphic — which makes them the natural minimal
+presentation of the recoveries the inverse chase produces (recoveries
+frequently carry homomorphically-redundant generic rows such as the
+``R(X2, X3, c)`` of Example 7).
+
+Computing the core is itself NP-hard in general; the standard
+fact-elimination algorithm below is exact and fast on the small,
+sparsely-nulled instances recovery produces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data.instances import Instance
+from ..logic.homomorphisms import homomorphisms, is_isomorphic, maps_into
+
+
+def _retract_without(instance: Instance, fact) -> Optional[Instance]:
+    """A retract of ``instance`` avoiding ``fact``, or ``None``.
+
+    Seeks an endomorphism of the instance whose image omits ``fact``;
+    the image (a proper retract) is returned.
+    """
+    smaller = instance.without_facts([fact])
+    for hom in homomorphisms(list(instance.facts), smaller):
+        return instance.apply(hom)
+    return None
+
+
+def core(instance: Instance) -> Instance:
+    """The core of ``instance`` (unique up to null renaming).
+
+    Iteratively folds the instance onto proper retracts until no fact
+    can be eliminated.  Ground instances are their own cores.
+    """
+    current = instance
+    changed = True
+    while changed:
+        changed = False
+        for fact in sorted(current.facts):
+            if fact.is_ground:
+                continue
+            retract = _retract_without(current, fact)
+            if retract is not None:
+                current = retract
+                changed = True
+                break
+    return current
+
+
+def is_core(instance: Instance) -> bool:
+    """Whether the instance admits no proper retract."""
+    return len(core(instance)) == len(instance)
+
+
+def cores_isomorphic(left: Instance, right: Instance) -> bool:
+    """Homomorphic equivalence, decided through core isomorphism."""
+    return is_isomorphic(core(left), core(right))
+
+
+def core_recoveries(recoveries: list[Instance]) -> list[Instance]:
+    """Minimal presentation of a recovery set.
+
+    Replaces every recovery by its core and drops duplicates (up to
+    isomorphism) and entries another entry already maps into — the
+    result is homomorphically equivalent to the input set, so UCQ
+    certain answers computed over it are unchanged (Theorem 2's
+    criterion).
+    """
+    cored = [core(recovery) for recovery in recoveries]
+    kept: list[Instance] = []
+    for candidate in sorted(cored, key=len):
+        # A kept instance mapping into the candidate makes it redundant:
+        # monotone answers of the kept one are a subset wherever the
+        # candidate would constrain the intersection.
+        if any(maps_into(existing, candidate) for existing in kept):
+            continue
+        kept.append(candidate)
+    return kept

@@ -1,0 +1,180 @@
+"""Coverings of a target instance (Definition 5) and Theorem 6.
+
+``COV(Sigma, J)`` is the set of all ``H subseteq HOM(Sigma, J)`` whose
+covered facts equal ``J``.  The inverse chase ranges over coverings;
+this module enumerates them.
+
+Two enumeration modes are offered:
+
+* ``minimal`` (default) — only inclusion-minimal coverings.  For UCQ
+  certain answers this loses nothing: UCQs are monotone and every
+  non-minimal covering's recovery contains a minimal covering's
+  recovery (restrict the final homomorphism of Definition 9), so the
+  intersection of answers is unchanged.  The equivalence is verified
+  by a property test and by ablation benchmark E14.
+* ``all`` — the full Definition 5, exponential in the number of
+  redundant homomorphisms; used by the ablation and by the examples
+  that follow the paper's text literally.
+
+Enumeration is a classic set-cover branch: repeatedly pick an
+uncovered fact with the fewest candidate homomorphisms and branch on
+which of them covers it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Literal, Optional, Sequence
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..errors import BudgetExceededError
+from .hom_sets import TargetHomomorphism, covered_by
+
+CoverMode = Literal["minimal", "all"]
+
+
+def coverage_index(
+    homs: Sequence[TargetHomomorphism], target: Instance
+) -> dict[Atom, list[int]]:
+    """For every fact of ``J``, the indexes of the homomorphisms covering it."""
+    index: dict[Atom, list[int]] = {fact: [] for fact in target.facts}
+    for i, hom in enumerate(homs):
+        for fact in hom.covered:
+            if fact in index:
+                index[fact].append(i)
+    return index
+
+
+def is_coverable(homs: Sequence[TargetHomomorphism], target: Instance) -> bool:
+    """Whether ``HOM(Sigma, J)`` covers every fact of ``J`` at all."""
+    return all(entry for entry in coverage_index(homs, target).values())
+
+
+def _minimal_covers_indexes(
+    homs: Sequence[TargetHomomorphism],
+    target: Instance,
+    limit: Optional[int],
+) -> Iterator[frozenset[int]]:
+    index = coverage_index(homs, target)
+    if any(not entry for entry in index.values()):
+        return
+
+    emitted: set[frozenset[int]] = set()
+
+    def branch(chosen: frozenset[int], uncovered: set[Atom]) -> Iterator[frozenset[int]]:
+        if not uncovered:
+            if any(previous <= chosen for previous in emitted):
+                return
+            if _is_minimal(chosen, homs, target):
+                emitted.add(chosen)
+                if limit is not None and len(emitted) > limit:
+                    raise BudgetExceededError("covering enumeration", limit)
+                yield chosen
+            return
+        pivot = min(uncovered, key=lambda fact: len(index[fact]))
+        for i in index[pivot]:
+            if i in chosen:
+                continue
+            newly = set(homs[i].covered) & uncovered
+            yield from branch(chosen | {i}, uncovered - newly)
+
+    yield from branch(frozenset(), set(target.facts))
+
+
+def _is_minimal(
+    chosen: frozenset[int],
+    homs: Sequence[TargetHomomorphism],
+    target: Instance,
+) -> bool:
+    """Whether no member of ``chosen`` is redundant for covering ``target``."""
+    for i in chosen:
+        rest = [homs[j] for j in chosen if j != i]
+        if covered_by(rest) >= target.facts:
+            return False
+    return True
+
+
+def enumerate_covers(
+    homs: Sequence[TargetHomomorphism],
+    target: Instance,
+    mode: CoverMode = "minimal",
+    limit: Optional[int] = None,
+) -> Iterator[tuple[TargetHomomorphism, ...]]:
+    """Yield the coverings of ``target`` built from ``homs``.
+
+    Coverings are yielded as tuples in the order of ``homs`` and are
+    pairwise distinct.  ``limit`` bounds the number of coverings
+    produced; exceeding it raises
+    :class:`~repro.errors.BudgetExceededError` (the enumeration is
+    worst-case exponential).
+    """
+    if mode == "minimal":
+        count = 0
+        for chosen in _minimal_covers_indexes(homs, target, limit):
+            count += 1
+            yield tuple(homs[i] for i in sorted(chosen))
+        return
+    if mode != "all":
+        raise ValueError(f"unknown covering mode {mode!r}")
+
+    minimal = list(_minimal_covers_indexes(homs, target, limit))
+    if not minimal:
+        return
+    # Every covering is a superset of some minimal covering; enumerate
+    # supersets of minimal covers, deduplicating across seeds.
+    seen: set[frozenset[int]] = set()
+    universe = range(len(homs))
+    count = 0
+    for seed in minimal:
+        spare = [i for i in universe if i not in seed]
+        for extra_size in range(len(spare) + 1):
+            for extra in combinations(spare, extra_size):
+                candidate = seed | frozenset(extra)
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                count += 1
+                if limit is not None and count > limit:
+                    raise BudgetExceededError("covering enumeration", limit)
+                yield tuple(homs[i] for i in sorted(candidate))
+
+
+def count_covers(
+    homs: Sequence[TargetHomomorphism],
+    target: Instance,
+    mode: CoverMode = "minimal",
+    limit: Optional[int] = None,
+) -> int:
+    """``|COV(Sigma, J)|`` under the chosen mode."""
+    return sum(1 for _ in enumerate_covers(homs, target, mode=mode, limit=limit))
+
+
+def unique_cover(
+    homs: Sequence[TargetHomomorphism], target: Instance
+) -> Optional[tuple[TargetHomomorphism, ...]]:
+    """The unique covering when ``|COV(Sigma, J)| = 1`` (Theorem 6), else ``None``.
+
+    Theorem 6: the covering is unique iff every homomorphism covers
+    some fact that no other homomorphism covers.  In that case the
+    unique covering is ``HOM(Sigma, J)`` itself.  The test runs in time
+    quadratic in ``|HOM|`` as the paper notes.
+    """
+    index = coverage_index(homs, target)
+    if any(not entry for entry in index.values()):
+        return None
+    for i in range(len(homs)):
+        has_private_fact = any(
+            entry == [i] for entry in index.values()
+        )
+        if not has_private_fact:
+            return None
+    return tuple(homs)
+
+
+def uniquely_covered_facts(
+    homs: Sequence[TargetHomomorphism], target: Instance
+) -> set[Atom]:
+    """The facts of ``J`` covered by exactly one homomorphism (Theorem 7's ``K``)."""
+    index = coverage_index(homs, target)
+    return {fact for fact, entry in index.items() if len(entry) == 1}

@@ -1,0 +1,162 @@
+"""Sound CQ answers: the ``I_{Sigma,J}`` construction (Section 6.2).
+
+Without any restriction on the mapping or the target, the paper builds
+in polynomial time a "CQ sub-universal" source instance that maps
+homomorphically into *every* recovery (Theorem 9), and therefore
+answers every CQ soundly.  The construction (Definitions 11-12):
+
+1. For each homomorphism ``h in HOM(Sigma, J)``, enumerate the
+   *minimal coverings for h*: minimal sets ``H`` of homomorphisms with
+   ``J_h subseteq J_H`` — the alternative ways the facts ``J_h`` could
+   have been produced.
+2. Generalize each covering: within ``H``, a member ``h_i`` only
+   contributes through the head atoms whose image lands in ``J_h``;
+   variables appearing solely in other head atoms are replaced by
+   fresh nulls (the paper's ``equivalence classes of ===(h, Sigma)`` —
+   equivalent coverings generalize to isomorphic instances, which is
+   how we deduplicate them and how the construction stays polynomial).
+3. Backward-chase each generalized covering into a source instance and
+   take the glb across the alternatives: whatever the glb keeps is
+   information common to *all* ways of producing ``J_h``.
+4. ``I_{Sigma,J}`` is the union of those glbs over all ``h``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.substitutions import Substitution
+from ..data.terms import NullFactory, Variable
+from ..logic.homomorphisms import is_isomorphic
+from ..logic.tgds import Mapping
+from ..chase.standard import chase_restricted
+from .glb import glb
+from .hom_sets import TargetHomomorphism, hom_set
+
+
+def minimal_coverings_for(
+    hom: TargetHomomorphism,
+    homs: Sequence[TargetHomomorphism],
+) -> list[tuple[TargetHomomorphism, ...]]:
+    """``COV_h(Sigma, J)``: minimal sets ``H`` with ``J_h subseteq J_H``.
+
+    ``{h}`` itself is always a member.  Enumeration is the standard
+    set-cover branch over the facts of ``J_h``.
+    """
+    facts = sorted(hom.covered)
+    coverers: dict[Atom, list[int]] = {
+        fact: [i for i, other in enumerate(homs) if fact in other.covered]
+        for fact in facts
+    }
+    results: list[frozenset[int]] = []
+
+    def branch(chosen: frozenset[int], remaining: list[Atom]) -> None:
+        if not remaining:
+            if any(previous <= chosen for previous in results):
+                return
+            for i in chosen:
+                rest_cover = set()
+                for j in chosen:
+                    if j != i:
+                        rest_cover |= homs[j].covered
+                if set(facts) <= rest_cover:
+                    return
+            results.append(chosen)
+            return
+        pivot = min(remaining, key=lambda fact: len(coverers[fact]))
+        for i in coverers[pivot]:
+            if i in chosen:
+                branch(chosen, [f for f in remaining if f not in homs[i].covered])
+                continue
+            newly = [f for f in remaining if f not in homs[i].covered]
+            branch(chosen | {i}, newly)
+
+    branch(frozenset(), facts)
+    unique: list[frozenset[int]] = []
+    for candidate in results:
+        if candidate not in unique:
+            unique.append(candidate)
+    return [tuple(homs[i] for i in sorted(chosen)) for chosen in unique]
+
+
+def _relevant_variables(
+    member: TargetHomomorphism, anchor_facts: frozenset[Atom]
+) -> set[Variable]:
+    """The ``x_i`` of the paper: head variables of ``member`` occurring in
+    head atoms whose image lands in the anchor's covered facts."""
+    relevant: set[Variable] = set()
+    for head_atom in member.tgd.head:
+        if member.substitution.apply_atom(head_atom) in anchor_facts:
+            relevant |= head_atom.variables
+    return relevant
+
+
+def generalized_source_instance(
+    covering: Sequence[TargetHomomorphism],
+    anchor: TargetHomomorphism,
+    factory: Optional[NullFactory] = None,
+) -> Instance:
+    """``I_{H(h,Sigma)}``: the backward chase of the generalized covering.
+
+    Each member keeps only the variable bindings that matter for
+    covering ``J_h``; every other head variable becomes a fresh null
+    before the reversed tgd fires.
+    """
+    factory = factory or NullFactory(prefix="C")
+    triggers = []
+    for member in covering:
+        relevant = _relevant_variables(member, anchor.covered)
+        generalized = {}
+        for var in sorted(member.tgd.head_variables):
+            if var in relevant:
+                generalized[var] = member.substitution.image(var)
+            else:
+                generalized[var] = factory.fresh()
+        triggers.append((member.tgd.reverse(), Substitution(generalized)))
+    return chase_restricted(triggers, Instance.empty(), factory).result
+
+
+def _dedup_isomorphic(instances: list[Instance]) -> list[Instance]:
+    """Keep one representative per isomorphism class (the ===(h, Sigma)
+    equivalence classes of the paper)."""
+    representatives: list[Instance] = []
+    for candidate in instances:
+        if not any(is_isomorphic(candidate, seen) for seen in representatives):
+            representatives.append(candidate)
+    return representatives
+
+
+def per_hom_glb(
+    hom: TargetHomomorphism,
+    homs: Sequence[TargetHomomorphism],
+    factory: Optional[NullFactory] = None,
+) -> Instance:
+    """``glb(I_{H(h,Sigma)} : H in COV_h(Sigma, J))`` for one anchor ``h``."""
+    factory = factory or NullFactory(prefix="C")
+    generalized = [
+        generalized_source_instance(covering, hom, factory)
+        for covering in minimal_coverings_for(hom, homs)
+    ]
+    return glb(_dedup_isomorphic(generalized), factory=factory)
+
+
+def cq_sound_instance(mapping: Mapping, target: Instance) -> Instance:
+    """``I_{Sigma,J}`` (Definition 12): the CQ sub-universal source instance.
+
+    Theorem 9: ``I_{Sigma,J}`` maps homomorphically into every recovery
+    of ``J``, so ``Q(I_{Sigma,J})↓ subseteq CERT(Q, Sigma, J)`` for every
+    CQ ``Q``.  Computed in time polynomial in ``|J|`` for a fixed
+    mapping (Theorem 8).
+    """
+    homs = hom_set(mapping, target)
+    factory = NullFactory(prefix="C")
+    factory.avoid(target.domain())
+    pieces: list[Instance] = []
+    for hom in homs:
+        pieces.append(per_hom_glb(hom, homs, factory))
+    result = Instance.empty()
+    for piece in pieces:
+        result = result | piece
+    return result

@@ -1,0 +1,110 @@
+"""``HOM(Sigma, J)``: homomorphisms from tgd heads into the target.
+
+Section 4 of the paper.  For an s-t tgd ``xi`` with head ``beta(x, z)``
+and a target instance ``J``::
+
+    HOM(xi, J) = { h : h(beta(x, z)) subseteq J }
+
+where ``h`` is defined on the variables of the head.  Because the tgds
+of a mapping share no variables, every homomorphism uniquely identifies
+the dependency it belongs to (the paper's ``xi_h``); we make that
+pairing explicit in :class:`TargetHomomorphism`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.substitutions import Substitution
+from ..data.terms import Term
+from ..logic.homomorphisms import homomorphisms
+from ..logic.tgds import TGD, Mapping
+
+
+class TargetHomomorphism:
+    """An element ``h`` of ``HOM(Sigma, J)`` together with its tgd ``xi_h``."""
+
+    __slots__ = ("_tgd", "_substitution", "_covered", "_hash")
+
+    def __init__(self, tgd: TGD, substitution: Substitution):
+        covered = frozenset(substitution.apply_atoms(tgd.head))
+        object.__setattr__(self, "_tgd", tgd)
+        object.__setattr__(self, "_substitution", substitution)
+        object.__setattr__(self, "_covered", covered)
+        object.__setattr__(self, "_hash", hash((tgd, substitution)))
+
+    @property
+    def tgd(self) -> TGD:
+        """The dependency ``xi_h`` this homomorphism belongs to."""
+        return self._tgd
+
+    @property
+    def substitution(self) -> Substitution:
+        """The variable assignment (defined on the head variables)."""
+        return self._substitution
+
+    @property
+    def covered(self) -> frozenset[Atom]:
+        """``J_h = h(head(xi_h))``: the target facts this homomorphism covers."""
+        return self._covered
+
+    def image(self, term: Term) -> Term:
+        return self._substitution.image(term)
+
+    @property
+    def reverse_trigger(self) -> tuple[TGD, Substitution]:
+        """The trigger ``(xi_h^{-1}, h)`` used by ``Chase_H(Sigma^{-1}, J)``."""
+        return (self._tgd.reverse(), self._substitution)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TargetHomomorphism):
+            return NotImplemented
+        return self._tgd == other._tgd and self._substitution == other._substitution
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "TargetHomomorphism") -> bool:
+        if not isinstance(other, TargetHomomorphism):
+            return NotImplemented
+        return (self._tgd.name or "", repr(self._substitution)) < (
+            other._tgd.name or "",
+            repr(other._substitution),
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self._tgd.name or 'tgd'} {self._substitution}>"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("TargetHomomorphism is immutable")
+
+
+def tgd_homomorphisms(tgd: TGD, target: Instance) -> Iterator[TargetHomomorphism]:
+    """``HOM(xi, J)``: all head-into-target homomorphisms of one tgd."""
+    head_vars = sorted(tgd.head_variables)
+    seen: set[tuple[Term, ...]] = set()
+    for hom in homomorphisms(tgd.head, target):
+        restricted = hom.restrict(tgd.head_variables)
+        key = tuple(restricted.image(v) for v in head_vars)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield TargetHomomorphism(tgd, restricted)
+
+
+def hom_set(mapping: Mapping, target: Instance) -> list[TargetHomomorphism]:
+    """``HOM(Sigma, J)``: the union over all tgds, deterministically ordered."""
+    homs: list[TargetHomomorphism] = []
+    for tgd in mapping:
+        homs.extend(tgd_homomorphisms(tgd, target))
+    return sorted(homs)
+
+
+def covered_by(homs: Sequence[TargetHomomorphism]) -> frozenset[Atom]:
+    """``J_H``: the union of the facts covered by a set of homomorphisms."""
+    facts: set[Atom] = set()
+    for hom in homs:
+        facts |= hom.covered
+    return frozenset(facts)

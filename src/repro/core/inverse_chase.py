@@ -1,0 +1,215 @@
+"""The inverse chase ``Chase^{-1}(Sigma, J)`` (Definition 9, Theorems 1-2).
+
+Given a mapping ``Sigma`` and a target instance ``J``, the inverse
+chase produces a finite set of source instances that is a
+UCQ-universal recovery of ``J`` (Theorem 2).  The computation follows
+Definition 9 step by step:
+
+1. compute ``HOM(Sigma, J)``;
+2. enumerate coverings ``H in COV(Sigma, J)``;
+3. keep the coverings modeling the subsumption constraints
+   ``SUB(Sigma)``;
+4. for each surviving ``H``, chase backwards:
+   ``I_H = Chase_H(Sigma^{-1}, J)``;
+5. chase forwards again: ``J_H = Chase(Sigma, I_H)``;
+6. for every homomorphism ``g : J_H -> J`` that is the identity on
+   ``dom(J)``, emit the recovery ``g(I_H)``.
+
+Step 6 acts as a soundness gate: a covering for which no ``g`` exists
+yields no recovery.  Definition 9 additionally *presupposes* that
+``J`` is valid for recovery; without that hypothesis the literal
+construction can emit non-recoveries (e.g. ``Sigma = {S(x) -> T(x,y)}``
+with ``J = {T(a,b), T(a,c)}``, where two covering homomorphisms share
+one frontier binding and collapse to a single backward fact that
+cannot witness both target tuples).  We therefore verify every
+candidate against the Definition 2 oracle before emitting it
+(``verify_justification``), which makes Theorem 1 hold with no
+hypothesis on ``J`` and makes an empty result *characterize*
+invalidity.
+
+By default coverings are enumerated in ``minimal`` mode; see
+:mod:`repro.core.covers` for why this preserves UCQ certain answers,
+and benchmark E14 for the measured effect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Literal, Optional, Sequence
+
+from ..data.instances import Instance
+from ..data.terms import NullFactory
+from ..errors import BudgetExceededError
+from ..logic.homomorphisms import instance_homomorphisms
+from ..logic.tgds import Mapping
+from ..chase.standard import chase, chase_restricted
+from .covers import CoverMode, enumerate_covers
+from .hom_sets import TargetHomomorphism, hom_set
+from .semantics import is_justified
+from .subsumption import SubsumptionConstraint, minimal_subsumers, models_all
+
+
+SubsumptionMode = Literal["auto", "strict", "refute", "off"]
+
+
+class RecoveryCandidate:
+    """One recovery with its full provenance through Definition 9."""
+
+    __slots__ = ("_covering", "_backward", "_forward", "_g", "_recovery")
+
+    def __init__(
+        self,
+        covering: tuple[TargetHomomorphism, ...],
+        backward: Instance,
+        forward: Instance,
+        g,
+        recovery: Instance,
+    ):
+        object.__setattr__(self, "_covering", covering)
+        object.__setattr__(self, "_backward", backward)
+        object.__setattr__(self, "_forward", forward)
+        object.__setattr__(self, "_g", g)
+        object.__setattr__(self, "_recovery", recovery)
+
+    @property
+    def covering(self) -> tuple[TargetHomomorphism, ...]:
+        """The covering ``H`` the recovery was built from."""
+        return self._covering
+
+    @property
+    def backward_instance(self) -> Instance:
+        """``I_H = Chase_H(Sigma^{-1}, J)``."""
+        return self._backward
+
+    @property
+    def forward_instance(self) -> Instance:
+        """``J_H = Chase(Sigma, I_H)``."""
+        return self._forward
+
+    @property
+    def homomorphism(self):
+        """The homomorphism ``g : J_H -> J`` (identity on ``dom(J)``)."""
+        return self._g
+
+    @property
+    def recovery(self) -> Instance:
+        """The emitted source instance ``g(I_H)``."""
+        return self._recovery
+
+    def __repr__(self) -> str:
+        return f"RecoveryCandidate({self._recovery!r})"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("RecoveryCandidate is immutable")
+
+
+def inverse_chase_candidates(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    cover_mode: CoverMode = "minimal",
+    subsumption_mode: SubsumptionMode = "auto",
+    subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
+    max_covers: Optional[int] = None,
+    max_recoveries: Optional[int] = None,
+    verify_justification: bool = True,
+) -> Iterator[RecoveryCandidate]:
+    """Yield recovery candidates with provenance (lazy Definition 9).
+
+    :param cover_mode: ``"minimal"`` (default, UCQ-equivalent) or
+        ``"all"`` (the literal Definition 9).
+    :param subsumption_mode: how ``SUB(Sigma)`` filters coverings.
+        ``"strict"`` is the literal Definition 8 check within ``H``
+        (the paper's algorithm — pair it with ``cover_mode="all"`` for
+        the full Definition 9; with minimal covers it can prune a
+        covering whose sound SUB-closure is non-minimal and therefore
+        never enumerated).  ``"refute"`` rejects ``H`` only when no
+        covering extending ``H`` can satisfy SUB — safe with minimal
+        covers.  ``"off"`` skips the filter entirely (ablation E15);
+        the justification gate still guarantees soundness, at the
+        price of extra homomorphically-redundant recoveries.
+        ``"auto"`` (default) picks ``"refute"`` for minimal covers and
+        ``"strict"`` for all covers.
+    :param subsumption: a precomputed ``SUB(Sigma)`` to reuse across
+        calls with the same mapping.
+    :param max_covers: budget on enumerated coverings.
+    :param max_recoveries: budget on emitted recoveries
+        (:class:`~repro.errors.BudgetExceededError` beyond it).
+    :param verify_justification: verify each candidate against the
+        Definition 2 oracle before emitting it (see the module
+        docstring).  Disable only for targets known to be valid for
+        recovery — e.g. honestly exchanged benchmark targets — where
+        the check is redundant work.
+    """
+    homs = hom_set(mapping, target)
+    if subsumption_mode == "auto":
+        subsumption_mode = "refute" if cover_mode == "minimal" else "strict"
+    constraints: Sequence[SubsumptionConstraint] = ()
+    if subsumption_mode != "off":
+        constraints = (
+            subsumption if subsumption is not None else minimal_subsumers(mapping)
+        )
+    target_domain = target.domain()
+    emitted = 0
+    conclusion_pool = homs if subsumption_mode == "refute" else None
+    # Distinct (covering, g) pairs frequently produce the same recovery
+    # (homomorphisms differing only on forward-chase nulls); cache the
+    # justification verdict per recovery instance.
+    justified_cache: dict[Instance, bool] = {}
+    for covering in enumerate_covers(homs, target, mode=cover_mode, limit=max_covers):
+        if subsumption_mode != "off" and not models_all(
+            covering, constraints, conclusion_pool
+        ):
+            continue
+        factory = NullFactory()
+        factory.avoid(target_domain)
+        backward = chase_restricted(
+            [hom.reverse_trigger for hom in covering], target, factory
+        ).result
+        forward = chase(mapping, backward, factory).result
+        for g in instance_homomorphisms(forward, target, identity_on=target_domain):
+            recovery = backward.apply(g)
+            if verify_justification:
+                verdict = justified_cache.get(recovery)
+                if verdict is None:
+                    verdict = is_justified(mapping, recovery, target)
+                    justified_cache[recovery] = verdict
+                if not verdict:
+                    continue
+            emitted += 1
+            if max_recoveries is not None and emitted > max_recoveries:
+                raise BudgetExceededError("inverse chase recoveries", max_recoveries)
+            yield RecoveryCandidate(covering, backward, forward, g, recovery)
+
+
+def inverse_chase(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    cover_mode: CoverMode = "minimal",
+    subsumption_mode: SubsumptionMode = "auto",
+    subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
+    max_covers: Optional[int] = None,
+    max_recoveries: Optional[int] = None,
+    verify_justification: bool = True,
+) -> list[Instance]:
+    """``Chase^{-1}(Sigma, J)``: the deduplicated set of recoveries.
+
+    Returns the empty list exactly when ``J`` is not valid for recovery
+    under ``Sigma`` (Theorem 3's characterization).
+    """
+    seen: set[Instance] = set()
+    result: list[Instance] = []
+    for candidate in inverse_chase_candidates(
+        mapping,
+        target,
+        cover_mode=cover_mode,
+        subsumption_mode=subsumption_mode,
+        subsumption=subsumption,
+        max_covers=max_covers,
+        max_recoveries=max_recoveries,
+        verify_justification=verify_justification,
+    ):
+        if candidate.recovery not in seen:
+            seen.add(candidate.recovery)
+            result.append(candidate.recovery)
+    return result

@@ -1,0 +1,121 @@
+"""Recovering from altered targets (the paper's closing open problem).
+
+The conclusions suggest "finding recoveries after the target instance
+already has been altered by some operations" as future work: the
+current semantics only accepts targets valid for recovery.  This
+module implements the natural maximal-subset semantics for that
+problem:
+
+    a *repair* of an invalid target ``J`` is a subset-maximal
+    ``J' subseteq J`` that is valid for recovery under ``Sigma``;
+    recovering from ``J`` means recovering from its repairs.
+
+Two phases keep the search tolerable:
+
+1. facts covered by no homomorphism of ``HOM(Sigma, J)`` can belong to
+   no valid subset (a covering must produce every fact), so they are
+   removed outright;
+2. the remaining conflicts are resolved by a breadth-first search over
+   removal sets in increasing size, so the first hits are exactly the
+   subset-maximal repairs.
+
+Both validity testing and maximality are NP-hard, so the search takes
+budgets like the rest of the library.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Optional
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..errors import BudgetExceededError
+from ..logic.tgds import Mapping
+from .covers import coverage_index
+from .hom_sets import hom_set
+from .inverse_chase import inverse_chase
+from .validity import is_valid_for_recovery
+
+
+def uncoverable_facts(mapping: Mapping, target: Instance) -> set[Atom]:
+    """Facts no homomorphism of ``HOM(Sigma, J)`` covers.
+
+    These can never be justified — either their relation has no
+    producing rule, or every producing rule's other head atoms are
+    absent — so every repair excludes them.
+    """
+    homs = hom_set(mapping, target)
+    index = coverage_index(homs, target)
+    return {fact for fact, coverers in index.items() if not coverers}
+
+
+def repairs(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    max_removals: int = 4,
+    max_candidates: int = 10000,
+    max_covers: Optional[int] = 2000,
+) -> Iterator[Instance]:
+    """Yield the subset-maximal valid-for-recovery subsets of ``J``.
+
+    Removal sets are explored in increasing size (after the forced
+    phase-1 removals), so every yielded repair is subset-maximal:
+    supersets of a yielded repair were checked earlier and found
+    invalid.  Yields nothing when even removing ``max_removals`` facts
+    does not restore validity.
+
+    :raises BudgetExceededError: after ``max_candidates`` removal sets.
+    """
+    forced = uncoverable_facts(mapping, target)
+    base = target.without_facts(forced)
+    candidates_tried = 0
+    yielded: list[frozenset[Atom]] = []
+    for size in range(0, max_removals + 1):
+        for removal in combinations(sorted(base.facts), size):
+            removal_set = frozenset(removal)
+            if any(previous <= removal_set for previous in yielded):
+                continue  # a superset of this candidate already repaired
+            candidates_tried += 1
+            if candidates_tried > max_candidates:
+                raise BudgetExceededError("repair candidates", max_candidates)
+            candidate = base.without_facts(removal_set)
+            if is_valid_for_recovery(mapping, candidate, max_covers=max_covers):
+                yielded.append(removal_set)
+                yield candidate
+
+
+def repair_target(
+    mapping: Mapping,
+    target: Instance,
+    **options,
+) -> Optional[Instance]:
+    """One subset-maximal repair of ``J`` (or ``J`` itself when valid)."""
+    if is_valid_for_recovery(
+        mapping, target, max_covers=options.get("max_covers", 2000)
+    ):
+        return target
+    for repaired in repairs(mapping, target, **options):
+        return repaired
+    return None
+
+
+def recover_after_alteration(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    max_recoveries: Optional[int] = 1000,
+    **options,
+) -> tuple[Optional[Instance], list[Instance]]:
+    """Repair an altered target, then recover from the repair.
+
+    Returns ``(repair, recoveries)``; ``(None, [])`` when no repair is
+    found within the budgets.
+    """
+    repaired = repair_target(mapping, target, **options)
+    if repaired is None:
+        return None, []
+    return repaired, inverse_chase(
+        mapping, repaired, max_recoveries=max_recoveries
+    )

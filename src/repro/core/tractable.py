@@ -1,0 +1,216 @@
+"""Tractable recovery (Section 6.1: Lemma 1, Theorems 5-7).
+
+Three polynomial-time tools:
+
+* :func:`is_quasi_guarded_safe` — Lemma 1's syntactic condition: every
+  subsumption constraint of ``SUB(Sigma)`` is built exclusively from
+  quasi-guarded tgds.  Under it the inverse chase of a covering yields
+  a single recovery (no backward null ever reaches the forward-chased
+  instance, so the final homomorphism cannot branch).
+* :func:`complete_ucq_recovery` — Theorem 5: when additionally
+  ``|COV(Sigma, J)| = 1`` (decided by Theorem 6's quadratic private-
+  fact test in :func:`~repro.core.covers.unique_cover`), the inverse
+  chase is deterministic and its single output answers every UCQ
+  completely.
+* :func:`sound_ucq_instance` — Theorem 7: without any uniqueness
+  assumption, the homomorphisms *forced* into every covering (those
+  that uniquely cover some fact) span a maximal uniquely-covered
+  subset ``J'`` of ``J``; backward-chasing exactly those
+  homomorphisms yields a source instance that maps into every
+  recovery, hence answers every UCQ soundly.
+
+The module also implements the paper's ``k``-recoveries observation
+(the paragraph after Theorem 6): when ``|COV(Sigma, J)| <= k`` for a
+fixed ``k`` and the mapping is quasi-guarded safe, the ``<= k``
+deterministic recoveries jointly give complete UCQ answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..data.instances import Instance
+from ..data.terms import NullFactory
+from ..errors import NotRecoverableError
+from ..logic.homomorphisms import instance_homomorphisms
+from ..logic.tgds import Mapping
+from ..chase.standard import chase, chase_restricted
+from .covers import enumerate_covers, unique_cover, uniquely_covered_facts
+from .hom_sets import TargetHomomorphism, covered_by, hom_set
+from .subsumption import SubsumptionConstraint, minimal_subsumers, models_all
+
+
+def is_quasi_guarded_safe(
+    mapping: Mapping,
+    subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
+) -> bool:
+    """Lemma 1's condition: ``SUB(Sigma)`` uses only quasi-guarded tgds.
+
+    A mapping with an empty ``SUB(Sigma)`` is trivially safe
+    (Example 9).
+    """
+    constraints = (
+        subsumption if subsumption is not None else minimal_subsumers(mapping)
+    )
+    for constraint in constraints:
+        participants = [tgd for tgd, _ in constraint.premises]
+        participants.append(constraint.conclusion_tgd)
+        if any(not tgd.is_quasi_guarded for tgd in participants):
+            return False
+    return True
+
+
+def _deterministic_recovery(
+    mapping: Mapping,
+    target: Instance,
+    covering: Sequence[TargetHomomorphism],
+) -> Instance:
+    """Run Definition 9 on one covering known to yield a unique image.
+
+    Under Lemma 1's condition the backward nulls never occur in the
+    forward-chased instance, so every homomorphism ``g`` of the final
+    step acts as the identity on the backward instance; it suffices to
+    verify that at least one ``g`` exists.
+    """
+    factory = NullFactory()
+    factory.avoid(target.domain())
+    backward = chase_restricted(
+        [hom.reverse_trigger for hom in covering], target, factory
+    ).result
+    forward = chase(mapping, backward, factory).result
+    for g in instance_homomorphisms(forward, target, identity_on=target.domain()):
+        return backward.apply(g)
+    raise NotRecoverableError(
+        "the covering admits no homomorphism back into the target; "
+        "the target instance is not valid for recovery"
+    )
+
+
+def complete_ucq_recovery(
+    mapping: Mapping,
+    target: Instance,
+    subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
+) -> Instance:
+    """Theorem 5: the complete UCQ recovery, in polynomial time.
+
+    Preconditions (both checked):
+
+    1. ``|COV(Sigma, J)| = 1`` — Theorem 6's test;
+    2. the mapping is quasi-guarded safe — Lemma 1.
+
+    :raises ValueError: when a precondition fails (the problem is then
+        coNP-complete in general and the caller should fall back to
+        :func:`~repro.core.inverse_chase.inverse_chase`).
+    :raises NotRecoverableError: when ``J`` is not valid for recovery.
+    """
+    constraints = (
+        subsumption if subsumption is not None else minimal_subsumers(mapping)
+    )
+    if not is_quasi_guarded_safe(mapping, constraints):
+        raise ValueError(
+            "mapping is not quasi-guarded safe; Theorem 5 does not apply"
+        )
+    homs = hom_set(mapping, target)
+    covering = unique_cover(homs, target)
+    if covering is None:
+        raise ValueError(
+            "the target instance does not have a unique covering; "
+            "Theorem 5 does not apply"
+        )
+    if not models_all(covering, constraints):
+        raise NotRecoverableError(
+            "the unique covering violates the subsumption constraints"
+        )
+    return _deterministic_recovery(mapping, target, covering)
+
+
+def k_cover_recoveries(
+    mapping: Mapping,
+    target: Instance,
+    k: int,
+    subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
+) -> list[Instance]:
+    """The ``<= k`` recoveries when ``|COV(Sigma, J)| <= k`` (paper, §6.1).
+
+    Uses minimal coverings (sufficient for UCQ answers).  The returned
+    instances jointly yield complete UCQ certain answers via
+    :func:`~repro.core.certain.certain_answers`.
+
+    :raises ValueError: when there are more than ``k`` coverings or the
+        mapping is not quasi-guarded safe.
+    """
+    constraints = (
+        subsumption if subsumption is not None else minimal_subsumers(mapping)
+    )
+    if not is_quasi_guarded_safe(mapping, constraints):
+        raise ValueError(
+            "mapping is not quasi-guarded safe; the k-cover case does not apply"
+        )
+    homs = hom_set(mapping, target)
+    coverings = list(enumerate_covers(homs, target, mode="minimal", limit=k))
+    recoveries: list[Instance] = []
+    for covering in coverings:
+        if not models_all(covering, constraints):
+            continue
+        recoveries.append(_deterministic_recovery(mapping, target, covering))
+    if not recoveries:
+        raise NotRecoverableError(
+            "no covering satisfies the subsumption constraints"
+        )
+    return recoveries
+
+
+def forced_homomorphisms(
+    mapping: Mapping, target: Instance
+) -> list[TargetHomomorphism]:
+    """The homomorphisms contained in *every* covering of ``J``.
+
+    These are exactly the homomorphisms that are the unique coverer of
+    some fact of ``J`` (Theorem 7's set, computable in quadratic time).
+    """
+    homs = hom_set(mapping, target)
+    unique_facts = uniquely_covered_facts(homs, target)
+    return [hom for hom in homs if hom.covered & unique_facts]
+
+
+def maximal_unique_subset(
+    mapping: Mapping, target: Instance
+) -> tuple[Instance, list[TargetHomomorphism]]:
+    """Theorem 7's ``J'``: the subset of ``J`` spanned by forced homomorphisms.
+
+    Returns ``(J', U)`` where ``U`` is the forced homomorphism set and
+    ``J' = union of J_h for h in U``.  Every covering of ``J`` contains
+    ``U``, so source facts recovered from ``J'`` alone occur (up to
+    homomorphism) in every recovery of ``J``.
+    """
+    forced = forced_homomorphisms(mapping, target)
+    return Instance(covered_by(forced)), forced
+
+
+def sound_ucq_instance(mapping: Mapping, target: Instance) -> Instance:
+    """Theorem 7's sound source instance ``I``.
+
+    ``Q(I)↓ subseteq CERT(Q, Sigma, J)`` for every UCQ ``Q`` (when
+    ``J`` is valid for recovery).  Computed by backward-chasing the
+    forced homomorphisms, then grounding the result deterministically
+    when the forward chase admits a single consistent image.
+    """
+    subset, forced = maximal_unique_subset(mapping, target)
+    if not forced:
+        return Instance.empty()
+    factory = NullFactory()
+    factory.avoid(target.domain())
+    backward = chase_restricted(
+        [hom.reverse_trigger for hom in forced], subset, factory
+    ).result
+    forward = chase(mapping, backward, factory).result
+    images = set()
+    for g in instance_homomorphisms(
+        forward, target, identity_on=target.domain()
+    ):
+        images.add(backward.apply(g))
+        if len(images) > 1:
+            break
+    if len(images) == 1:
+        return images.pop()
+    return backward

@@ -1,0 +1,90 @@
+"""Universal and canonical solutions (Proposition 1).
+
+A target instance ``J`` is a *universal solution* for a source ``I``
+when it is a solution and maps homomorphically into every solution —
+equivalently, into the canonical solution ``Chase(Sigma, I)``.  It is
+a *canonical solution* when it is isomorphic to the chase result.  The
+paper notes (§3) that both are justified solutions, and Proposition 1
+states that deciding "is ``J`` a universal solution for *some*
+source?" is NP-complete in ``|J|``.
+
+The pairwise tests here are exact.  The existential test searches
+sources among the inverse-chase candidates: every universal solution
+is justified, so its source is reached by some covering of ``J``, and
+the candidate whose final homomorphism grounds the backward instance
+the same way is checked directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data.instances import Instance
+from ..logic.homomorphisms import is_isomorphic, maps_into
+from ..logic.tgds import Mapping
+from ..chase.standard import chase, satisfies
+from .covers import CoverMode
+from .inverse_chase import inverse_chase_candidates
+
+
+def is_universal_solution_for(
+    mapping: Mapping, source: Instance, target: Instance
+) -> bool:
+    """Whether ``J`` is a universal solution for ``I`` under ``Sigma``."""
+    if not satisfies(source, target, mapping):
+        return False
+    canonical = chase(mapping, source, dedup="frontier").result
+    return maps_into(target, canonical)
+
+
+def is_canonical_solution_for(
+    mapping: Mapping, source: Instance, target: Instance
+) -> bool:
+    """Whether ``J`` is (isomorphic to) the canonical solution of ``I``.
+
+    The canonical solution is the chase result with one firing per
+    body homomorphism — the notion of [Gottlob & Nash] the paper cites.
+    """
+    return is_isomorphic(target, chase(mapping, source).result)
+
+
+def find_universal_source(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    cover_mode: CoverMode = "minimal",
+    max_covers: Optional[int] = None,
+    max_recoveries: Optional[int] = None,
+) -> Optional[Instance]:
+    """A source instance ``I`` for which ``J`` is a universal solution.
+
+    Searches the recoveries produced by the inverse chase (every
+    universal solution is justified, so candidate sources abound when
+    one exists); returns ``None`` when no searched candidate works.
+    The underlying decision problem is NP-complete (Proposition 1),
+    and this search inherits the inverse chase's budgets.
+    """
+    seen: set[Instance] = set()
+    for candidate in inverse_chase_candidates(
+        mapping,
+        target,
+        cover_mode=cover_mode,
+        max_covers=max_covers,
+        max_recoveries=max_recoveries,
+    ):
+        recovery = candidate.recovery
+        if recovery in seen:
+            continue
+        seen.add(recovery)
+        if is_universal_solution_for(mapping, recovery, target):
+            return recovery
+    return None
+
+
+def is_universal_solution_for_some_source(
+    mapping: Mapping,
+    target: Instance,
+    **options,
+) -> bool:
+    """Proposition 1's decision, via :func:`find_universal_source`."""
+    return find_universal_source(mapping, target, **options) is not None

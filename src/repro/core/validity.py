@@ -1,0 +1,72 @@
+"""The J-validity decision problem (Theorem 3).
+
+``J`` is valid for recovery under ``Sigma`` iff some source instance
+justifies it — equivalently (proof of Theorem 3) iff some covering
+``H in COV(Sigma, J)`` models ``SUB(Sigma)`` and survives the
+homomorphism gate of Definition 9.  The problem is NP-complete in
+``|J|``; the procedures below are the natural guess-and-check search
+with early exit, plus cheap necessary conditions used as fast paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..data.instances import Instance
+from ..logic.tgds import Mapping
+from .covers import CoverMode, is_coverable
+from .hom_sets import hom_set
+from .inverse_chase import inverse_chase_candidates
+from .subsumption import SubsumptionConstraint
+
+
+def is_valid_for_recovery(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    cover_mode: CoverMode = "minimal",
+    subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
+    max_covers: Optional[int] = None,
+) -> bool:
+    """Decide whether ``J`` is valid for recovery under ``Sigma``.
+
+    Fast path: if ``HOM(Sigma, J)`` does not even cover ``J``, no
+    covering exists and the answer is immediately negative.  Otherwise
+    the inverse chase is run lazily and stopped at the first emitted
+    recovery.
+    """
+    if target.is_empty:
+        # The empty target is justified by the empty source: there are
+        # no triggers and the empty instance is its own minimal solution.
+        return True
+    if not is_coverable(hom_set(mapping, target), target):
+        return False
+    for _ in inverse_chase_candidates(
+        mapping,
+        target,
+        cover_mode=cover_mode,
+        subsumption=subsumption,
+        max_covers=max_covers,
+    ):
+        return True
+    return False
+
+
+def find_recovery(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    cover_mode: CoverMode = "minimal",
+    subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
+    max_covers: Optional[int] = None,
+) -> Optional[Instance]:
+    """A witness recovery for ``J``, or ``None`` when ``J`` is invalid."""
+    for candidate in inverse_chase_candidates(
+        mapping,
+        target,
+        cover_mode=cover_mode,
+        subsumption=subsumption,
+        max_covers=max_covers,
+    ):
+        return candidate.recovery
+    return None

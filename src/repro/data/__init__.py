@@ -1,0 +1,66 @@
+"""Data model substrate: terms, atoms, schemas, substitutions, instances."""
+
+from .atoms import (
+    Atom,
+    atom,
+    atoms_constants,
+    atoms_nulls,
+    atoms_variables,
+    freeze_atoms,
+)
+from .instances import Instance, instance
+from .io import (
+    load_instance,
+    load_mapping,
+    load_query,
+    save_instance,
+    save_mapping,
+)
+from .schema import RelationSymbol, Schema, ensure_disjoint
+from .substitutions import IDENTITY, Substitution, merge
+from .terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Term,
+    Variable,
+    constant,
+    constants_in,
+    null,
+    nulls_in,
+    variable,
+    variables_in,
+)
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "IDENTITY",
+    "Instance",
+    "Null",
+    "NullFactory",
+    "RelationSymbol",
+    "Schema",
+    "Substitution",
+    "Term",
+    "Variable",
+    "atom",
+    "atoms_constants",
+    "atoms_nulls",
+    "atoms_variables",
+    "constant",
+    "constants_in",
+    "ensure_disjoint",
+    "freeze_atoms",
+    "instance",
+    "load_instance",
+    "load_mapping",
+    "load_query",
+    "merge",
+    "null",
+    "save_instance",
+    "save_mapping",
+    "nulls_in",
+    "variable",
+    "variables_in",
+]

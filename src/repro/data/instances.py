@@ -1,0 +1,231 @@
+"""Instances: immutable, indexed sets of facts.
+
+An :class:`Instance` stores a finite set of facts (atoms over constants
+and labeled nulls).  It maintains two indexes used heavily by the
+homomorphism engine:
+
+* a per-relation index (``facts_for``), and
+* a per-``(relation, position, term)`` index (``facts_matching``),
+  which answers "all ``R``-facts whose ``i``-th argument is ``t``"
+  in O(1) + output time.
+
+Instances are immutable; the algebraic operations (union, difference,
+substitution application) return new instances.  This keeps the many
+intermediate instances of the inverse chase safe to share and to use
+as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Optional
+
+from ..errors import SchemaError
+from .atoms import Atom
+from .schema import Schema
+from .terms import Constant, Null, Term, Variable
+
+
+class Instance:
+    """An immutable set of facts with lookup indexes."""
+
+    __slots__ = ("_facts", "_by_relation", "_position_index", "_hash")
+
+    def __init__(self, facts: Iterable[Atom] = (), schema: Optional[Schema] = None):
+        fact_set = frozenset(facts)
+        for fact in fact_set:
+            if not fact.is_fact:
+                raise SchemaError(
+                    f"instances may not contain variables, got {fact}"
+                )
+            if schema is not None:
+                schema.validate_atom(fact)
+        by_relation: dict[str, frozenset[Atom]] = {}
+        grouped: dict[str, set[Atom]] = {}
+        position_index: dict[tuple[str, int, Term], set[Atom]] = {}
+        for fact in fact_set:
+            grouped.setdefault(fact.relation, set()).add(fact)
+            for i, term in enumerate(fact.args):
+                position_index.setdefault((fact.relation, i, term), set()).add(fact)
+        for name, facts_of in grouped.items():
+            by_relation[name] = frozenset(facts_of)
+        object.__setattr__(self, "_facts", fact_set)
+        object.__setattr__(self, "_by_relation", by_relation)
+        object.__setattr__(
+            self,
+            "_position_index",
+            {k: frozenset(v) for k, v in position_index.items()},
+        )
+        object.__setattr__(self, "_hash", None)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Instance":
+        return _EMPTY
+
+    @classmethod
+    def of(cls, *facts: Atom) -> "Instance":
+        """Variadic constructor: ``Instance.of(atom(...), atom(...))``."""
+        return cls(facts)
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def facts(self) -> frozenset[Atom]:
+        return self._facts
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(self._by_relation)
+
+    def facts_for(self, relation: str) -> frozenset[Atom]:
+        """All facts of one relation (empty set when absent)."""
+        return self._by_relation.get(relation, frozenset())
+
+    def facts_matching(self, relation: str, position: int, term: Term) -> frozenset[Atom]:
+        """All ``relation``-facts whose ``position``-th argument equals ``term``."""
+        return self._position_index.get((relation, position, term), frozenset())
+
+    def candidates(
+        self,
+        pattern: Atom,
+        binding: Mapping[Term, Term],
+        mappable: Optional[Callable[[Term], bool]] = None,
+    ) -> frozenset[Atom]:
+        """Facts that could match ``pattern`` under the partial ``binding``.
+
+        Uses the most selective bound position of the pattern: rigid
+        terms, or mappable terms already bound, narrow the candidate
+        set through the position index.  An unconstrained pattern falls
+        back to the full relation.  ``mappable`` decides which pattern
+        terms the caller's homomorphism may remap (default: variables).
+        """
+        if mappable is None:
+            mappable = lambda term: isinstance(term, Variable)  # noqa: E731
+        best: Optional[frozenset[Atom]] = None
+        for i, term in enumerate(pattern.args):
+            lookup: Optional[Term]
+            if mappable(term):
+                lookup = binding.get(term)
+            else:
+                lookup = term
+            if lookup is None:
+                continue
+            found = self.facts_matching(pattern.relation, i, lookup)
+            if best is None or len(found) < len(best):
+                best = found
+                if not best:
+                    return best
+        if best is None:
+            return self.facts_for(pattern.relation)
+        return best
+
+    # -- domain --------------------------------------------------------------------
+
+    def domain(self) -> set[Term]:
+        """``dom(I)``: all constants and nulls occurring in the instance."""
+        result: set[Term] = set()
+        for fact in self._facts:
+            result.update(fact.args)
+        return result
+
+    def nulls(self) -> set[Null]:
+        """All labeled nulls occurring in the instance."""
+        return {t for t in self.domain() if isinstance(t, Null)}
+
+    def constants(self) -> set[Constant]:
+        """All constants occurring in the instance."""
+        return {t for t in self.domain() if isinstance(t, Constant)}
+
+    @property
+    def is_ground(self) -> bool:
+        """True when ``dom(I)`` contains only constants."""
+        return all(fact.is_ground for fact in self._facts)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._facts
+
+    # -- algebra ------------------------------------------------------------------------
+
+    def union(self, other: "Instance") -> "Instance":
+        return Instance(self._facts | other._facts)
+
+    def difference(self, other: "Instance") -> "Instance":
+        return Instance(self._facts - other._facts)
+
+    def intersection(self, other: "Instance") -> "Instance":
+        return Instance(self._facts & other._facts)
+
+    def with_facts(self, extra: Iterable[Atom]) -> "Instance":
+        return Instance(self._facts.union(extra))
+
+    def without_facts(self, removed: Iterable[Atom]) -> "Instance":
+        return Instance(self._facts.difference(removed))
+
+    def restrict_to_schema(self, schema: Schema) -> "Instance":
+        """Keep only the facts whose relation belongs to ``schema``."""
+        return Instance(f for f in self._facts if f.relation in schema)
+
+    def apply(self, mapping: Mapping[Term, Term]) -> "Instance":
+        """Apply a term mapping to every fact (e.g. a homomorphism image)."""
+        return Instance(fact.apply(mapping) for fact in self._facts)
+
+    def map_terms(self, fn: Callable[[Term], Term]) -> "Instance":
+        return Instance(fact.map_terms(fn) for fact in self._facts)
+
+    def issubset(self, other: "Instance") -> bool:
+        return self._facts <= other._facts
+
+    # -- dunder --------------------------------------------------------------------------
+
+    def __or__(self, other: "Instance") -> "Instance":
+        return self.union(other)
+
+    def __sub__(self, other: "Instance") -> "Instance":
+        return self.difference(other)
+
+    def __and__(self, other: "Instance") -> "Instance":
+        return self.intersection(other)
+
+    def __le__(self, other: "Instance") -> bool:
+        return self.issubset(other)
+
+    def __lt__(self, other: "Instance") -> bool:
+        return self._facts < other._facts
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(sorted(self._facts))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._facts)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(f) for f in self)
+        return "{" + inner + "}"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Instance is immutable")
+
+
+_EMPTY = Instance()
+
+
+def instance(*facts: Atom) -> Instance:
+    """Shorthand: ``instance(atom("R", "a"), atom("S", "b"))``."""
+    return Instance(facts)

@@ -1,0 +1,82 @@
+"""File I/O for mappings, instances and queries.
+
+Everything is stored in the textual DSL of :mod:`repro.logic.parser`,
+so files stay human-readable and diffable::
+
+    # orders.mapping
+    Order(cust, item) -> Shipment(item), Invoice(cust)
+    Gift(cust, item)  -> Shipment(item)
+
+    # warehouse.instance
+    Shipment(laptop), Invoice(ada)
+
+The loaders accept paths or open file objects; the savers write
+deterministically (facts sorted) so written instances are stable under
+round-trips.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+from ..logic.parser import (
+    format_instance,
+    parse_instance,
+    parse_query,
+    parse_tgds,
+)
+from ..logic.queries import Query
+from ..logic.tgds import Mapping
+from .instances import Instance
+
+PathLike = Union[str, Path, TextIO]
+
+
+def _read(source: PathLike) -> str:
+    if hasattr(source, "read"):
+        return source.read()  # type: ignore[union-attr]
+    return Path(source).read_text(encoding="utf-8")
+
+
+def _write(destination: PathLike, text: str) -> None:
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+        return
+    Path(destination).write_text(text, encoding="utf-8")
+
+
+def load_mapping(source: PathLike) -> Mapping:
+    """Load a mapping from a DSL file (one tgd per line; # comments)."""
+    return Mapping(parse_tgds(_read(source)))
+
+
+def load_instance(source: PathLike) -> Instance:
+    """Load an instance from a DSL file."""
+    return parse_instance(_read(source))
+
+
+def load_query(source: PathLike) -> Query:
+    """Load a CQ or UCQ from a DSL file (rules share a head predicate)."""
+    return parse_query(_read(source))
+
+
+def save_instance(instance: Instance, destination: PathLike) -> None:
+    """Write an instance deterministically, one fact per line."""
+    lines = [str(fact) for fact in instance]
+    _write(destination, "\n".join(lines) + ("\n" if lines else ""))
+
+
+def save_mapping(mapping: Mapping, destination: PathLike) -> None:
+    """Write a mapping, one tgd per line, with its assigned names."""
+    lines = []
+    for tgd in mapping:
+        body = ", ".join(str(a) for a in tgd.body)
+        head = ", ".join(str(a) for a in tgd.head)
+        lines.append(f"{body} -> {head}  # {tgd.name}")
+    _write(destination, "\n".join(lines) + "\n")
+
+
+def format_instance_text(instance: Instance) -> str:
+    """The single-line DSL rendering (re-export for convenience)."""
+    return format_instance(instance)

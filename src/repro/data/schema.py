@@ -1,0 +1,157 @@
+"""Relational schemas.
+
+A :class:`Schema` is a finite set of relation symbols with fixed
+arities.  Data exchange uses two disjoint schemas — the source schema
+``S`` and the target schema ``T`` — bundled by
+:class:`~repro.logic.tgds.Mapping`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping as TMapping, Optional
+
+from ..errors import SchemaError
+from .atoms import Atom
+
+
+class RelationSymbol:
+    """A relation name together with its fixed arity."""
+
+    __slots__ = ("_name", "_arity")
+
+    def __init__(self, name: str, arity: int):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if arity < 0:
+            raise SchemaError(f"arity of {name} must be non-negative, got {arity}")
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_arity", arity)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSymbol):
+            return NotImplemented
+        return self._name == other._name and self._arity == other._arity
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._arity))
+
+    def __repr__(self) -> str:
+        return f"{self._name}/{self._arity}"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("RelationSymbol is immutable")
+
+
+class Schema:
+    """An immutable collection of relation symbols keyed by name."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSymbol] = ()):
+        by_name: dict[str, RelationSymbol] = {}
+        for rel in relations:
+            existing = by_name.get(rel.name)
+            if existing is not None and existing.arity != rel.arity:
+                raise SchemaError(
+                    f"relation {rel.name} declared with arities "
+                    f"{existing.arity} and {rel.arity}"
+                )
+            by_name[rel.name] = rel
+        object.__setattr__(self, "_relations", by_name)
+
+    @classmethod
+    def from_arities(cls, arities: TMapping[str, int]) -> "Schema":
+        """Build a schema from a ``{name: arity}`` mapping."""
+        return cls(RelationSymbol(n, a) for n, a in arities.items())
+
+    @classmethod
+    def inferred_from_atoms(cls, atoms: Iterable[Atom]) -> "Schema":
+        """Infer a schema from atoms, checking arity consistency."""
+        arities: dict[str, int] = {}
+        for a in atoms:
+            known = arities.get(a.relation)
+            if known is not None and known != a.arity:
+                raise SchemaError(
+                    f"relation {a.relation} used with arities {known} and {a.arity}"
+                )
+            arities[a.relation] = a.arity
+        return cls.from_arities(arities)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(self._relations)
+
+    def arity(self, name: str) -> int:
+        try:
+            return self._relations[name].arity
+        except KeyError:
+            raise SchemaError(f"unknown relation {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(sorted(self._relations.values(), key=lambda r: r.name))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.values()))
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Raise :class:`SchemaError` unless ``atom`` conforms to the schema."""
+        if atom.relation not in self._relations:
+            raise SchemaError(f"atom {atom} uses unknown relation {atom.relation}")
+        expected = self._relations[atom.relation].arity
+        if atom.arity != expected:
+            raise SchemaError(
+                f"atom {atom} has arity {atom.arity}, schema expects {expected}"
+            )
+
+    def validate_atoms(self, atoms: Iterable[Atom]) -> None:
+        for a in atoms:
+            self.validate_atom(a)
+
+    def is_disjoint_from(self, other: "Schema") -> bool:
+        """True when the two schemas share no relation name."""
+        return not (self.relation_names & other.relation_names)
+
+    def union(self, other: "Schema") -> "Schema":
+        """The union schema; conflicting arities raise :class:`SchemaError`."""
+        return Schema(list(self._relations.values()) + list(other._relations.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(r) for r in self)
+        return f"Schema({{{inner}}})"
+
+
+def ensure_disjoint(source: Schema, target: Schema) -> None:
+    """Raise unless the source and target schemas are disjoint.
+
+    Data exchange requires ``S`` and ``T`` to share no relation symbol
+    (paper, §1); the overlap is reported in the error message.
+    """
+    overlap = source.relation_names & target.relation_names
+    if overlap:
+        raise SchemaError(
+            "source and target schemas must be disjoint; both contain "
+            + ", ".join(sorted(overlap))
+        )

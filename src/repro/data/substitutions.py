@@ -1,0 +1,172 @@
+"""Substitutions and homomorphism objects.
+
+A :class:`Substitution` is a finite mapping on terms.  The paper's
+homomorphisms are substitutions that are the identity on constants;
+:meth:`Substitution.is_homomorphism` checks exactly that.  Composition
+follows the paper's convention ``(f @ g)(x) = f(g(x))``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Union
+
+from .atoms import Atom
+from .terms import Constant, Null, Term, Variable
+
+
+class Substitution(Mapping[Term, Term]):
+    """An immutable finite mapping from terms to terms.
+
+    Lookup through :meth:`image` is *total*: terms outside the explicit
+    domain map to themselves, matching the convention that
+    homomorphisms are extended with the identity.
+    """
+
+    __slots__ = ("_map", "_hash")
+
+    def __init__(self, mapping: Optional[Mapping[Term, Term]] = None):
+        cleaned: dict[Term, Term] = {}
+        if mapping:
+            for key, value in mapping.items():
+                if not isinstance(key, Term) or not isinstance(value, Term):
+                    raise TypeError("substitution entries must be terms")
+                if key != value:
+                    cleaned[key] = value
+        object.__setattr__(self, "_map", cleaned)
+        object.__setattr__(self, "_hash", None)
+
+    # -- Mapping protocol -----------------------------------------------------
+
+    def __getitem__(self, key: Term) -> Term:
+        return self._map[key]
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    # -- application ------------------------------------------------------------
+
+    def image(self, term: Term) -> Term:
+        """The image of ``term``; identity outside the explicit domain."""
+        return self._map.get(term, term)
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to every argument of ``atom``."""
+        return atom.apply(self._map)
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> list[Atom]:
+        """Apply the substitution to a conjunction of atoms."""
+        return [self.apply_atom(a) for a in atoms]
+
+    def apply_tuple(self, terms: Iterable[Term]) -> tuple[Term, ...]:
+        """Apply the substitution pointwise to a tuple of terms."""
+        return tuple(self.image(t) for t in terms)
+
+    # -- algebra ------------------------------------------------------------------
+
+    def compose(self, inner: "Substitution") -> "Substitution":
+        """Return ``self @ inner``, i.e. apply ``inner`` first.
+
+        ``(self.compose(inner)).image(x) == self.image(inner.image(x))``.
+        """
+        combined: dict[Term, Term] = {}
+        for key, value in inner.items():
+            combined[key] = self.image(value)
+        for key, value in self._map.items():
+            combined.setdefault(key, value)
+        return Substitution(combined)
+
+    def __matmul__(self, inner: "Substitution") -> "Substitution":
+        return self.compose(inner)
+
+    def restrict(self, domain: Iterable[Term]) -> "Substitution":
+        """The restriction of the substitution to ``domain`` (paper: f|_S)."""
+        wanted = set(domain)
+        return Substitution({k: v for k, v in self._map.items() if k in wanted})
+
+    def extend(self, extra: Mapping[Term, Term]) -> "Substitution":
+        """A new substitution adding ``extra``; conflicts raise ``ValueError``."""
+        combined = dict(self._map)
+        for key, value in extra.items():
+            existing = combined.get(key)
+            if existing is not None and existing != value:
+                raise ValueError(
+                    f"conflicting binding for {key}: {existing} vs {value}"
+                )
+            combined[key] = value
+        return Substitution(combined)
+
+    def without(self, keys: Iterable[Term]) -> "Substitution":
+        """A new substitution with ``keys`` removed from the domain."""
+        dropped = set(keys)
+        return Substitution({k: v for k, v in self._map.items() if k not in dropped})
+
+    # -- predicates ------------------------------------------------------------------
+
+    @property
+    def is_homomorphism(self) -> bool:
+        """True when the mapping is the identity on constants."""
+        return all(not isinstance(k, Constant) for k in self._map)
+
+    @property
+    def is_injective(self) -> bool:
+        """True when no two domain elements share an image."""
+        values = list(self._map.values())
+        return len(values) == len(set(values))
+
+    @property
+    def is_variable_renaming(self) -> bool:
+        """True when the mapping injectively sends variables to variables."""
+        return self.is_injective and all(
+            isinstance(k, Variable) and isinstance(v, Variable)
+            for k, v in self._map.items()
+        )
+
+    def agrees_with(self, other: "Substitution") -> bool:
+        """True when the two substitutions agree on shared domain elements."""
+        small, large = (
+            (self._map, other._map)
+            if len(self._map) <= len(other._map)
+            else (other._map, self._map)
+        )
+        return all(large.get(k, v) == v for k, v in small.items())
+
+    # -- dunder ------------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._map == other._map
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._map.items()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}/{v}" for k, v in sorted(self._map.items(), key=lambda kv: kv[0])
+        )
+        return "{" + inner + "}"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Substitution is immutable")
+
+
+IDENTITY = Substitution()
+
+
+def merge(subs: Iterable[Substitution]) -> Optional[Substitution]:
+    """Merge substitutions into one; ``None`` when they conflict."""
+    combined: dict[Term, Term] = {}
+    for sub in subs:
+        for key, value in sub.items():
+            existing = combined.get(key)
+            if existing is not None and existing != value:
+                return None
+            combined[key] = value
+    return Substitution(combined)

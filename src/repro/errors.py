@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so a
+caller can catch everything produced by this package with one clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """An atom, instance or dependency violates a schema declaration.
+
+    Raised for arity mismatches, unknown relation symbols, and
+    source/target schemas that are not disjoint.
+    """
+
+
+class ParseError(ReproError):
+    """The textual dependency / instance / query DSL could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        self.text = text
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position} in {text!r})"
+        super().__init__(message)
+
+
+class DependencyError(ReproError):
+    """A tuple-generating dependency is malformed.
+
+    Examples: a head that mentions no body variable where one is
+    required, an s-t tgd whose body uses target relations, or two
+    dependencies of one mapping sharing variables.
+    """
+
+
+class NotRecoverableError(ReproError):
+    """The target instance is not valid for recovery under the mapping.
+
+    Per Definition 3 of the paper, a target instance ``J`` is *valid for
+    recovery* under ``Sigma`` only if some source instance justifies it.
+    Operations that require a recoverable target raise this error
+    otherwise.
+    """
+
+
+class ChaseError(ReproError):
+    """The chase could not be executed (internal invariant violation)."""
+
+
+class BudgetExceededError(ReproError):
+    """An enumeration exceeded its configured budget.
+
+    The inverse chase and covering enumeration are worst-case
+    exponential; callers can bound them, and this error signals the
+    bound was hit rather than silently truncating the result.
+    """
+
+    def __init__(self, what: str, limit: int):
+        self.what = what
+        self.limit = limit
+        super().__init__(f"{what} exceeded configured limit of {limit}")

@@ -1,0 +1,125 @@
+"""Human-readable diagnostics for recovery decisions.
+
+The library's predicates answer *whether* (`is_recovery`,
+`is_valid_for_recovery`); this module answers *why not*, which is what
+an operator debugging a failed restore actually needs:
+
+* :func:`explain_recovery` — why a candidate source instance is or is
+  not a recovery of a target: the violated triggers (model failures),
+  the uncovered target facts (justification failures), or the minimal
+  solution witnessing success.
+* :func:`explain_validity` — why a target is or is not valid for
+  recovery: the uncoverable facts, the subsumption constraints that
+  refute every covering, or a witness recovery.
+
+Both return small result objects whose ``str()`` is a report; the CLI's
+``validate`` command uses the same building blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .chase.standard import violated_triggers
+from .core.covers import coverage_index, is_coverable
+from .core.hom_sets import hom_set
+from .core.inverse_chase import inverse_chase_candidates
+from .core.semantics import is_justified
+from .core.subsumption import minimal_subsumers, models_all
+from .data.atoms import Atom
+from .data.instances import Instance
+from .data.substitutions import Substitution
+from .logic.tgds import TGD, Mapping
+
+
+@dataclass(frozen=True)
+class RecoveryExplanation:
+    """The verdict on one candidate source instance."""
+
+    is_recovery: bool
+    #: Triggers of the source whose head has no witness in the target.
+    violations: list[tuple[TGD, Substitution]] = field(default_factory=list)
+    #: Whether the target failed the justification condition
+    #: (Definition 2's homomorphism into a minimal solution).
+    unjustified: bool = False
+
+    def __str__(self) -> str:
+        if self.is_recovery:
+            return "the candidate is a recovery: it is a model with the target and justifies every target fact"
+        lines = ["the candidate is NOT a recovery:"]
+        for tgd, binding in self.violations:
+            lines.append(
+                f"  - firing {tgd.name or tgd!r} with {binding} requires target "
+                "facts that are absent"
+            )
+        if self.unjustified:
+            lines.append(
+                "  - the target does not map into any minimal solution of the "
+                "candidate: some target fact is unexplained or witnesses conflict"
+            )
+        return "\n".join(lines)
+
+
+def explain_recovery(
+    mapping: Mapping, source: Instance, target: Instance
+) -> RecoveryExplanation:
+    """Diagnose Definition 3 membership for a candidate source instance."""
+    violations = violated_triggers(source, target, mapping)
+    if violations:
+        return RecoveryExplanation(False, violations=violations)
+    if is_justified(mapping, source, target):
+        return RecoveryExplanation(True)
+    return RecoveryExplanation(False, unjustified=True)
+
+
+@dataclass(frozen=True)
+class ValidityExplanation:
+    """The verdict on a target instance."""
+
+    is_valid: bool
+    witness: Optional[Instance] = None
+    #: Facts no homomorphism of HOM(Sigma, J) covers.
+    uncoverable: list[Atom] = field(default_factory=list)
+    #: Whether coverings exist but every one is refuted by SUB(Sigma)
+    #: or by the justification gate.
+    coverings_refuted: bool = False
+
+    def __str__(self) -> str:
+        if self.is_valid:
+            return f"valid for recovery; witness source: {self.witness!r}"
+        lines = ["NOT valid for recovery:"]
+        for fact in self.uncoverable:
+            lines.append(
+                f"  - {fact} cannot be produced by any rule application "
+                "(wrong relation, or the rule's other effects are absent)"
+            )
+        if self.coverings_refuted:
+            lines.append(
+                "  - every covering of the target is refuted: recovering its "
+                "facts would force forward consequences the target lacks"
+            )
+        return "\n".join(lines)
+
+
+def explain_validity(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    max_covers: Optional[int] = 2000,
+) -> ValidityExplanation:
+    """Diagnose the J-validity decision (Theorem 3)."""
+    if target.is_empty:
+        return ValidityExplanation(True, witness=Instance.empty())
+    homs = hom_set(mapping, target)
+    index = coverage_index(homs, target)
+    uncoverable = sorted(
+        fact for fact, coverers in index.items() if not coverers
+    )
+    if uncoverable:
+        return ValidityExplanation(False, uncoverable=uncoverable)
+    for candidate in inverse_chase_candidates(
+        mapping, target, max_covers=max_covers
+    ):
+        return ValidityExplanation(True, witness=candidate.recovery)
+    return ValidityExplanation(False, coverings_refuted=True)

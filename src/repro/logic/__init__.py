@@ -1,0 +1,68 @@
+"""Logic substrate: tgds, queries, the homomorphism engine and the parser."""
+
+from .containment import (
+    canonical_instance,
+    cq_contained_in,
+    cq_equivalent,
+    minimize_cq,
+    minimize_ucq,
+    ucq_contained_in,
+    ucq_equivalent,
+)
+from .homomorphisms import (
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+    homomorphisms,
+    instance_homomorphisms,
+    is_isomorphic,
+    maps_into,
+    sets_homomorphically_equivalent,
+    sets_map_into,
+)
+from .parser import (
+    format_instance,
+    parse_instance,
+    parse_query,
+    parse_tgd,
+    parse_tgds,
+)
+from .queries import (
+    ConjunctiveQuery,
+    Query,
+    UnionOfConjunctiveQueries,
+    as_ucq,
+    cq,
+)
+from .tgds import TGD, Mapping
+
+__all__ = [
+    "ConjunctiveQuery",
+    "Mapping",
+    "Query",
+    "TGD",
+    "UnionOfConjunctiveQueries",
+    "as_ucq",
+    "canonical_instance",
+    "cq_contained_in",
+    "cq_equivalent",
+    "cq",
+    "find_homomorphism",
+    "format_instance",
+    "has_homomorphism",
+    "homomorphically_equivalent",
+    "homomorphisms",
+    "instance_homomorphisms",
+    "is_isomorphic",
+    "maps_into",
+    "minimize_cq",
+    "minimize_ucq",
+    "parse_instance",
+    "parse_query",
+    "parse_tgd",
+    "parse_tgds",
+    "sets_homomorphically_equivalent",
+    "sets_map_into",
+    "ucq_contained_in",
+    "ucq_equivalent",
+]

@@ -1,0 +1,127 @@
+"""Conjunctive-query containment and minimization.
+
+Classic Chandra-Merlin machinery, used by the library to compare
+queries across recovery methods and to present minimized queries:
+
+* ``Q1 subseteq Q2`` iff there is a containment mapping from ``Q2``
+  into the *canonical instance* of ``Q1`` (body frozen, head variables
+  as distinguished constants);
+* a CQ is minimized by computing the core of its body relative to the
+  head variables.
+
+For UCQs, ``U1 subseteq U2`` iff every disjunct of ``U1`` is contained
+in some disjunct of ``U2`` (Sagiv-Yannakakis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.terms import Constant, Null, Term, Variable
+from ..logic.homomorphisms import homomorphisms
+from .queries import (
+    ConjunctiveQuery,
+    Query,
+    UnionOfConjunctiveQueries,
+    as_ucq,
+)
+
+
+def canonical_instance(query: ConjunctiveQuery) -> tuple[Instance, list[Constant]]:
+    """The frozen body of ``query``.
+
+    Head variables freeze to distinguished constants ``@h0, @h1, ...``
+    (returned alongside), other variables to labeled nulls — the
+    canonical database of the Chandra-Merlin test.
+    """
+    head_constants = [
+        Constant(f"@h{i}") for i in range(len(query.head_vars))
+    ]
+    mapping: dict[Term, Term] = dict(zip(query.head_vars, head_constants))
+    for var in sorted(query.variables):
+        if var not in mapping:
+            mapping[var] = Null(f"q_{var.name}")
+    facts = [atom.apply(mapping) for atom in query.body]
+    return Instance(facts), head_constants
+
+
+def cq_contained_in(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Whether ``left subseteq right`` (every answer of left is one of right)."""
+    if left.arity != right.arity:
+        return False
+    frozen, head_constants = canonical_instance(left)
+    base = dict(zip(right.head_vars, head_constants))
+    try:
+        for _ in homomorphisms(right.body, frozen, base=base):
+            return True
+    except ValueError:
+        return False
+    return False
+
+
+def cq_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Chandra-Merlin equivalence of two CQs."""
+    return cq_contained_in(left, right) and cq_contained_in(right, left)
+
+
+def ucq_contained_in(left: Query, right: Query) -> bool:
+    """Sagiv-Yannakakis: every left disjunct below some right disjunct."""
+    left_u, right_u = as_ucq(left), as_ucq(right)
+    if left_u.arity != right_u.arity:
+        return False
+    return all(
+        any(cq_contained_in(l, r) for r in right_u.disjuncts)
+        for l in left_u.disjuncts
+    )
+
+
+def ucq_equivalent(left: Query, right: Query) -> bool:
+    return ucq_contained_in(left, right) and ucq_contained_in(right, left)
+
+
+def minimize_cq(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The minimal equivalent CQ (the core of the body).
+
+    Repeatedly tries to drop a body atom while an equivalence-
+    preserving folding of the remaining body exists; the result is
+    unique up to variable renaming.
+    """
+    body = list(query.body)
+    changed = True
+    while changed:
+        changed = False
+        for i, dropped in enumerate(body):
+            candidate = body[:i] + body[i + 1 :]
+            if not candidate:
+                continue
+            remaining_vars = set()
+            for atom in candidate:
+                remaining_vars |= atom.variables
+            if not set(query.head_vars) <= remaining_vars:
+                continue  # dropping would orphan a head variable
+            reduced = ConjunctiveQuery(query.head_vars, candidate)
+            if cq_equivalent(query, reduced):
+                body = candidate
+                changed = True
+                break
+    return ConjunctiveQuery(query.head_vars, body, name=query.name)
+
+
+def minimize_ucq(query: Query) -> UnionOfConjunctiveQueries:
+    """Minimize each disjunct and drop disjuncts subsumed by others."""
+    minimized = [minimize_cq(cq) for cq in as_ucq(query).disjuncts]
+    kept: list[ConjunctiveQuery] = []
+    for i, candidate in enumerate(minimized):
+        redundant = False
+        for j, other in enumerate(minimized):
+            if i == j or not cq_contained_in(candidate, other):
+                continue
+            # Strictly larger disjunct, or an equivalent earlier one.
+            if not cq_contained_in(other, candidate) or j < i:
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    return UnionOfConjunctiveQueries(kept, name=as_ucq(query).name)

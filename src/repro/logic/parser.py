@@ -1,0 +1,260 @@
+"""A small text DSL for dependencies, instances and queries.
+
+The notation follows the paper as closely as plain text allows::
+
+    # a mapping (one tgd per line or separated by ';')
+    R(x, x, y) -> S(x, z)           # head-only variables are existential
+    R(u, v, w) -> T(v)
+    D(k, p)    -> T(p)
+
+    # an instance (facts separated by ',', ';' or newlines)
+    S(a, b), T(c), T(d)             # bare identifiers are constants
+    R(a, a, ?X1)                    # ?label (or _label) is a labeled null
+
+    # a query; several rules with the same head form a UCQ
+    q(x) :- R(x, y)
+    q(x) :- D(x, p)
+
+Conventions:
+
+* In **dependencies and queries** bare identifiers denote *variables*;
+  constants are written quoted (``'a'`` / ``"a"``) or as numbers.
+* In **instances** bare identifiers denote *constants*; nulls are
+  written ``?label`` or ``_label``.
+* Comments run from ``#`` or ``--`` to the end of the line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.terms import Constant, Null, Term, Variable
+from ..errors import ParseError
+from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+from .tgds import TGD
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|--[^\n]*)
+  | (?P<arrow>->)
+  | (?P<implies>:-)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+)
+  | (?P<null>[?_][A-Za-z0-9_]+)
+  | (?P<ident>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<punct>[(),;|])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError("unexpected character", text, pos)
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _TokenStream:
+    """A cursor over the token list with one-token lookahead."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    def peek(self) -> Optional[_Token]:
+        if self.exhausted:
+            return None
+        return self._tokens[self._index]
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self._text, len(self._text))
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}", self._text, token.position
+            )
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token is not None and token.kind == kind and (
+            text is None or token.text == text
+        ):
+            self._index += 1
+            return token
+        return None
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        position = token.position if token else len(self._text)
+        return ParseError(message, self._text, position)
+
+
+def _parse_term(stream: _TokenStream, *, rule_context: bool) -> Term:
+    token = stream.next()
+    if token.kind == "string":
+        return Constant(token.text[1:-1])
+    if token.kind == "number":
+        return Constant(int(token.text))
+    if token.kind == "null":
+        return Null(token.text[1:])
+    if token.kind == "ident":
+        if rule_context:
+            return Variable(token.text)
+        return Constant(token.text)
+    raise ParseError(
+        f"expected a term, found {token.text!r}", stream._text, token.position
+    )
+
+
+def _parse_atom(stream: _TokenStream, *, rule_context: bool) -> Atom:
+    name = stream.expect("ident")
+    stream.expect("punct", "(")
+    args: list[Term] = []
+    if not stream.accept("punct", ")"):
+        args.append(_parse_term(stream, rule_context=rule_context))
+        while stream.accept("punct", ","):
+            args.append(_parse_term(stream, rule_context=rule_context))
+        stream.expect("punct", ")")
+    return Atom(name.text, args)
+
+
+def _parse_atom_list(stream: _TokenStream, *, rule_context: bool) -> list[Atom]:
+    atoms = [_parse_atom(stream, rule_context=rule_context)]
+    while True:
+        checkpoint = stream._index
+        if not stream.accept("punct", ","):
+            break
+        token = stream.peek()
+        if token is None or token.kind != "ident":
+            stream._index = checkpoint
+            break
+        atoms.append(_parse_atom(stream, rule_context=rule_context))
+    return atoms
+
+
+def _skip_separators(stream: _TokenStream) -> None:
+    while stream.accept("punct", ";") or stream.accept("punct", ","):
+        pass
+
+
+def parse_tgd(text: str) -> TGD:
+    """Parse a single tgd, e.g. ``"R(x, y) -> S(x), T(y)"``."""
+    stream = _TokenStream(text)
+    tgd = _parse_one_tgd(stream)
+    _skip_separators(stream)
+    if not stream.exhausted:
+        raise stream.error("trailing input after tgd")
+    return tgd
+
+
+def _parse_one_tgd(stream: _TokenStream) -> TGD:
+    body = _parse_atom_list(stream, rule_context=True)
+    stream.expect("arrow")
+    head = _parse_atom_list(stream, rule_context=True)
+    return TGD(body, head)
+
+
+def parse_tgds(text: str) -> list[TGD]:
+    """Parse a sequence of tgds separated by ``;`` or newlines."""
+    stream = _TokenStream(text)
+    tgds: list[TGD] = []
+    _skip_separators(stream)
+    while not stream.exhausted:
+        tgds.append(_parse_one_tgd(stream))
+        _skip_separators(stream)
+    if not tgds:
+        raise ParseError("no tgds found", text, 0)
+    return tgds
+
+
+def parse_instance(text: str) -> Instance:
+    """Parse an instance, e.g. ``"S(a, b), T(c), R(a, ?X)"``."""
+    stream = _TokenStream(text)
+    facts: list[Atom] = []
+    _skip_separators(stream)
+    while not stream.exhausted:
+        facts.append(_parse_atom(stream, rule_context=False))
+        _skip_separators(stream)
+    return Instance(facts)
+
+
+def parse_query(text: str) -> ConjunctiveQuery | UnionOfConjunctiveQueries:
+    """Parse a query; several rules with one head name form a UCQ.
+
+    Returns a :class:`ConjunctiveQuery` when the text contains a single
+    rule and a :class:`UnionOfConjunctiveQueries` otherwise.
+    """
+    stream = _TokenStream(text)
+    rules: list[tuple[str, ConjunctiveQuery]] = []
+    _skip_separators(stream)
+    while not stream.exhausted:
+        head = _parse_atom(stream, rule_context=True)
+        stream.expect("implies")
+        body = _parse_atom_list(stream, rule_context=True)
+        head_vars: list[Variable] = []
+        for term in head.args:
+            if not isinstance(term, Variable):
+                raise stream.error(
+                    f"query head arguments must be variables, got {term}"
+                )
+            head_vars.append(term)
+        rules.append(
+            (head.relation, ConjunctiveQuery(head_vars, body, name=head.relation))
+        )
+        _skip_separators(stream)
+    if not rules:
+        raise ParseError("no query rules found", text, 0)
+    names = {name for name, _ in rules}
+    if len(names) > 1:
+        raise ParseError(
+            f"all query rules must share one head predicate, got {sorted(names)}",
+            text,
+            0,
+        )
+    if len(rules) == 1:
+        return rules[0][1]
+    return UnionOfConjunctiveQueries(
+        [query for _, query in rules], name=rules[0][0]
+    )
+
+
+def format_instance(instance: Instance) -> str:
+    """Render an instance in the DSL's syntax (inverse of parse_instance)."""
+    return ", ".join(str(fact) for fact in instance)

@@ -1,0 +1,309 @@
+"""Tuple-generating dependencies and schema mappings.
+
+A source-to-target tgd (s-t tgd) is a first-order sentence
+
+    forall x,y ( alpha(x, y)  ->  exists z  beta(x, z) )
+
+where ``alpha`` (the *body*) is a conjunction of source atoms and
+``beta`` (the *head*) a conjunction of target atoms.  We represent the
+quantifier structure implicitly through variable occurrence:
+
+* *frontier* variables ``x`` occur in both body and head,
+* *body-only* variables ``y`` occur only in the body, and
+* *existential* variables ``z`` occur only in the head.
+
+A tgd is **full** when it has no existential variables and
+**quasi-guarded** when it has no body-only variables (paper, §2).  The
+*reverse* of a tgd swaps body and head, so body-only variables become
+existential — reversing a quasi-guarded tgd yields a full tgd.
+
+A :class:`Mapping` bundles the source schema, the target schema and a
+set of s-t tgds, enforcing the paper's standing assumptions: disjoint
+schemas, and no two tgds sharing a variable (tgds are renamed apart on
+construction when necessary).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..data.atoms import Atom, atoms_variables
+from ..data.schema import Schema, ensure_disjoint
+from ..data.substitutions import Substitution
+from ..data.terms import Term, Variable
+from ..errors import DependencyError
+
+
+class TGD:
+    """An immutable tuple-generating dependency ``body -> head``."""
+
+    __slots__ = ("_body", "_head", "_name", "_hash")
+
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        head: Sequence[Atom],
+        name: Optional[str] = None,
+    ):
+        body = tuple(body)
+        head = tuple(head)
+        if not body:
+            raise DependencyError("a tgd must have a non-empty body")
+        if not head:
+            raise DependencyError("a tgd must have a non-empty head")
+        for atom_ in body + head:
+            if atom_.nulls:
+                raise DependencyError(
+                    f"tgds may not contain nulls, found {atom_}"
+                )
+        object.__setattr__(self, "_body", body)
+        object.__setattr__(self, "_head", head)
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_hash", hash((body, head)))
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def body(self) -> tuple[Atom, ...]:
+        """The body conjunction ``alpha`` (paper: ``body(xi)``)."""
+        return self._body
+
+    @property
+    def head(self) -> tuple[Atom, ...]:
+        """The head conjunction ``beta`` (paper: ``head(xi)``)."""
+        return self._head
+
+    @property
+    def name(self) -> Optional[str]:
+        """Optional identifier used in printed output (e.g. ``xi1``)."""
+        return self._name
+
+    @property
+    def body_variables(self) -> set[Variable]:
+        return atoms_variables(self._body)
+
+    @property
+    def head_variables(self) -> set[Variable]:
+        return atoms_variables(self._head)
+
+    @property
+    def variables(self) -> set[Variable]:
+        """``vars(xi)``: all variables of the dependency."""
+        return self.body_variables | self.head_variables
+
+    @property
+    def frontier_variables(self) -> set[Variable]:
+        """Variables shared by body and head (the ``x`` of the paper)."""
+        return self.body_variables & self.head_variables
+
+    @property
+    def existential_variables(self) -> set[Variable]:
+        """Head-only variables (the ``z`` of the paper)."""
+        return self.head_variables - self.body_variables
+
+    @property
+    def body_only_variables(self) -> set[Variable]:
+        """Body-only variables (the ``y`` of the paper)."""
+        return self.body_variables - self.head_variables
+
+    @property
+    def is_full(self) -> bool:
+        """True when the tgd has no existential variables."""
+        return not self.existential_variables
+
+    @property
+    def is_quasi_guarded(self) -> bool:
+        """True when the tgd has no body-only variables."""
+        return not self.body_only_variables
+
+    @property
+    def body_relations(self) -> frozenset[str]:
+        return frozenset(a.relation for a in self._body)
+
+    @property
+    def head_relations(self) -> frozenset[str]:
+        return frozenset(a.relation for a in self._head)
+
+    # -- transformation ---------------------------------------------------------
+
+    def reverse(self) -> "TGD":
+        """The reverse tgd ``xi^{-1}`` (head becomes body and vice versa)."""
+        name = f"{self._name}^-1" if self._name else None
+        return TGD(self._head, self._body, name=name)
+
+    def rename_variables(self, renaming: Substitution) -> "TGD":
+        """Apply a variable renaming to body and head."""
+        if not renaming.is_variable_renaming:
+            raise DependencyError("tgd renaming must be an injective variable map")
+        return TGD(
+            renaming.apply_atoms(self._body),
+            renaming.apply_atoms(self._head),
+            name=self._name,
+        )
+
+    def rename_apart(self, taken: set[Variable], suffix: str) -> "TGD":
+        """Rename variables clashing with ``taken`` by appending ``suffix``."""
+        clashes = self.variables & taken
+        if not clashes:
+            return self
+        mapping: dict[Term, Term] = {}
+        existing = self.variables | taken
+        for var in sorted(clashes):
+            candidate = Variable(f"{var.name}{suffix}")
+            bump = 0
+            while candidate in existing:
+                bump += 1
+                candidate = Variable(f"{var.name}{suffix}_{bump}")
+            mapping[var] = candidate
+            existing.add(candidate)
+        return self.rename_variables(Substitution(mapping))
+
+    def with_name(self, name: str) -> "TGD":
+        return TGD(self._body, self._head, name=name)
+
+    # -- dunder ----------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TGD):
+            return NotImplemented
+        return self._body == other._body and self._head == other._head
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        label = f"{self._name}: " if self._name else ""
+        body = ", ".join(str(a) for a in self._body)
+        head = ", ".join(str(a) for a in self._head)
+        return f"{label}{body} -> {head}"
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("TGD is immutable")
+
+
+class Mapping:
+    """A data-exchange mapping ``M = (S, T, Sigma)``.
+
+    ``Sigma`` is a finite set of s-t tgds.  The constructor renames
+    tgds apart (no shared variables, paper's standing assumption) and
+    assigns default names ``xi1, xi2, ...`` to unnamed dependencies.
+    Schemas may be supplied explicitly; otherwise they are inferred
+    from the dependencies.
+    """
+
+    __slots__ = ("_tgds", "_source_schema", "_target_schema")
+
+    def __init__(
+        self,
+        tgds: Iterable[TGD],
+        source_schema: Optional[Schema] = None,
+        target_schema: Optional[Schema] = None,
+    ):
+        renamed: list[TGD] = []
+        taken: set[Variable] = set()
+        for i, tgd in enumerate(tgds, start=1):
+            tgd = tgd.rename_apart(taken, suffix=f"#{i}")
+            if tgd.name is None:
+                tgd = tgd.with_name(f"xi{i}")
+            taken |= tgd.variables
+            renamed.append(tgd)
+        if not renamed:
+            raise DependencyError("a mapping needs at least one tgd")
+        names = [t.name for t in renamed]
+        if len(set(names)) != len(names):
+            raise DependencyError(f"duplicate tgd names in mapping: {names}")
+
+        body_atoms = [a for t in renamed for a in t.body]
+        head_atoms = [a for t in renamed for a in t.head]
+        if source_schema is None:
+            source_schema = Schema.inferred_from_atoms(body_atoms)
+        if target_schema is None:
+            target_schema = Schema.inferred_from_atoms(head_atoms)
+        ensure_disjoint(source_schema, target_schema)
+        source_schema.validate_atoms(body_atoms)
+        target_schema.validate_atoms(head_atoms)
+
+        object.__setattr__(self, "_tgds", tuple(renamed))
+        object.__setattr__(self, "_source_schema", source_schema)
+        object.__setattr__(self, "_target_schema", target_schema)
+
+    # -- access --------------------------------------------------------------------
+
+    @property
+    def tgds(self) -> tuple[TGD, ...]:
+        return self._tgds
+
+    @property
+    def source_schema(self) -> Schema:
+        return self._source_schema
+
+    @property
+    def target_schema(self) -> Schema:
+        return self._target_schema
+
+    def tgd_named(self, name: str) -> TGD:
+        for tgd in self._tgds:
+            if tgd.name == name:
+                return tgd
+        raise KeyError(f"no tgd named {name} in mapping")
+
+    def __iter__(self) -> Iterator[TGD]:
+        return iter(self._tgds)
+
+    def __len__(self) -> int:
+        return len(self._tgds)
+
+    # -- properties of the dependency set --------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        """True when every tgd is full."""
+        return all(t.is_full for t in self._tgds)
+
+    @property
+    def is_quasi_guarded(self) -> bool:
+        """True when every tgd is quasi-guarded."""
+        return all(t.is_quasi_guarded for t in self._tgds)
+
+    @property
+    def max_head_variables(self) -> int:
+        """``k`` in the paper's complexity bounds."""
+        return max(len(t.head_variables) for t in self._tgds)
+
+    @property
+    def max_body_variables(self) -> int:
+        """``j`` in the paper's complexity bounds."""
+        return max(len(t.body_variables) for t in self._tgds)
+
+    # -- transformation -----------------------------------------------------------------
+
+    def reversed_tgds(self) -> tuple[TGD, ...]:
+        """``Sigma^{-1}``: every tgd with its arrow inverted."""
+        return tuple(t.reverse() for t in self._tgds)
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        source_schema: Optional[Schema] = None,
+        target_schema: Optional[Schema] = None,
+    ) -> "Mapping":
+        """Parse a mapping from the textual DSL (see :mod:`repro.logic.parser`)."""
+        from .parser import parse_tgds
+
+        return cls(parse_tgds(text), source_schema, target_schema)
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(t) for t in self._tgds)
+        return f"Mapping[{inner}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return set(self._tgds) == set(other._tgds)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._tgds))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Mapping is immutable")

@@ -1,0 +1,59 @@
+"""Plain-text tables for the benchmark harness.
+
+Every benchmark prints a table comparing the paper's stated artifact
+(an instance, an answer set, a count) with the measured one, using the
+helpers below, so ``pytest benchmarks/ --benchmark-only -s`` doubles as
+the reproduction report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .data.instances import Instance
+from .data.terms import Term
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+".join("-" * (w + 2) for w in widths)
+    line = f"+{line}+"
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        inner = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return f"| {inner} |"
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line)
+    parts.append(fmt_row(list(headers)))
+    parts.append(line)
+    for row in rendered:
+        parts.append(fmt_row(row))
+    parts.append(line)
+    return "\n".join(parts)
+
+
+def format_answers(answers: Iterable[tuple[Term, ...]]) -> str:
+    """Render a set of query answers deterministically."""
+    rendered = sorted(
+        "(" + ", ".join(str(t) for t in answer) + ")" for answer in answers
+    )
+    return "{" + ", ".join(rendered) + "}"
+
+
+def format_instances(instances: Iterable[Instance], limit: int = 10) -> str:
+    """Render a set of instances, eliding after ``limit`` entries."""
+    listed = list(instances)
+    lines = [f"  {instance!r}" for instance in listed[:limit]]
+    if len(listed) > limit:
+        lines.append(f"  ... and {len(listed) - limit} more")
+    return "\n".join(lines)

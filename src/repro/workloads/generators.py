@@ -1,0 +1,209 @@
+"""Seeded synthetic workload generators.
+
+The paper has no published workloads; the benchmarks generate
+ChaseBench-style synthetic exchanges instead: draw a random mapping,
+draw a random ground source instance, chase it forward, and hand the
+resulting target to the recovery algorithms.  A target produced this
+way is always valid for recovery (the canonical universal solution is
+justified by its source), while :func:`corrupted_target` manufactures
+likely-invalid targets for the J-validity benchmarks.
+
+All generators take an explicit :class:`random.Random` or seed so every
+experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Union
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.schema import Schema
+from ..data.terms import Constant, Variable
+from ..logic.tgds import TGD, Mapping
+from ..chase.standard import chase
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_mapping(
+    seed: RandomLike = None,
+    *,
+    source_relations: int = 3,
+    target_relations: int = 3,
+    tgds: int = 3,
+    max_arity: int = 3,
+    max_body_atoms: int = 2,
+    max_head_atoms: int = 2,
+    existential_probability: float = 0.3,
+) -> Mapping:
+    """A random s-t mapping.
+
+    Source relations are named ``S0, S1, ...`` and target relations
+    ``T0, T1, ...``.  Bodies draw variables from a shared pool so atoms
+    join; each head variable is a body (frontier) variable or, with
+    ``existential_probability``, a fresh existential one.
+    """
+    rng = _rng(seed)
+    source_arity = {
+        f"S{i}": rng.randint(1, max_arity) for i in range(source_relations)
+    }
+    target_arity = {
+        f"T{i}": rng.randint(1, max_arity) for i in range(target_relations)
+    }
+    dependencies: list[TGD] = []
+    for t in range(tgds):
+        pool = [Variable(f"v{t}_{i}") for i in range(max_arity * max_body_atoms)]
+        body: list[Atom] = []
+        for _ in range(rng.randint(1, max_body_atoms)):
+            name = rng.choice(sorted(source_arity))
+            body.append(
+                Atom(name, [rng.choice(pool) for _ in range(source_arity[name])])
+            )
+        body_vars = sorted({v for a in body for v in a.variables})
+        head: list[Atom] = []
+        existential_count = 0
+        for _ in range(rng.randint(1, max_head_atoms)):
+            name = rng.choice(sorted(target_arity))
+            args: list[Variable] = []
+            for _ in range(target_arity[name]):
+                if rng.random() < existential_probability:
+                    existential_count += 1
+                    args.append(Variable(f"z{t}_{existential_count}"))
+                else:
+                    args.append(rng.choice(body_vars))
+            head.append(Atom(name, args))
+        dependencies.append(TGD(body, head))
+    return Mapping(
+        dependencies,
+        source_schema=Schema.from_arities(source_arity),
+        target_schema=Schema.from_arities(target_arity),
+    )
+
+
+def random_ground_instance(
+    seed: RandomLike,
+    schema: Schema,
+    *,
+    facts: int = 10,
+    domain_size: int = 5,
+) -> Instance:
+    """A random ground instance over ``schema`` with ``facts`` tuples."""
+    rng = _rng(seed)
+    domain = [Constant(f"c{i}") for i in range(domain_size)]
+    relations = sorted(schema, key=lambda r: r.name)
+    atoms: set[Atom] = set()
+    attempts = 0
+    while len(atoms) < facts and attempts < facts * 20:
+        attempts += 1
+        relation = rng.choice(relations)
+        atoms.add(
+            Atom(relation.name, [rng.choice(domain) for _ in range(relation.arity)])
+        )
+    return Instance(atoms)
+
+
+def exchange_workload(
+    seed: RandomLike = None,
+    *,
+    source_facts: int = 10,
+    domain_size: int = 5,
+    **mapping_options,
+) -> tuple[Mapping, Instance, Instance]:
+    """A full synthetic exchange: ``(Sigma, I, J = Chase(Sigma, I))``.
+
+    The returned target is always valid for recovery under the mapping
+    (it is the canonical universal solution for ``I``).  Sources whose
+    chase produces an empty target are re-drawn, so the target is
+    never trivially empty.
+    """
+    rng = _rng(seed)
+    mapping = random_mapping(rng, **mapping_options)
+    for _ in range(50):
+        source = random_ground_instance(
+            rng, mapping.source_schema, facts=source_facts, domain_size=domain_size
+        )
+        target = chase(mapping, source).result
+        if not target.is_empty:
+            return mapping, source, target
+    raise RuntimeError(
+        "could not generate a non-empty exchange; mapping bodies may be "
+        "unsatisfiable at this source size"
+    )
+
+
+def corrupted_target(
+    seed: RandomLike,
+    mapping: Mapping,
+    target: Instance,
+    *,
+    extra_facts: int = 2,
+) -> Instance:
+    """Add random target facts, likely breaking validity for recovery.
+
+    Used by the J-validity benchmarks: honestly exchanged targets are
+    valid, targets with arbitrary extra facts usually are not (the
+    extra facts tend to be uncoverable or to violate subsumption).
+    """
+    rng = _rng(seed)
+    domain = sorted(target.constants()) or [Constant("c0")]
+    relations = sorted(mapping.target_schema, key=lambda r: r.name)
+    atoms = set(target.facts)
+    for _ in range(extra_facts):
+        relation = rng.choice(relations)
+        atoms.add(
+            Atom(
+                relation.name,
+                [rng.choice(domain) for _ in range(relation.arity)],
+            )
+        )
+    return Instance(atoms)
+
+
+def unique_cover_workload(
+    seed: RandomLike = None, *, facts: int = 50, domain_size: Optional[int] = None
+) -> tuple[Mapping, Instance]:
+    """A workload satisfying Theorem 5's preconditions at any size.
+
+    ``Sigma = {E(x,y) -> F(x,y); G(x) -> K(x), L(x)}`` is quasi-guarded
+    safe and every homomorphism into a target over distinct constants
+    covers a private fact, so ``|COV(Sigma, J)| = 1``.
+    """
+    rng = _rng(seed)
+    domain_size = domain_size or max(4, facts)
+    mapping = Mapping(
+        [
+            TGD(
+                [Atom("E", [Variable("x"), Variable("y")])],
+                [Atom("F", [Variable("x"), Variable("y")])],
+            ),
+            TGD(
+                [Atom("G", [Variable("u")])],
+                [Atom("K", [Variable("u")]), Atom("L", [Variable("u")])],
+            ),
+        ]
+    )
+    atoms: set[Atom] = set()
+    while len(atoms) < facts:
+        if rng.random() < 0.5:
+            atoms.add(
+                Atom(
+                    "F",
+                    [
+                        Constant(f"a{rng.randrange(domain_size)}"),
+                        Constant(f"b{rng.randrange(domain_size)}"),
+                    ],
+                )
+            )
+        else:
+            value = Constant(f"g{rng.randrange(domain_size)}")
+            atoms.add(Atom("K", [value]))
+            atoms.add(Atom("L", [value]))
+    return mapping, Instance(atoms)

@@ -1,0 +1,262 @@
+"""Named scenarios: every worked example of the paper, plus scaled variants.
+
+Each scenario bundles a mapping and a target instance (and optionally
+queries) exactly as printed in the paper, so tests and benchmarks can
+refer to them by name.  Transcription notes:
+
+* In the running example (Example 2) the dependency ``rho`` must read
+  ``R(u, v, w) -> T(w)``: only that arity-position makes Examples 3-7
+  (the homomorphism list, the coverings, the recoveries ``g(I_i)``)
+  and Example 4's remark about ``u`` and ``v`` mutually consistent.
+* In equation (6) the first dependency must read
+  ``R(x, x, y) -> T(x)``: the surrounding text derives the naive chase
+  result ``{R(a, a, X), R(Y, Z, b)}`` from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..data.instances import Instance
+from ..logic.parser import parse_instance, parse_query, parse_tgds
+from ..logic.queries import Query
+from ..logic.tgds import Mapping
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named (mapping, target) pair with optional queries of interest."""
+
+    name: str
+    description: str
+    mapping: Mapping
+    target: Instance
+    queries: dict[str, Query] = field(default_factory=dict)
+
+
+def intro_split() -> Scenario:
+    """Equations (1)-(3): the maximum recovery misses sound information."""
+    return Scenario(
+        name="intro_split",
+        description=(
+            "Sigma = {R(x,y) -> S(x), P(y)}; the instance-based recovery "
+            "joins every P-value to the unique S-value, the mapping-based "
+            "inverse does not"
+        ),
+        mapping=Mapping(parse_tgds("R(x, y) -> S(x), P(y)")),
+        target=parse_instance("S(a), P(b1), P(b2), P(b3), P(b4)"),
+        queries={"q_b2": parse_query("q(x) :- R(x, 'b2')")},
+    )
+
+
+def intro_split_scaled(n: int) -> Scenario:
+    """Equation (1) with ``n`` P-facts (benchmark E1's size parameter)."""
+    facts = ", ".join([f"P(b{i})" for i in range(1, n + 1)] + ["S(a)"])
+    return Scenario(
+        name=f"intro_split_{n}",
+        description=f"equation (1) with {n} P-facts",
+        mapping=Mapping(parse_tgds("R(x, y) -> S(x), P(y)")),
+        target=parse_instance(facts),
+        queries={"q_b2": parse_query("q(x) :- R(x, 'b2')")},
+    )
+
+
+def intro_full() -> Scenario:
+    """Equation (4): the maximum recovery can be data-exchange unsound."""
+    return Scenario(
+        name="intro_full",
+        description=(
+            "Sigma = {R(x)->T(x); R(x)->S(x); M(x)->S(x)}; for J = {S(a)} "
+            "only {M(a)} is a sound recovery"
+        ),
+        mapping=Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)")),
+        target=parse_instance("S(a)"),
+        queries={
+            "q_r": parse_query("q(x) :- R(x)"),
+            "q_m": parse_query("q(x) :- M(x)"),
+        },
+    )
+
+
+def intro_two_rules() -> Scenario:
+    """Equation (5): chase case one — not all triggers must fire."""
+    return Scenario(
+        name="intro_two_rules",
+        description="Sigma = {R(x)->S(x); M(y)->S(y)}, J = {S(a)}",
+        mapping=Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)")),
+        target=parse_instance("S(a)"),
+    )
+
+
+def intro_triangle() -> Scenario:
+    """Equation (6): chase case three — nulls must be equated smartly."""
+    return Scenario(
+        name="intro_triangle",
+        description=(
+            "Sigma = {R(x,x,y)->T(x); R(v,w,z)->S(z)}, J = {T(a), S(b)}; "
+            "recoveries have the form {R(a,a,b)} plus optional generic rows"
+        ),
+        mapping=Mapping(parse_tgds("R(x, x, y) -> T(x); R(v, w, z) -> S(z)")),
+        target=parse_instance("T(a), S(b)"),
+    )
+
+
+def running_example() -> Scenario:
+    """Examples 2-7: the paper's running example."""
+    return Scenario(
+        name="running_example",
+        description=(
+            "Sigma = {xi: R(x,x,y)->ES(x,z); rho: R(u,v,w)->T(w); "
+            "sigma: D(k,p)->T(p)}, J = {S(a,b), T(c), T(d)}"
+        ),
+        mapping=Mapping(
+            parse_tgds("R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)")
+        ),
+        target=parse_instance("S(a, b), T(c), T(d)"),
+    )
+
+
+def employee_benefits() -> Scenario:
+    """Example 8: the schema-evolution case study (the paper's one table)."""
+    return Scenario(
+        name="employee_benefits",
+        description=(
+            "Emp(n,d), Bnf(d,b) -> EmpDept(n,d), EmpBnf(n,b); recovering "
+            "the pre-evolution schema from the exchanged company data"
+        ),
+        mapping=Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        ),
+        target=parse_instance(
+            """
+            EmpDept(Joe, HR), EmpDept(Bill, Sales), EmpDept(Sue, HR),
+            EmpBnf(Joe, medical), EmpBnf(Joe, pension),
+            EmpBnf(Sue, medical), EmpBnf(Sue, pension),
+            EmpBnf(Bill, medical), EmpBnf(Bill, profit)
+            """
+        ),
+        queries={"hr_benefits": parse_query("q(x) :- Bnf('HR', x)")},
+    )
+
+
+def employee_benefits_scaled(
+    employees: int, departments: int, benefits: int
+) -> Scenario:
+    """Example 8 scaled: ``employees`` spread over ``departments``, each
+    department offering ``benefits`` distinct benefits."""
+    facts: list[str] = []
+    for e in range(employees):
+        dept = e % departments
+        facts.append(f"EmpDept(emp{e}, dept{dept})")
+        for b in range(benefits):
+            facts.append(f"EmpBnf(emp{e}, bnf_{dept}_{b})")
+    return Scenario(
+        name=f"employee_benefits_{employees}x{departments}x{benefits}",
+        description="Example 8 scaled",
+        mapping=Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        ),
+        target=parse_instance(", ".join(facts)),
+        queries={"dept0_benefits": parse_query("q(x) :- Bnf('dept0', x)")},
+    )
+
+
+def example9() -> Scenario:
+    """Example 9: the maximal uniquely-covered subset."""
+    return Scenario(
+        name="example9",
+        description=(
+            "Sigma = {R(x,y)->S(x),S(y); D(z)->T(z)}, J = {S(a),S(b),T(c),T(d)}; "
+            "J' = {T(c), T(d)} and the sound instance is {D(c), D(d)}"
+        ),
+        mapping=Mapping(parse_tgds("R(x, y) -> S(x), S(y); D(z) -> T(z)")),
+        target=parse_instance("S(a), S(b), T(c), T(d)"),
+        queries={"q_d": parse_query("q(x) :- D(x)")},
+    )
+
+
+def example10(n: int = 4) -> Scenario:
+    """Example 10: per-homomorphism coverings, with ``n`` T-facts."""
+    facts = ", ".join(["S(a)"] + [f"T(b{i})" for i in range(1, n + 1)])
+    return Scenario(
+        name=f"example10_{n}",
+        description="Sigma = {R(x,y)->S(x); R(z,v)->S(z),T(v)}",
+        mapping=Mapping(parse_tgds("R(x, y) -> S(x); R(z, v) -> S(z), T(v)")),
+        target=parse_instance(facts),
+    )
+
+
+def example12() -> Scenario:
+    """Example 12: the CQ sub-universal instance I_{Sigma,J}."""
+    return Scenario(
+        name="example12",
+        description=(
+            "Sigma = {R(x,y)->T(x); U(z)->S(z); R(v,v)->T(v),S(v)}, "
+            "J = {T(a), S(a), S(b)}; I_{Sigma,J} ~ {R(a,Y1), U(b), R(a,Y2)}"
+        ),
+        mapping=Mapping(
+            parse_tgds("R(x, y) -> T(x); U(z) -> S(z); R(v, v) -> T(v), S(v)")
+        ),
+        target=parse_instance("T(a), S(a), S(b)"),
+        queries={
+            "q_u": parse_query("q(x) :- U(x)"),
+            "q_rr": parse_query("q(x) :- R(x, x)"),
+        },
+    )
+
+
+def example13() -> Scenario:
+    """Example 13: I_{Sigma,J} beats the CQ-maximum recovery chase."""
+    scenario = example12()
+    return Scenario(
+        name="example13",
+        description=(
+            "same setting as Example 12; the CQ-maximum recovery mapping is "
+            "{T(x) -> exists z R(x,z)} and misses U(b)"
+        ),
+        mapping=scenario.mapping,
+        target=scenario.target,
+        queries={"q_u": parse_query("q(x) :- U(x)")},
+    )
+
+
+def lemma1_remark(k: int = 2) -> Scenario:
+    """The remark after Lemma 1: |COV| = 1 yet exponentially many recoveries.
+
+    ``Sigma = {R(x,y)->S(x); R(u,v)->T(v)}`` with ``k`` S-facts and
+    ``k`` T-facts; the paper's instance is ``k = 2`` with
+    ``|Chase^{-1}(Sigma, J)| = 7``.
+    """
+    facts = ", ".join(
+        [f"S(a{i})" for i in range(1, k + 1)] + [f"T(b{i})" for i in range(1, k + 1)]
+    )
+    return Scenario(
+        name=f"lemma1_remark_{k}",
+        description="unique covering with exponentially many recoveries",
+        mapping=Mapping(parse_tgds("R(x, y) -> S(x); R(u, v) -> T(v)")),
+        target=parse_instance(facts),
+    )
+
+
+#: Registry of the parameter-free paper scenarios by name.
+PAPER_SCENARIOS: dict[str, Callable[[], Scenario]] = {
+    "intro_split": intro_split,
+    "intro_full": intro_full,
+    "intro_two_rules": intro_two_rules,
+    "intro_triangle": intro_triangle,
+    "running_example": running_example,
+    "employee_benefits": employee_benefits,
+    "example9": example9,
+    "example12": example12,
+    "example13": example13,
+}
+
+
+def scenario(name: str) -> Scenario:
+    """Look up a parameter-free paper scenario by name."""
+    try:
+        return PAPER_SCENARIOS[name]()
+    except KeyError:
+        known = ", ".join(sorted(PAPER_SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None

@@ -1,0 +1,101 @@
+"""Unit tests for the derived CQ-maximum recovery mapping (Theorem 10)."""
+
+from repro.data.atoms import atom
+from repro.data.terms import Constant, Null
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.baselines.cq_max import cq_max_recovery_chase, derive_cq_max_recovery
+from repro.core.cq_sound import cq_sound_instance
+
+
+class TestDerivation:
+    def test_example13_mapping(self):
+        """The derived mapping is {T(x) -> exists z R(x, z)} — including the
+        non-obvious omission of any rule for S."""
+        mapping = Mapping(
+            parse_tgds("R(x, y) -> T(x); U(z) -> S(z); R(v, v) -> T(v), S(v)")
+        )
+        recovery = derive_cq_max_recovery(mapping)
+        assert recovery is not None
+        assert len(recovery) == 1
+        (dep,) = recovery.dependencies
+        assert dep.body[0].relation == "T"
+        (head,) = dep.disjuncts
+        assert [a.relation for a in head] == ["R"]
+
+    def test_equation_1_mapping(self):
+        """For R(x,y) -> S(x),P(y) both atomwise reversals survive."""
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        recovery = derive_cq_max_recovery(mapping)
+        assert recovery is not None
+        assert {dep.body[0].relation for dep in recovery} == {"S", "P"}
+
+    def test_equation_4_mapping_drops_ambiguous_s(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        recovery = derive_cq_max_recovery(mapping)
+        assert recovery is not None
+        assert {dep.body[0].relation for dep in recovery} == {"T"}
+
+    def test_example_8_mapping(self):
+        mapping = Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        )
+        recovery = derive_cq_max_recovery(mapping)
+        assert recovery is not None
+        assert {dep.body[0].relation for dep in recovery} == {"EmpDept", "EmpBnf"}
+        for dep in recovery:
+            assert {a.relation for a in dep.disjuncts[0]} == {"Emp", "Bnf"}
+
+    def test_no_certain_content_yields_none(self):
+        # S can come from two disjoint bodies with no common information.
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        assert derive_cq_max_recovery(mapping) is None
+
+
+class TestChaseComparison:
+    def test_example13_strict_inclusion(self):
+        """Q(Chase(Sigma', J)) strictly below Q(I_{Sigma,J}) on Example 13."""
+        mapping = Mapping(
+            parse_tgds("R(x, y) -> T(x); U(z) -> S(z); R(v, v) -> T(v), S(v)")
+        )
+        target = parse_instance("T(a), S(a), S(b)")
+        chased = cq_max_recovery_chase(mapping, target)
+        sound = cq_sound_instance(mapping, target)
+        q = parse_query("q(x) :- U(x)")
+        assert q.certain_evaluate(chased) == set()
+        assert q.certain_evaluate(sound) == {(Constant("b"),)}
+
+    def test_theorem10_inclusion_on_paper_examples(self):
+        """Every CQ answer of the recovery-mapping chase is an answer of
+        I_{Sigma,J} (Theorem 10)."""
+        cases = [
+            ("R(x, y) -> S(x), P(y)", "S(a), P(b1), P(b2)",
+             ["q(x) :- R(x, y)", "q(y) :- R(x, y)"]),
+            ("R(x, y) -> T(x); U(z) -> S(z); R(v, v) -> T(v), S(v)",
+             "T(a), S(a), S(b)", ["q(x) :- R(x, y)", "q(x) :- U(x)"]),
+        ]
+        for tgds_text, target_text, queries in cases:
+            mapping = Mapping(parse_tgds(tgds_text))
+            target = parse_instance(target_text)
+            chased = cq_max_recovery_chase(mapping, target)
+            sound = cq_sound_instance(mapping, target)
+            for text in queries:
+                q = parse_query(text)
+                assert q.certain_evaluate(chased) <= q.certain_evaluate(sound)
+
+    def test_empty_mapping_chases_to_empty(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        assert cq_max_recovery_chase(mapping, parse_instance("S(a)")).is_empty
+
+    def test_example8_chase_misses_benefit_join(self):
+        """Example 8's point: chasing with the recovery mapping leaves the
+        department benefits unknown."""
+        mapping = Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        )
+        target = parse_instance(
+            "EmpDept(Joe, HR), EmpBnf(Joe, medical), EmpBnf(Joe, pension)"
+        )
+        chased = cq_max_recovery_chase(mapping, target)
+        q = parse_query("q(x) :- Bnf('HR', x)")
+        assert q.certain_evaluate(chased) == set()

@@ -1,0 +1,119 @@
+"""Unit tests for the mapping-based inverse baselines."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.terms import Null
+from repro.errors import DependencyError
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.baselines.recovery_mappings import (
+    RecoveryMapping,
+    atomwise_reverse_mapping,
+    full_single_head_max_recovery,
+)
+from repro.chase.disjunctive import DisjunctiveTGD
+
+
+class TestRecoveryMapping:
+    def test_needs_dependencies(self):
+        with pytest.raises(DependencyError):
+            RecoveryMapping([])
+
+    def test_apply_single_on_disjunction_free(self):
+        dep = DisjunctiveTGD([atom("S", "$x")], [[atom("R", "$x")]])
+        mapping = RecoveryMapping([dep])
+        assert mapping.is_disjunction_free
+        assert mapping.apply_single(parse_instance("S(a)")) == parse_instance("R(a)")
+
+    def test_apply_single_rejects_disjunctive(self):
+        dep = DisjunctiveTGD([atom("S", "$x")], [[atom("R", "$x")], [atom("M", "$x")]])
+        mapping = RecoveryMapping([dep])
+        with pytest.raises(DependencyError):
+            mapping.apply_single(parse_instance("S(a)"))
+
+    def test_len_and_iter(self):
+        dep = DisjunctiveTGD([atom("S", "$x")], [[atom("R", "$x")]])
+        mapping = RecoveryMapping([dep, dep])
+        assert len(mapping) == 2
+        assert list(mapping) == [dep, dep]
+
+
+class TestAtomwiseReverse:
+    def test_equation_1_maximum_recovery(self):
+        """R(x,y) -> S(x),P(y) inverts to the paper's xi_1', xi_2'."""
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        reverse = atomwise_reverse_mapping(mapping)
+        assert len(reverse) == 2
+        result = reverse.apply_single(parse_instance("S(a), P(b1), P(b2)"))
+        # Equation (2): {R(a, Y), R(X1, b1), R(X2, b2)}.
+        assert len(result) == 3
+        firsts = sorted(str(f.args[0]) for f in result)
+        assert "a" in firsts
+
+    def test_misses_the_join_the_paper_highlights(self):
+        """The mapping-based recovery cannot answer R(x, b2)."""
+        from repro.logic.parser import parse_query
+
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        reverse = atomwise_reverse_mapping(mapping)
+        result = reverse.apply_single(parse_instance("S(a), P(b1), P(b2)"))
+        q = parse_query("q(x) :- R(x, 'b2')")
+        assert q.certain_evaluate(result) == set()
+
+    def test_example_8_mapping(self):
+        mapping = Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        )
+        reverse = atomwise_reverse_mapping(mapping)
+        assert len(reverse) == 2
+        bodies = {dep.body[0].relation for dep in reverse}
+        assert bodies == {"EmpDept", "EmpBnf"}
+        for dep in reverse:
+            assert {a.relation for a in dep.disjuncts[0]} == {"Emp", "Bnf"}
+
+
+class TestFullSingleHeadMaxRecovery:
+    def test_equation_4_disjunction(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        reverse = full_single_head_max_recovery(mapping)
+        by_body = {dep.body[0].relation: dep for dep in reverse}
+        assert len(by_body["S"].disjuncts) == 2
+        assert len(by_body["T"].disjuncts) == 1
+
+    def test_equation_4_application(self):
+        """The paper's I_1 = {R(a)} and I_2 = {M(a)} for J = {S(a)}."""
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        reverse = full_single_head_max_recovery(mapping)
+        results = reverse.apply(parse_instance("S(a)"))
+        assert instance(atom("R", "a")) in results
+        assert instance(atom("M", "a")) in results
+
+    def test_unsound_alternatives_exposed(self):
+        """Both maximum-recovery alternatives except {M(a)} are unsound in
+        the data-exchange sense (the intro's second criticism)."""
+        from repro.core.semantics import is_recovery
+
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        reverse = full_single_head_max_recovery(mapping)
+        target = parse_instance("S(a)")
+        sound = [
+            r for r in reverse.apply(target) if is_recovery(mapping, r, target)
+        ]
+        assert sound == [instance(atom("M", "a"))]
+
+    def test_rejects_non_full_tgds(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x, z)"))
+        with pytest.raises(DependencyError):
+            full_single_head_max_recovery(mapping)
+
+    def test_rejects_multi_atom_heads(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x), T(x)"))
+        with pytest.raises(DependencyError):
+            full_single_head_max_recovery(mapping)
+
+    def test_rejects_repeated_head_variables(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x, x)"))
+        with pytest.raises(DependencyError):
+            full_single_head_max_recovery(mapping)

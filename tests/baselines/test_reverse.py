@@ -1,0 +1,44 @@
+"""Unit tests for the naive reversed-mapping baseline."""
+
+from repro.data.atoms import atom
+from repro.data.terms import Null
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.chase.standard import satisfies
+from repro.baselines.reverse import naive_inverse_chase
+
+
+class TestNaiveInverse:
+    def test_reverses_full_tgds(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        assert naive_inverse_chase(mapping, parse_instance("T(a)")) == (
+            parse_instance("R(a)")
+        )
+
+    def test_fires_every_trigger(self):
+        """Intro case one: the naive chase over-commits to both rules."""
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        result = naive_inverse_chase(mapping, parse_instance("S(a)"))
+        assert result == parse_instance("R(a), M(a)")
+
+    def test_invents_nulls_for_lost_variables(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x)"))
+        result = naive_inverse_chase(mapping, parse_instance("S(a)"))
+        fact = next(iter(result))
+        assert fact.args[0] == atom("S", "a").args[0]
+        assert isinstance(fact.args[1], Null)
+
+    def test_unsound_on_equation_4(self):
+        """Intro case two: the naive result forces a missing T-fact."""
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        target = parse_instance("S(a)")
+        result = naive_inverse_chase(mapping, target)
+        assert atom("R", "a") in result
+        assert not satisfies(result, target, mapping)
+
+    def test_misses_null_equating_on_equation_6(self):
+        """Intro case three: the naive result is not even a model with J."""
+        mapping = Mapping(parse_tgds("R(x, x, y) -> T(x); R(v, w, z) -> S(z)"))
+        target = parse_instance("T(a), S(b)")
+        result = naive_inverse_chase(mapping, target)
+        assert not satisfies(result, target, mapping)

@@ -1,0 +1,75 @@
+"""Tests for chase firing granularities and provenance depth."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.terms import Null
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.chase.standard import chase, satisfies
+
+
+class TestFrontierDeduplication:
+    def setup_method(self):
+        # y is body-only: homomorphisms differing on y share a frontier.
+        self.mapping = Mapping(parse_tgds("R(x, y) -> S(x, z)"))
+        self.source = parse_instance("R(a, b), R(a, c), R(d, b)")
+
+    def test_homomorphism_mode_fires_per_body_hom(self):
+        result = chase(self.mapping, self.source, dedup="homomorphism")
+        assert len(result.applications) == 3
+
+    def test_frontier_mode_fires_per_frontier_binding(self):
+        result = chase(self.mapping, self.source, dedup="frontier")
+        assert len(result.applications) == 2  # x = a and x = d
+
+    def test_both_modes_produce_solutions(self):
+        for mode in ("homomorphism", "frontier"):
+            result = chase(self.mapping, self.source, dedup=mode).result
+            assert satisfies(self.source, result, self.mapping)
+
+    def test_modes_are_homomorphically_equivalent(self):
+        from repro.logic.homomorphisms import homomorphically_equivalent
+
+        a = chase(self.mapping, self.source, dedup="homomorphism").result
+        b = chase(self.mapping, self.source, dedup="frontier").result
+        assert homomorphically_equivalent(a, b)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            chase(self.mapping, self.source, dedup="bogus")
+
+
+class TestProvenanceDepth:
+    def test_shared_existential_across_head_atoms(self):
+        """One firing invents one null shared by both head atoms."""
+        mapping = Mapping(parse_tgds("R(x) -> S(x, z), T(z)"))
+        result = chase(mapping, parse_instance("R(a)"))
+        (app,) = result.applications
+        s_fact = next(f for f in app.produced if f.relation == "S")
+        t_fact = next(f for f in app.produced if f.relation == "T")
+        assert s_fact.args[1] == t_fact.args[0]
+        assert isinstance(s_fact.args[1], Null)
+
+    def test_full_assignment_combines_hom_and_extension(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x, z)"))
+        result = chase(mapping, parse_instance("R(a)"))
+        (app,) = result.applications
+        assignment = app.full_assignment
+        from repro.data.terms import Constant, Variable
+
+        assert assignment.image(Variable("x")) == Constant("a")
+        assert isinstance(assignment.image(Variable("z")), Null)
+
+    def test_distinct_firings_get_distinct_nulls(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x, z)"))
+        result = chase(mapping, parse_instance("R(a), R(b)"))
+        nulls = {app.extension.image(v) for app in result.applications for v in app.extension}
+        assert len(nulls) == 2
+
+    def test_producers_of_tracks_multiple_sources(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); M(y) -> T(y)"))
+        result = chase(mapping, parse_instance("R(a), M(a)"))
+        producers = result.producers_of(atom("T", "a"))
+        assert len(producers) == 2
+        assert {p.tgd.name for p in producers} == {"xi1", "xi2"}

@@ -1,0 +1,88 @@
+"""Unit tests for the disjunctive chase used by the baselines."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.terms import Null
+from repro.errors import BudgetExceededError, DependencyError
+from repro.logic.parser import parse_instance
+from repro.chase.disjunctive import DisjunctiveTGD, disjunctive_chase
+
+
+def dep(body, *disjuncts, name=None):
+    return DisjunctiveTGD(body, disjuncts, name=name)
+
+
+class TestConstruction:
+    def test_accessors(self):
+        d = dep([atom("S", "$x")], [atom("R", "$x")], [atom("M", "$x")], name="inv")
+        assert d.name == "inv"
+        assert len(d.disjuncts) == 2
+        assert not d.is_plain
+
+    def test_plain_dependency(self):
+        assert dep([atom("S", "$x")], [atom("R", "$x")]).is_plain
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DependencyError):
+            DisjunctiveTGD([], [[atom("R", "$x")]])
+
+    def test_empty_disjunct_rejected(self):
+        with pytest.raises(DependencyError):
+            DisjunctiveTGD([atom("S", "$x")], [[]])
+
+    def test_no_disjuncts_rejected(self):
+        with pytest.raises(DependencyError):
+            DisjunctiveTGD([atom("S", "$x")], [])
+
+
+class TestChase:
+    def test_equation_4_maximum_recovery(self):
+        # S(x) -> R(x) \/ M(x) applied to J = {S(a)}.
+        d = dep([atom("S", "$x")], [atom("R", "$x")], [atom("M", "$x")])
+        results = disjunctive_chase([d], parse_instance("S(a)"))
+        assert instance(atom("R", "a")) in results
+        assert instance(atom("M", "a")) in results
+        assert len(results) == 2
+
+    def test_choices_multiply_across_triggers(self):
+        d = dep([atom("S", "$x")], [atom("R", "$x")], [atom("M", "$x")])
+        results = disjunctive_chase([d], parse_instance("S(a), S(b)"))
+        assert len(results) == 4
+
+    def test_plain_dependency_single_result(self):
+        d = dep([atom("S", "$x")], [atom("R", "$x")])
+        results = disjunctive_chase([d], parse_instance("S(a), S(b)"))
+        assert results == [instance(atom("R", "a"), atom("R", "b"))]
+
+    def test_existential_variables_get_fresh_nulls(self):
+        d = dep([atom("S", "$x")], [atom("R", "$x", "$y")])
+        (result,) = disjunctive_chase([d], parse_instance("S(a)"))
+        fact = next(iter(result))
+        assert isinstance(fact.args[1], Null)
+
+    def test_no_trigger_yields_empty_instance(self):
+        d = dep([atom("S", "$x")], [atom("R", "$x")])
+        results = disjunctive_chase([d], parse_instance("T(a)"))
+        assert results == [instance()]
+
+    def test_duplicate_results_are_merged(self):
+        # Both disjuncts produce the same fact, so only one result remains.
+        d = dep([atom("S", "$x")], [atom("R", "$x")], [atom("R", "$x")])
+        results = disjunctive_chase([d], parse_instance("S(a)"))
+        assert results == [instance(atom("R", "a"))]
+
+    def test_budget_enforced(self):
+        d = dep([atom("S", "$x")], [atom("R", "$x")], [atom("M", "$x")])
+        target = parse_instance(", ".join(f"S(a{i})" for i in range(12)))
+        with pytest.raises(BudgetExceededError):
+            disjunctive_chase([d], target, max_results=100)
+
+    def test_triggers_deduplicated_per_body_binding(self):
+        d = dep(
+            [atom("S", "$x"), atom("S", "$y")],
+            [atom("R", "$x", "$y")],
+        )
+        results = disjunctive_chase([d], parse_instance("S(a)"))
+        assert results == [instance(atom("R", "a", "a"))]

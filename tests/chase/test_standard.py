@@ -1,0 +1,141 @@
+"""Unit tests for the standard chase, Chase_H and model checking."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.substitutions import Substitution
+from repro.data.terms import Constant, Null, NullFactory, Variable
+from repro.logic.parser import parse_instance, parse_tgd, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.chase.standard import (
+    chase,
+    chase_restricted,
+    oblivious_chase_instance,
+    satisfies,
+    violated_triggers,
+)
+
+
+class TestChase:
+    def test_full_tgd_chase(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        result = chase(mapping, parse_instance("R(a), R(b)"))
+        assert result.result == parse_instance("T(a), T(b)")
+
+    def test_existential_creates_fresh_nulls(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        result = chase(mapping, parse_instance("S(a), S(b)")).result
+        seconds = {fact.args[1] for fact in result}
+        assert all(isinstance(t, Null) for t in seconds)
+        assert len(seconds) == 2
+
+    def test_fresh_nulls_avoid_input_nulls(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        result = chase(mapping, parse_instance("S(?N1)")).result
+        fact = next(iter(result))
+        assert fact.args[1] != Null("N1")
+
+    def test_one_firing_per_body_homomorphism(self):
+        # Two body homomorphisms differing only on the body-only variable
+        # both fire (the paper's Chase fires each homomorphism).
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x, z)"))
+        result = chase(mapping, parse_instance("R(a, b), R(a, c)"))
+        assert len(result.applications) == 2
+        assert len(result.result) == 2
+
+    def test_join_in_body(self):
+        mapping = Mapping(parse_tgds("E(x, y), E(y, z) -> P(x, z)"))
+        result = chase(mapping, parse_instance("E(a, b), E(b, c)")).result
+        assert result == parse_instance("P(a, c)")
+
+    def test_result_excludes_source_facts(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        result = chase(mapping, parse_instance("R(a)")).result
+        assert atom("R", "a") not in result
+
+    def test_repeated_body_variable_pattern(self):
+        mapping = Mapping(parse_tgds("R(x, x) -> T(x)"))
+        result = chase(mapping, parse_instance("R(a, a), R(a, b)")).result
+        assert result == parse_instance("T(a)")
+
+    def test_oblivious_wrapper(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        assert oblivious_chase_instance(mapping, parse_instance("R(a)")) == (
+            parse_instance("T(a)")
+        )
+
+    def test_provenance_records(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        result = chase(mapping, parse_instance("R(a)"))
+        app = result.applications[0]
+        assert app.tgd.name == "xi1"
+        assert app.produced == (atom("T", "a"),)
+        assert result.producers_of(atom("T", "a")) == [app]
+        assert list(result.applications_of(mapping.tgds[0])) == [app]
+        assert result.combined == parse_instance("R(a), T(a)")
+
+
+class TestChaseRestricted:
+    def test_applies_only_given_triggers(self):
+        tgd = parse_tgd("R(x) -> S(x); ")
+        trigger = (tgd, Substitution({Variable("x"): Constant("a")}))
+        result = chase_restricted([trigger], parse_instance("R(a), R(b)"))
+        assert result.result == parse_instance("S(a)")
+
+    def test_existentials_get_fresh_nulls_per_trigger(self):
+        tgd = parse_tgd("R(x) -> S(x, z)")
+        triggers = [
+            (tgd, Substitution({Variable("x"): Constant("a")})),
+            (tgd, Substitution({Variable("x"): Constant("a")})),
+        ]
+        result = chase_restricted(triggers, instance()).result
+        assert len(result) == 2  # two distinct fresh z-nulls
+
+    def test_paper_chase_h_example(self):
+        # Section 4: Chase_H with H = {{x/a}} applies only the first tgd.
+        mapping = Mapping(parse_tgds("R(x) -> T(x, y); R(z) -> V(z, v)"))
+        xi1, xi2 = mapping.tgds
+        h = Substitution({Variable("x"): Constant("a")})
+        result = chase_restricted([(xi1, h)], parse_instance("R(a), R(b)")).result
+        assert result.relation_names == {"T"}
+        assert len(result) == 1
+
+
+class TestSatisfies:
+    def test_model(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        assert satisfies(parse_instance("R(a)"), parse_instance("T(a)"), mapping)
+
+    def test_non_model(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        assert not satisfies(parse_instance("R(a)"), parse_instance("T(b)"), mapping)
+
+    def test_existential_witness_can_be_anything(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, z)"))
+        assert satisfies(parse_instance("S(a)"), parse_instance("T(a, q)"), mapping)
+        assert satisfies(parse_instance("S(a)"), parse_instance("T(a, ?N)"), mapping)
+
+    def test_chase_result_is_always_a_model(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x, z); R(u, v) -> T(v)"))
+        source = parse_instance("R(a, b), R(b, b)")
+        assert satisfies(source, chase(mapping, source).result, mapping)
+
+    def test_empty_source_models_everything(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        assert satisfies(instance(), parse_instance("T(a)"), mapping)
+
+    def test_violated_triggers_reported(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        failures = violated_triggers(
+            parse_instance("R(a), R(b)"), parse_instance("T(a)"), mapping
+        )
+        assert len(failures) == 1
+        tgd, binding = failures[0]
+        assert binding.image(tgd.body[0].args[0]) == Constant("b")
+
+    def test_violated_triggers_empty_for_model(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x)"))
+        assert violated_triggers(
+            parse_instance("R(a)"), parse_instance("T(a)"), mapping
+        ) == []

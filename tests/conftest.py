@@ -1,0 +1,49 @@
+"""Shared fixtures: the paper's scenarios and small helper builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.workloads import scenario
+
+
+@pytest.fixture
+def running_example():
+    """Examples 2-7: Sigma = {xi, rho, sigma}, J = {S(a,b), T(c), T(d)}."""
+    return scenario("running_example")
+
+
+@pytest.fixture
+def intro_split():
+    """Equation (1): Sigma = {R(x,y) -> S(x), P(y)}."""
+    return scenario("intro_split")
+
+
+@pytest.fixture
+def intro_full():
+    """Equation (4): full tgds with an unsound mapping-based inverse."""
+    return scenario("intro_full")
+
+
+@pytest.fixture
+def employee_benefits():
+    """Example 8: the schema-evolution case study."""
+    return scenario("employee_benefits")
+
+
+@pytest.fixture
+def example12():
+    """Example 12: the CQ sub-universal instance."""
+    return scenario("example12")
+
+
+def mapping_of(text: str) -> Mapping:
+    """Parse a mapping from DSL text (test helper)."""
+    return Mapping(parse_tgds(text))
+
+
+def instance_of(text: str):
+    """Parse an instance from DSL text (test helper)."""
+    return parse_instance(text)

@@ -1,0 +1,88 @@
+"""Unit tests for certain answers over recovery sets."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.terms import Constant
+from repro.errors import NotRecoverableError
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.certain import certain_answer, certain_answers, certain_boolean
+
+
+class TestCertainAnswers:
+    def test_intersection_over_instances(self):
+        q = parse_query("q(x) :- R(x)")
+        left = instance(atom("R", "a"), atom("R", "b"))
+        right = instance(atom("R", "b"), atom("R", "c"))
+        assert certain_answers(q, [left, right]) == {(Constant("b"),)}
+
+    def test_null_answers_never_certain(self):
+        q = parse_query("q(x) :- R(x)")
+        both = instance(atom("R", "?N"))
+        assert certain_answers(q, [both]) == set()
+
+    def test_empty_collection_rejected(self):
+        q = parse_query("q(x) :- R(x)")
+        with pytest.raises(ValueError):
+            certain_answers(q, [])
+
+    def test_short_circuit_on_empty_intersection(self):
+        q = parse_query("q(x) :- R(x)")
+        assert certain_answers(
+            q, [instance(atom("R", "a")), instance(atom("R", "b"))]
+        ) == set()
+
+
+class TestCertainAnswerViaInverseChase:
+    def test_intro_example_recovers_the_join(self):
+        """Equations (1)-(3): R(a, b2) is certain, unlike under the
+        maximum-recovery mapping."""
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b1), P(b2)")
+        q = parse_query("q(x) :- R(x, 'b2')")
+        assert certain_answer(q, mapping, target) == {(Constant("a"),)}
+
+    def test_ambiguous_relation_gives_no_certain_answer(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a)")
+        assert certain_answer(parse_query("q(x) :- R(x)"), mapping, target) == set()
+        assert certain_answer(parse_query("q(x) :- M(x)"), mapping, target) == set()
+
+    def test_disjunction_across_recoveries_is_certain(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a)")
+        union = parse_query("q(x) :- R(x); q(x) :- M(x)")
+        assert certain_answer(union, mapping, target) == {(Constant("a"),)}
+
+    def test_unrecoverable_target_raises(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        with pytest.raises(NotRecoverableError):
+            certain_answer(parse_query("q(x) :- R(x)"), mapping, parse_instance("T(a)"))
+
+    def test_all_covers_mode_gives_same_answers(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a), S(b)")
+        union = parse_query("q(x) :- R(x); q(x) :- M(x)")
+        assert certain_answer(union, mapping, target, cover_mode="all") == (
+            certain_answer(union, mapping, target, cover_mode="minimal")
+        )
+
+
+class TestCertainBoolean:
+    def test_boolean_true_in_every_recovery(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a)")
+        q = parse_query("q() :- R(x); q() :- M(x)")
+        assert certain_boolean(q, mapping, target)
+
+    def test_boolean_false_when_some_recovery_fails_it(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a)")
+        assert not certain_boolean(parse_query("q() :- R(x)"), mapping, target)
+
+    def test_non_boolean_query_rejected(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x)"))
+        with pytest.raises(ValueError):
+            certain_boolean(parse_query("q(x) :- R(x)"), mapping, parse_instance("S(a)"))

@@ -1,0 +1,104 @@
+"""Constants inside dependencies, across the whole pipeline.
+
+The paper allows constants in tgds (homomorphisms are the identity on
+``Cons``).  These tests exercise constant-bearing bodies and heads
+through HOM, coverings, subsumption, the inverse chase and the sound
+constructions — a corner the worked examples never touch.
+"""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.terms import Constant
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.chase.standard import chase, satisfies
+from repro.core import (
+    certain_answer,
+    cq_sound_instance,
+    hom_set,
+    inverse_chase,
+    is_recovery,
+    is_valid_for_recovery,
+    minimal_subsumers,
+)
+
+
+class TestConstantHeads:
+    def setup_method(self):
+        # Every audited order is tagged with the literal status 'ok'.
+        self.mapping = Mapping(parse_tgds("Audit(x) -> Status(x, 'ok')"))
+
+    def test_hom_requires_the_constant(self):
+        assert hom_set(self.mapping, parse_instance("Status(a, ok)"))
+        assert not hom_set(self.mapping, parse_instance("Status(a, bad)"))
+
+    def test_validity_depends_on_the_constant(self):
+        assert is_valid_for_recovery(self.mapping, parse_instance("Status(a, ok)"))
+        assert not is_valid_for_recovery(
+            self.mapping, parse_instance("Status(a, bad)")
+        )
+
+    def test_recovery_reconstructs_the_body(self):
+        recoveries = inverse_chase(self.mapping, parse_instance("Status(a, ok)"))
+        assert recoveries == [instance(atom("Audit", "a"))]
+
+    def test_forward_chase_emits_the_constant(self):
+        result = chase(self.mapping, parse_instance("Audit(a)")).result
+        assert result == parse_instance("Status(a, ok)")
+
+
+class TestConstantBodies:
+    def setup_method(self):
+        # Only 'gold' customers generate Perk facts.
+        self.mapping = Mapping(
+            parse_tgds("Cust(x, 'gold') -> Perk(x); Cust(y, t) -> Known(y)")
+        )
+
+    def test_recovery_grounds_the_body_constant(self):
+        recoveries = inverse_chase(self.mapping, parse_instance("Perk(a), Known(a)"))
+        assert recoveries
+        for recovery in recoveries:
+            assert atom("Cust", "a", "gold") in recovery
+            assert is_recovery(self.mapping, recovery, parse_instance("Perk(a), Known(a)"))
+
+    def test_subsumption_with_constants(self):
+        """A recovered Cust(x, 'gold') fact always triggers the Known rule."""
+        constraints = minimal_subsumers(self.mapping)
+        conclusions = {c.conclusion_tgd.name for c in constraints}
+        assert "xi2" in conclusions
+
+    def test_perk_alone_is_unrecoverable(self):
+        """Perk(a) forces Cust(a, gold), which forces Known(a)."""
+        assert not is_valid_for_recovery(self.mapping, parse_instance("Perk(a)"))
+
+    def test_certain_answer_sees_the_constant(self):
+        target = parse_instance("Perk(a), Known(a)")
+        q = parse_query("q(x) :- Cust(x, 'gold')")
+        assert certain_answer(q, self.mapping, target) == {(Constant("a"),)}
+
+    def test_cq_sound_instance_with_constants(self):
+        target = parse_instance("Perk(a), Known(a)")
+        sound = cq_sound_instance(self.mapping, target)
+        q = parse_query("q(x) :- Cust(x, 'gold')")
+        assert q.certain_evaluate(sound) <= {(Constant("a"),)}
+        assert satisfies(sound, target, self.mapping)
+
+
+class TestMixedConstantJoin:
+    def test_constant_join_through_recovery(self):
+        mapping = Mapping(
+            parse_tgds("Emp(n, 'hq') -> Local(n); Emp(n2, s) -> Site(s)")
+        )
+        target = parse_instance("Local(ada), Site(hq)")
+        recoveries = inverse_chase(mapping, target)
+        assert recoveries
+        q = parse_query("q(x) :- Emp(x, 'hq')")
+        assert certain_answer(q, mapping, target) == {(Constant("ada"),)}
+
+    def test_numeric_constants(self):
+        mapping = Mapping(parse_tgds("Reading(s, 1) -> Alarm(s)"))
+        target = parse_instance("Alarm(sensor9)")
+        recoveries = inverse_chase(mapping, target)
+        assert recoveries == [instance(atom("Reading", "sensor9", 1))]

@@ -1,0 +1,81 @@
+"""Unit tests for instance cores and minimal recovery presentation."""
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.logic.homomorphisms import homomorphically_equivalent, maps_into
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.cores import core, core_recoveries, cores_isomorphic, is_core
+from repro.core.inverse_chase import inverse_chase
+
+
+class TestCore:
+    def test_ground_instances_are_cores(self):
+        i = parse_instance("R(a, b), R(b, c)")
+        assert core(i) == i
+        assert is_core(i)
+
+    def test_redundant_generic_row_folds_away(self):
+        i = parse_instance("R(a, b), R(?X, ?Y)")
+        c = core(i)
+        assert c == parse_instance("R(a, b)")
+
+    def test_core_is_hom_equivalent_to_input(self):
+        i = parse_instance("R(a, ?X), R(a, b), S(?X, ?Z)")
+        c = core(i)
+        assert homomorphically_equivalent(c, i)
+
+    def test_connected_nulls_survive(self):
+        # ?X carries a join between R and S not implied by ground facts.
+        i = parse_instance("R(a, ?X), S(?X, c)")
+        assert core(i) == i
+
+    def test_example7_recovery_cores(self):
+        """The paper's g11(I_1) folds onto {R(a,a,c), R(Y,Z,d)}."""
+        i = parse_instance("R(a, a, c), R(?X2, ?X3, c), R(?X4, ?X5, d)")
+        c = core(i)
+        assert len(c) == 2
+        assert homomorphically_equivalent(c, i)
+
+    def test_is_core_negative(self):
+        assert not is_core(parse_instance("R(a, b), R(a, ?X)"))
+
+    def test_cores_isomorphic_detects_equivalence(self):
+        a = parse_instance("R(a, ?X), R(a, b)")
+        b = parse_instance("R(a, b), R(a, ?Y), R(a, ?Z)")
+        assert cores_isomorphic(a, b)
+        assert not cores_isomorphic(a, parse_instance("R(a, c)"))
+
+
+class TestCoreRecoveries:
+    def test_presentation_preserves_ucq_answers(self):
+        from repro.core.certain import certain_answers
+        from repro.logic.parser import parse_query
+
+        mapping = Mapping(
+            parse_tgds("R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)")
+        )
+        target = parse_instance("S(a, b), T(c), T(d)")
+        recoveries = inverse_chase(mapping, target)
+        minimal = core_recoveries(recoveries)
+        assert len(minimal) <= len(recoveries)
+        query = parse_query("q(x) :- R(x, x, y); q(x) :- D(x, y)")
+        assert certain_answers(query, minimal) == certain_answers(
+            query, recoveries
+        )
+
+    def test_each_kept_instance_is_a_core(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x); R(u, v) -> T(v)"))
+        target = parse_instance("S(a), T(b)")
+        minimal = core_recoveries(inverse_chase(mapping, target))
+        for kept in minimal:
+            assert is_core(kept)
+
+    def test_set_is_hom_equivalent_to_input(self):
+        from repro.logic.homomorphisms import sets_homomorphically_equivalent
+
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a), S(b)")
+        recoveries = inverse_chase(mapping, target)
+        minimal = core_recoveries(recoveries)
+        assert sets_homomorphically_equivalent(minimal, recoveries)

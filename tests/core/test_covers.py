@@ -1,0 +1,135 @@
+"""Unit tests for coverings — verified against Example 3 and Theorem 6."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.errors import BudgetExceededError
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.covers import (
+    count_covers,
+    coverage_index,
+    enumerate_covers,
+    is_coverable,
+    unique_cover,
+    uniquely_covered_facts,
+)
+from repro.core.hom_sets import covered_by, hom_set
+
+
+def running_example():
+    mapping = Mapping(
+        parse_tgds("R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)")
+    )
+    target = parse_instance("S(a, b), T(c), T(d)")
+    return mapping, target, hom_set(mapping, target)
+
+
+class TestExample3:
+    def test_nine_coverings_in_all_mode(self):
+        mapping, target, homs = running_example()
+        assert count_covers(homs, target, mode="all") == 9
+
+    def test_four_minimal_coverings(self):
+        mapping, target, homs = running_example()
+        assert count_covers(homs, target, mode="minimal") == 4
+
+    def test_every_covering_covers_target(self):
+        mapping, target, homs = running_example()
+        for covering in enumerate_covers(homs, target, mode="all"):
+            assert covered_by(covering) == target.facts
+
+    def test_minimal_coverings_have_no_redundant_member(self):
+        mapping, target, homs = running_example()
+        for covering in enumerate_covers(homs, target, mode="minimal"):
+            for dropped in covering:
+                rest = [h for h in covering if h is not dropped]
+                assert covered_by(rest) != target.facts
+
+    def test_every_covering_contains_the_forced_xi1_hom(self):
+        mapping, target, homs = running_example()
+        for covering in enumerate_covers(homs, target, mode="all"):
+            assert any(h.tgd.name == "xi1" for h in covering)
+
+
+class TestCoverageIndex:
+    def test_index_structure(self):
+        mapping, target, homs = running_example()
+        index = coverage_index(homs, target)
+        assert len(index[atom("S", "a", "b")]) == 1
+        assert len(index[atom("T", "c")]) == 2  # one rho hom, one sigma hom
+
+    def test_is_coverable(self):
+        mapping, target, homs = running_example()
+        assert is_coverable(homs, target)
+
+    def test_uncoverable_target(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        target = parse_instance("T(a), U(b)")
+        homs = hom_set(mapping, target)
+        assert not is_coverable(homs, target)
+        assert count_covers(homs, target, mode="all") == 0
+
+    def test_uniquely_covered_facts(self):
+        mapping, target, homs = running_example()
+        assert uniquely_covered_facts(homs, target) == {atom("S", "a", "b")}
+
+
+class TestUniqueCover:
+    def test_unique_cover_positive(self):
+        # Every homomorphism covers a private fact.
+        mapping = Mapping(parse_tgds("E(x, y) -> F(x, y)"))
+        target = parse_instance("F(a, b), F(c, d)")
+        homs = hom_set(mapping, target)
+        covering = unique_cover(homs, target)
+        assert covering is not None
+        assert set(covering) == set(homs)
+
+    def test_unique_cover_negative_when_ambiguous(self):
+        mapping, target, homs = running_example()
+        assert unique_cover(homs, target) is None
+
+    def test_unique_cover_negative_when_uncoverable(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x)"))
+        target = parse_instance("T(a)")
+        assert unique_cover(hom_set(mapping, target), target) is None
+
+    def test_unique_cover_matches_theorem6_quadratic_criterion(self):
+        mapping, target, homs = running_example()
+        index = coverage_index(homs, target)
+        criterion = all(
+            any(entry == [i] for entry in index.values()) for i in range(len(homs))
+        ) and all(index.values())
+        assert (unique_cover(homs, target) is not None) == criterion
+
+
+class TestBudgets:
+    def test_minimal_enumeration_budget(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a), S(b), S(c)")
+        homs = hom_set(mapping, target)
+        with pytest.raises(BudgetExceededError):
+            list(enumerate_covers(homs, target, mode="minimal", limit=2))
+
+    def test_all_enumeration_budget(self):
+        mapping, target, homs = running_example()
+        with pytest.raises(BudgetExceededError):
+            list(enumerate_covers(homs, target, mode="all", limit=3))
+
+    def test_unknown_mode_rejected(self):
+        mapping, target, homs = running_example()
+        with pytest.raises(ValueError):
+            list(enumerate_covers(homs, target, mode="bogus"))
+
+
+class TestAllModeCompleteness:
+    def test_all_mode_contains_every_minimal_cover(self):
+        mapping, target, homs = running_example()
+        minimal = set(enumerate_covers(homs, target, mode="minimal"))
+        full = set(enumerate_covers(homs, target, mode="all"))
+        assert minimal <= full
+
+    def test_all_mode_results_distinct(self):
+        mapping, target, homs = running_example()
+        covers = list(enumerate_covers(homs, target, mode="all"))
+        assert len(covers) == len(set(covers))

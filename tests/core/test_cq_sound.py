@@ -1,0 +1,184 @@
+"""Unit tests for I_{Sigma,J} (Definitions 11-12, Examples 10-13)."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.terms import Constant, Null
+from repro.logic.homomorphisms import maps_into
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.cq_sound import (
+    cq_sound_instance,
+    generalized_source_instance,
+    minimal_coverings_for,
+    per_hom_glb,
+)
+from repro.core.hom_sets import hom_set
+from repro.core.inverse_chase import inverse_chase
+
+
+def example10(n=3):
+    mapping = Mapping(parse_tgds("R(x, y) -> S(x); R(z, v) -> S(z), T(v)"))
+    facts = ", ".join(["S(a)"] + [f"T(b{i})" for i in range(1, n + 1)])
+    return mapping, parse_instance(facts)
+
+
+def example12():
+    mapping = Mapping(
+        parse_tgds("R(x, y) -> T(x); U(z) -> S(z); R(v, v) -> T(v), S(v)")
+    )
+    return mapping, parse_instance("T(a), S(a), S(b)")
+
+
+class TestExample10Coverings:
+    def test_cov_h_for_the_xi1_hom(self):
+        """COV_h = {{h}, {h_1}, ..., {h_n}}: the S(a) fact can come from
+        xi1 or from any of xi2's n homomorphisms."""
+        mapping, target = example10(n=3)
+        homs = hom_set(mapping, target)
+        (h,) = [x for x in homs if x.tgd.name == "xi1"]
+        coverings = minimal_coverings_for(h, homs)
+        assert len(coverings) == 4
+        assert (h,) in coverings
+        for covering in coverings:
+            assert len(covering) == 1
+
+    def test_cov_h_for_xi2_homs_is_singleton(self):
+        """COV_{h_i} = {{h_i}}: only h_i covers T(b_i)."""
+        mapping, target = example10(n=3)
+        homs = hom_set(mapping, target)
+        for h in homs:
+            if h.tgd.name == "xi2":
+                assert minimal_coverings_for(h, homs) == [(h,)]
+
+    def test_anchor_always_covers_itself(self):
+        mapping, target = example10(n=2)
+        homs = hom_set(mapping, target)
+        for h in homs:
+            assert (h,) in minimal_coverings_for(h, homs)
+
+
+class TestExample11Generalization:
+    def test_irrelevant_variables_become_fresh_nulls(self):
+        """I_{h_i}(h, Sigma) = {R(a, X)}: v plays no role in covering S(a)."""
+        mapping, target = example10(n=3)
+        homs = hom_set(mapping, target)
+        (anchor,) = [x for x in homs if x.tgd.name == "xi1"]
+        xi2_hom = [x for x in homs if x.tgd.name == "xi2"][0]
+        generalized = generalized_source_instance((xi2_hom,), anchor)
+        assert len(generalized) == 1
+        fact = next(iter(generalized))
+        assert fact.relation == "R"
+        assert fact.args[0] == Constant("a")
+        assert isinstance(fact.args[1], Null)
+
+    def test_relevant_variables_are_kept(self):
+        mapping, target = example10(n=3)
+        homs = hom_set(mapping, target)
+        xi2_hom = [x for x in homs if x.tgd.name == "xi2"][0]
+        # Anchored on itself, both z and v matter.
+        generalized = generalized_source_instance((xi2_hom,), xi2_hom)
+        fact = next(iter(generalized))
+        assert fact.args[0] == Constant("a")
+        assert isinstance(fact.args[1], Constant)
+
+    def test_equivalent_coverings_collapse_in_glb(self):
+        """All n alternative coverings generalize to one instance, so the
+        per-hom glb stays small (the tractability argument)."""
+        mapping, target = example10(n=5)
+        homs = hom_set(mapping, target)
+        (anchor,) = [x for x in homs if x.tgd.name == "xi1"]
+        bound = per_hom_glb(anchor, homs)
+        assert len(bound) == 1
+
+
+class TestExample12:
+    def test_shape_of_the_instance(self):
+        mapping, target = example12()
+        result = cq_sound_instance(mapping, target)
+        by_relation = {rel: result.facts_for(rel) for rel in result.relation_names}
+        assert set(by_relation) == {"R", "U"}
+        assert by_relation["U"] == frozenset({atom("U", "b")})
+        for fact in by_relation["R"]:
+            assert fact.args[0] == Constant("a")
+            assert isinstance(fact.args[1], Null)
+
+    def test_sound_query_q1(self):
+        mapping, target = example12()
+        result = cq_sound_instance(mapping, target)
+        assert parse_query("q(x) :- U(x)").certain_evaluate(result) == {
+            (Constant("b"),)
+        }
+
+    def test_incomplete_query_q2(self):
+        """End of Example 12: Q2(I_{Sigma,J}) = {}.
+
+        The paper also claims CERT(Q2, Sigma, J) = {(a)}, but that is an
+        erratum: the covering {h1, h2, h3} yields the recovery
+        {R(a, Y), U(a), U(b)} (a model, justified — indeed a universal
+        solution for it), which contains no R(x, x) fact, so the true
+        certain answer is empty.  See EXPERIMENTS.md, erratum E12-a.
+        """
+        mapping, target = example12()
+        result = cq_sound_instance(mapping, target)
+        q2 = parse_query("q(x) :- R(x, x)")
+        assert q2.certain_evaluate(result) == set()
+        from repro.core.certain import certain_answer
+        from repro.core.inverse_chase import inverse_chase
+        from repro.core.semantics import is_recovery
+
+        # The witness recovery the paper overlooks:
+        witness = [
+            r
+            for r in inverse_chase(mapping, target)
+            if "U" in r.relation_names and len(r.facts_for("U")) == 2
+        ]
+        assert witness and all(is_recovery(mapping, r, target) for r in witness)
+        assert certain_answer(q2, mapping, target) == set()
+
+    def test_not_a_recovery_itself(self):
+        """I_{Sigma,J} satisfies Sigma with J but does not justify S(a)."""
+        mapping, target = example12()
+        result = cq_sound_instance(mapping, target)
+        from repro.chase.standard import satisfies
+        from repro.core.semantics import is_recovery
+
+        assert satisfies(result, target, mapping)
+        assert not is_recovery(mapping, result, target)
+
+
+class TestTheorem9:
+    def test_maps_into_every_recovery(self):
+        for text, target_text in [
+            ("R(x, y) -> T(x); U(z) -> S(z); R(v, v) -> T(v), S(v)", "T(a), S(a), S(b)"),
+            ("R(x) -> S(x); M(y) -> S(y)", "S(a), S(b)"),
+            ("R(x, y) -> S(x), P(y)", "S(a), P(b1), P(b2)"),
+        ]:
+            mapping = Mapping(parse_tgds(text))
+            target = parse_instance(target_text)
+            sound = cq_sound_instance(mapping, target)
+            recoveries = inverse_chase(mapping, target)
+            assert recoveries
+            for recovery in recoveries:
+                assert maps_into(sound, recovery)
+
+    def test_cq_answers_are_sound(self):
+        from repro.core.certain import certain_answer
+
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b1), P(b2)")
+        sound = cq_sound_instance(mapping, target)
+        for text in ["q(x) :- R(x, y)", "q(y) :- R(x, y)", "q(x, y) :- R(x, y)"]:
+            q = parse_query(text)
+            assert q.certain_evaluate(sound) <= certain_answer(q, mapping, target)
+
+    def test_intro_example_is_fully_grounded(self):
+        """On equation (1) the construction recovers the full join."""
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b1), P(b2)")
+        sound = cq_sound_instance(mapping, target)
+        q = parse_query("q(x, y) :- R(x, y)")
+        assert q.certain_evaluate(sound) == {
+            (Constant("a"), Constant("b1")),
+            (Constant("a"), Constant("b2")),
+        }

@@ -1,0 +1,98 @@
+"""Edge-case semantics across the pipeline: nullary relations, self-loop
+targets, multi-fact heads sharing existentials, repeated constants."""
+
+import pytest
+
+from repro.data.atoms import Atom, atom
+from repro.data.instances import Instance, instance
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.tgds import TGD, Mapping
+from repro.core import (
+    certain_answer,
+    inverse_chase,
+    is_recovery,
+    is_valid_for_recovery,
+)
+
+
+class TestNullaryRelations:
+    def setup_method(self):
+        self.mapping = Mapping(
+            [
+                TGD([Atom("HasData", [])], [Atom("NonEmpty", [])]),
+                TGD(
+                    [Atom("Row", ["$x"])],
+                    [Atom("NonEmpty", []), Atom("Seen", ["$x"])],
+                ),
+            ]
+        )
+
+    def test_nullary_target_recovers(self):
+        target = Instance([Atom("NonEmpty", [])])
+        recoveries = inverse_chase(self.mapping, target)
+        assert Instance([Atom("HasData", [])]) in recoveries
+
+    def test_nullary_plus_unary(self):
+        target = Instance([Atom("NonEmpty", []), Atom("Seen", ["a"])])
+        recoveries = inverse_chase(self.mapping, target)
+        assert recoveries
+        for recovery in recoveries:
+            assert is_recovery(self.mapping, recovery, target)
+
+
+class TestSharedExistentials:
+    def test_existential_shared_across_head_atoms_constrains_recovery(self):
+        """head S(x, z), T(z): covering homs must agree on z's value."""
+        mapping = Mapping(parse_tgds("R(x) -> S(x, z), T(z)"))
+        assert is_valid_for_recovery(mapping, parse_instance("S(a, w), T(w)"))
+        # Mismatched witness values cannot come from one firing, and a
+        # second firing would add its own S-fact.
+        assert not is_valid_for_recovery(mapping, parse_instance("S(a, w), T(v)"))
+
+    def test_two_firings_cover_crosswise(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x, z), T(z)"))
+        target = parse_instance("S(a, w), T(w), S(b, v), T(v)")
+        recoveries = inverse_chase(mapping, target)
+        assert recoveries
+        assert instance(atom("R", "a"), atom("R", "b")) in recoveries
+
+
+class TestRepeatedConstants:
+    def test_target_with_repeated_constant_positions(self):
+        mapping = Mapping(parse_tgds("Pair(x, y) -> Link(x, y)"))
+        target = parse_instance("Link(a, a)")
+        recoveries = inverse_chase(mapping, target)
+        assert recoveries == [instance(atom("Pair", "a", "a"))]
+
+    def test_diagonal_body_vs_offdiagonal_target(self):
+        mapping = Mapping(parse_tgds("Diag(x) -> Link(x, x); Any(u, v) -> Link(u, v)"))
+        # Off-diagonal targets can only come from Any.
+        recoveries = inverse_chase(mapping, parse_instance("Link(a, b)"))
+        assert recoveries == [instance(atom("Any", "a", "b"))]
+        # Diagonal targets admit both producers.
+        diagonal = inverse_chase(mapping, parse_instance("Link(a, a)"))
+        assert instance(atom("Diag", "a")) in diagonal
+        assert instance(atom("Any", "a", "a")) in diagonal
+
+
+class TestSingletonEverything:
+    def test_single_fact_single_rule(self):
+        mapping = Mapping(parse_tgds("A(x) -> B(x)"))
+        assert inverse_chase(mapping, parse_instance("B(k)")) == [
+            instance(atom("A", "k"))
+        ]
+
+    def test_certain_answer_on_singleton(self):
+        mapping = Mapping(parse_tgds("A(x) -> B(x)"))
+        q = parse_query("q(x) :- A(x)")
+        from repro.data.terms import Constant
+
+        assert certain_answer(q, mapping, parse_instance("B(k)")) == {
+            (Constant("k"),)
+        }
+
+    def test_empty_target_has_empty_recovery(self):
+        mapping = Mapping(parse_tgds("A(x) -> B(x)"))
+        recoveries = inverse_chase(mapping, Instance.empty())
+        # No facts to cover: the empty covering yields the empty source.
+        assert recoveries == [Instance.empty()]

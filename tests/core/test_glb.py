@@ -1,0 +1,121 @@
+"""Unit tests for homomorphic greatest lower bounds."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.terms import Constant, Null, NullFactory
+from repro.logic.homomorphisms import homomorphically_equivalent, maps_into
+from repro.logic.parser import parse_instance, parse_query
+from repro.core.glb import PairingFunction, glb, glb2
+
+
+class TestPairingFunction:
+    def test_equal_terms_map_to_themselves(self):
+        pairing = PairingFunction()
+        assert pairing.pair(Constant("a"), Constant("a")) == Constant("a")
+
+    def test_distinct_pairs_get_fresh_nulls(self):
+        pairing = PairingFunction()
+        fresh = pairing.pair(Constant("a"), Constant("b"))
+        assert isinstance(fresh, Null)
+
+    def test_pairing_is_memoized(self):
+        pairing = PairingFunction()
+        first = pairing.pair(Constant("a"), Constant("b"))
+        assert pairing.pair(Constant("a"), Constant("b")) == first
+
+    def test_pairing_is_injective(self):
+        pairing = PairingFunction()
+        ab = pairing.pair(Constant("a"), Constant("b"))
+        ba = pairing.pair(Constant("b"), Constant("a"))
+        ac = pairing.pair(Constant("a"), Constant("c"))
+        assert len({ab, ba, ac}) == 3
+
+
+class TestGlb2:
+    def test_lower_bound_property(self):
+        left = parse_instance("R(a, b), R(a, c)")
+        right = parse_instance("R(a, c), R(d, c)")
+        bound = glb2(left, right)
+        assert maps_into(bound, left)
+        assert maps_into(bound, right)
+
+    def test_ground_intersection_of_cq_answers(self):
+        """For ground instances Q(glb) = Q(I1) n Q(I2) for every CQ."""
+        left = parse_instance("R(a, b), R(c, d)")
+        right = parse_instance("R(a, b), R(e, f)")
+        bound = glb2(left, right)
+        q = parse_query("q(x, y) :- R(x, y)")
+        assert q.certain_evaluate(bound) == (
+            q.certain_evaluate(left) & q.certain_evaluate(right)
+        )
+
+    def test_greatest_property_against_other_bounds(self):
+        left = parse_instance("R(a, a)")
+        right = parse_instance("R(a, b)")
+        bound = glb2(left, right)
+        other = parse_instance("R(?N1, ?N2)")
+        assert maps_into(other, left) and maps_into(other, right)
+        assert maps_into(other, bound)
+
+    def test_disjoint_relations_give_empty_glb(self):
+        assert glb2(parse_instance("R(a)"), parse_instance("S(a)")).is_empty
+
+    def test_paper_example_shapes(self):
+        """glb(R(a,X), R(a,a)) ~ R(a, fresh) (Example 12's computation)."""
+        bound = glb2(parse_instance("R(a, ?X)"), parse_instance("R(a, a)"))
+        assert len(bound) == 1
+        fact = next(iter(bound))
+        assert fact.args[0] == Constant("a")
+        assert isinstance(fact.args[1], Null)
+
+    def test_shared_pairing_keeps_joins(self):
+        pairing = PairingFunction()
+        left = parse_instance("R(a, b), S(b, c)")
+        right = parse_instance("R(a, e), S(e, c)")
+        bound = glb2(left, right, pairing)
+        q = parse_query("q(x, z) :- R(x, y), S(y, z)")
+        assert q.certain_evaluate(bound) == {(Constant("a"), Constant("c"))}
+
+
+class TestGlbFold:
+    def test_single_instance_is_its_own_glb(self):
+        i = parse_instance("R(a, b)")
+        assert glb([i]) == i
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            glb([])
+
+    def test_fold_order_is_hom_equivalent(self):
+        a = parse_instance("R(a, b), R(b, b)")
+        b = parse_instance("R(a, b), R(c, c)")
+        c = parse_instance("R(a, b)")
+        assert homomorphically_equivalent(glb([a, b, c]), glb([c, b, a]))
+
+    def test_empty_glb_short_circuits(self):
+        a = parse_instance("R(a)")
+        b = parse_instance("S(a)")
+        c = parse_instance("R(a)")
+        assert glb([a, b, c]).is_empty
+
+    def test_shared_factory_keeps_nulls_globally_fresh(self):
+        factory = NullFactory(prefix="G")
+        first = glb(
+            [parse_instance("R(a, b)"), parse_instance("R(a, c)")], factory=factory
+        )
+        second = glb(
+            [parse_instance("S(a, b)"), parse_instance("S(a, c)")], factory=factory
+        )
+        assert first.nulls().isdisjoint(second.nulls())
+
+    def test_glb_maps_into_all_inputs(self):
+        instances = [
+            parse_instance("R(a, b), R(b, c)"),
+            parse_instance("R(a, c), R(b, c)"),
+            parse_instance("R(a, b), R(a, c)"),
+        ]
+        bound = glb(instances)
+        for inp in instances:
+            assert maps_into(bound, inp)

@@ -1,0 +1,113 @@
+"""Unit tests for HOM(Sigma, J) — verified against Example 2."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.substitutions import Substitution
+from repro.data.terms import Constant, Variable
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.hom_sets import (
+    TargetHomomorphism,
+    covered_by,
+    hom_set,
+    tgd_homomorphisms,
+)
+
+
+class TestExample2:
+    """The paper's running example: HOM(Sigma, J) has five members."""
+
+    def setup_method(self):
+        self.mapping = Mapping(
+            parse_tgds("R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)")
+        )
+        self.target = parse_instance("S(a, b), T(c), T(d)")
+        self.homs = hom_set(self.mapping, self.target)
+
+    def test_five_homomorphisms(self):
+        assert len(self.homs) == 5
+
+    def test_xi_homomorphism(self):
+        xi_homs = [h for h in self.homs if h.tgd.name == "xi1"]
+        assert len(xi_homs) == 1
+        h1 = xi_homs[0]
+        assert h1.image(Variable("x")) == Constant("a")
+        assert h1.image(Variable("z")) == Constant("b")
+        assert h1.covered == {atom("S", "a", "b")}
+
+    def test_rho_homomorphisms_cover_both_t_facts(self):
+        rho_covered = {
+            fact for h in self.homs if h.tgd.name == "xi2" for fact in h.covered
+        }
+        assert rho_covered == {atom("T", "c"), atom("T", "d")}
+
+    def test_sigma_homomorphisms_cover_both_t_facts(self):
+        sigma_covered = {
+            fact for h in self.homs if h.tgd.name == "xi3" for fact in h.covered
+        }
+        assert sigma_covered == {atom("T", "c"), atom("T", "d")}
+
+    def test_covered_by_union(self):
+        assert covered_by(self.homs) == self.target.facts
+
+
+class TestTargetHomomorphism:
+    def test_reverse_trigger(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x)"))
+        tgd = mapping.tgds[0]
+        hom = TargetHomomorphism(tgd, Substitution({Variable("x"): Constant("a")}))
+        reversed_tgd, sub = hom.reverse_trigger
+        assert reversed_tgd.body == tgd.head
+        assert sub.image(Variable("x")) == Constant("a")
+
+    def test_equality_and_ordering(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x)"))
+        tgd = mapping.tgds[0]
+        a = TargetHomomorphism(tgd, Substitution({Variable("x"): Constant("a")}))
+        b = TargetHomomorphism(tgd, Substitution({Variable("x"): Constant("a")}))
+        c = TargetHomomorphism(tgd, Substitution({Variable("x"): Constant("b")}))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert sorted([c, a]) == [a, c]
+
+    def test_immutable(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x)"))
+        hom = TargetHomomorphism(
+            mapping.tgds[0], Substitution({Variable("x"): Constant("a")})
+        )
+        with pytest.raises(AttributeError):
+            hom.tgd = None
+
+
+class TestEnumeration:
+    def test_homs_restricted_to_head_variables(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x)"))
+        homs = list(tgd_homomorphisms(mapping.tgds[0], parse_instance("S(a)")))
+        assert len(homs) == 1
+        assert set(homs[0].substitution.keys()) == {Variable("x")}
+
+    def test_existential_head_variables_are_included(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x, z)"))
+        homs = list(
+            tgd_homomorphisms(mapping.tgds[0], parse_instance("S(a, b), S(a, c)"))
+        )
+        assert len(homs) == 2
+        z_images = {h.image(Variable("z")) for h in homs}
+        assert z_images == {Constant("b"), Constant("c")}
+
+    def test_no_homs_into_disjoint_target(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x)"))
+        assert hom_set(mapping, parse_instance("T(a)")) == []
+
+    def test_deduplication_of_equal_head_bindings(self):
+        # Both S-atoms in the head force the same binding; one hom results.
+        mapping = Mapping(parse_tgds("R(x) -> S(x), S(x)"))
+        homs = hom_set(mapping, parse_instance("S(a)"))
+        assert len(homs) == 1
+
+    def test_deterministic_order(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a), S(b)")
+        assert hom_set(mapping, target) == hom_set(mapping, target)

@@ -1,0 +1,184 @@
+"""Unit tests for Chase^{-1} (Definition 9) — verified against Examples 6-7
+and the introduction's three chase cases."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.terms import Null
+from repro.errors import BudgetExceededError
+from repro.logic.homomorphisms import is_isomorphic, maps_into
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.chase.standard import satisfies
+from repro.core.inverse_chase import inverse_chase, inverse_chase_candidates
+from repro.core.semantics import is_recovery
+from repro.core.subsumption import minimal_subsumers
+
+
+def running_example():
+    mapping = Mapping(
+        parse_tgds("R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)")
+    )
+    return mapping, parse_instance("S(a, b), T(c), T(d)")
+
+
+class TestExample7:
+    def test_six_recoveries_from_minimal_covers(self):
+        """Example 7 literally: minimal covers with the strict Definition 8
+        filter yield exactly the paper's six recoveries."""
+        mapping, target = running_example()
+        recoveries = inverse_chase(mapping, target, subsumption_mode="strict")
+        assert len(recoveries) == 6
+
+    def test_default_mode_extends_the_paper_set_soundly(self):
+        """The default (refutation) mode may add homomorphically redundant
+        recoveries — here the two H4-derived ones — all genuine."""
+        mapping, target = running_example()
+        strict = set(inverse_chase(mapping, target, subsumption_mode="strict"))
+        default = set(inverse_chase(mapping, target))
+        assert strict <= default
+        for extra in default - strict:
+            assert is_recovery(mapping, extra, target)
+            assert any(maps_into(kept, extra) for kept in strict)
+
+    def test_recovery_shapes_match_the_paper(self):
+        mapping, target = running_example()
+        recoveries = inverse_chase(mapping, target, subsumption_mode="strict")
+        # g11(I_1) = {R(a,a,c), R(X2,X3,c), R(X4,X5,d)} and its sibling
+        # with the grounded row mapped to d.
+        all_r = [r for r in recoveries if r.relation_names == {"R"}]
+        assert len(all_r) == 2
+        for r in all_r:
+            grounded = [f for f in r if f.args[0] == f.args[1]]
+            assert len(grounded) == 1
+        # Four mixed R/D recoveries.
+        mixed = [r for r in recoveries if r.relation_names == {"R", "D"}]
+        assert len(mixed) == 4
+
+    def test_every_output_is_a_recovery(self):
+        mapping, target = running_example()
+        for recovery in inverse_chase(mapping, target):
+            assert is_recovery(mapping, recovery, target)
+
+    def test_every_output_is_a_model_with_target(self):
+        mapping, target = running_example()
+        for recovery in inverse_chase(mapping, target):
+            assert satisfies(recovery, target, mapping)
+
+    def test_candidates_expose_provenance(self):
+        mapping, target = running_example()
+        for candidate in inverse_chase_candidates(mapping, target):
+            assert candidate.covering
+            assert not candidate.backward_instance.is_empty
+            assert not candidate.forward_instance.is_empty
+            assert candidate.recovery == candidate.backward_instance.apply(
+                candidate.homomorphism
+            )
+
+    def test_example6_unsound_raw_backward_instance(self):
+        """Example 6: Chase_H alone is *not* a recovery; g makes it one."""
+        mapping, target = running_example()
+        candidate = next(iter(inverse_chase_candidates(mapping, target)))
+        raw = candidate.backward_instance
+        assert not satisfies(raw, target, mapping)
+        assert satisfies(candidate.recovery, target, mapping)
+
+
+class TestIntroCases:
+    def test_case_one_not_all_triggers_fire(self):
+        """Equation (5): minimal covers give {R(a)} and {M(a)} separately."""
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a)")
+        recoveries = inverse_chase(mapping, target)
+        assert instance(atom("R", "a")) in recoveries
+        assert instance(atom("M", "a")) in recoveries
+        assert len(recoveries) == 2
+
+    def test_case_one_all_covers_adds_the_union(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a)")
+        recoveries = inverse_chase(mapping, target, cover_mode="all")
+        assert instance(atom("R", "a"), atom("M", "a")) in recoveries
+        assert len(recoveries) == 3
+
+    def test_case_two_subsumption_blocks_unsound_trigger(self):
+        """Equation (4): J = {S(a)} must recover through M, never R alone."""
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        recoveries = inverse_chase(mapping, parse_instance("S(a)"))
+        assert recoveries == [instance(atom("M", "a"))]
+
+    def test_case_two_with_t_fact_recovers_through_r(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        recoveries = inverse_chase(mapping, parse_instance("T(a), S(a)"))
+        assert instance(atom("R", "a")) in recoveries
+
+    def test_case_three_null_equating(self):
+        """Equation (6): the backward null must be equated with b."""
+        mapping = Mapping(parse_tgds("R(x, x, y) -> T(x); R(v, w, z) -> S(z)"))
+        target = parse_instance("T(a), S(b)")
+        recoveries = inverse_chase(mapping, target)
+        assert len(recoveries) == 1
+        recovery = recoveries[0]
+        # Homomorphically equivalent to the paper's I_2 = {R(a,a,b), R(Y,Z,b)}
+        # and hence to I_1 = {R(a,a,b)}.
+        assert maps_into(recovery, parse_instance("R(a, a, b)"))
+        assert maps_into(parse_instance("R(a, a, b)"), recovery)
+
+    def test_unrecoverable_target_yields_empty_set(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        assert inverse_chase(mapping, parse_instance("T(a)")) == []
+
+
+class TestOptions:
+    def test_subsumption_prefilter_preserves_soundness_and_answers(self):
+        """Ablation E15's invariant: dropping the SUB pre-filter may emit
+        extra homomorphically-redundant recoveries, but every output is
+        still a recovery and UCQ certain answers are unchanged."""
+        mapping, target = running_example()
+        with_sub = inverse_chase(mapping, target, subsumption_mode="strict")
+        without_sub = inverse_chase(mapping, target, subsumption_mode="off")
+        assert set(with_sub) <= set(without_sub)
+        for extra in set(without_sub) - set(with_sub):
+            assert is_recovery(mapping, extra, target)
+            # Some SUB-filtered output maps into the extra recovery, so
+            # the extra instance never changes an intersection of
+            # monotone-query answers.
+            assert any(maps_into(kept, extra) for kept in with_sub)
+
+    def test_precomputed_subsumption_is_accepted(self):
+        mapping, target = running_example()
+        sub = minimal_subsumers(mapping)
+        assert inverse_chase(mapping, target, subsumption=sub) == inverse_chase(
+            mapping, target
+        )
+
+    def test_max_recoveries_budget(self):
+        mapping, target = running_example()
+        with pytest.raises(BudgetExceededError):
+            inverse_chase(mapping, target, max_recoveries=2)
+
+    def test_max_covers_budget(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a), S(b), S(c)")
+        with pytest.raises(BudgetExceededError):
+            inverse_chase(mapping, target, max_covers=1)
+
+    def test_outputs_are_distinct(self):
+        mapping, target = running_example()
+        recoveries = inverse_chase(mapping, target)
+        assert len(recoveries) == len(set(recoveries))
+
+
+class TestLemma1Remark:
+    def test_unique_cover_but_many_recoveries(self):
+        """|COV| = 1 yet |Chase^{-1}| = 7 (the remark after Lemma 1)."""
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x); R(u, v) -> T(v)"))
+        target = parse_instance("S(a1), S(a2), T(b1), T(b2)")
+        from repro.core.covers import count_covers
+        from repro.core.hom_sets import hom_set
+
+        homs = hom_set(mapping, target)
+        assert count_covers(homs, target, mode="all") == 1
+        recoveries = inverse_chase(mapping, target)
+        assert len(recoveries) == 7

@@ -1,0 +1,120 @@
+"""Unit tests for target repair (the conclusions' open problem)."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.errors import BudgetExceededError
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.repair import (
+    recover_after_alteration,
+    repair_target,
+    repairs,
+    uncoverable_facts,
+)
+from repro.core.validity import is_valid_for_recovery
+
+
+def orders_mapping():
+    return Mapping(
+        parse_tgds(
+            "Order(c, i) -> Shipment(i), Invoice(c); Gift(c2, i2) -> Shipment(i2)"
+        )
+    )
+
+
+class TestUncoverableFacts:
+    def test_foreign_relation(self):
+        mapping = orders_mapping()
+        target = parse_instance("Shipment(laptop), Invoice(ada), Refund(ada)")
+        assert uncoverable_facts(mapping, target) == {atom("Refund", "ada")}
+
+    def test_missing_co_effects(self):
+        mapping = orders_mapping()
+        target = parse_instance("Invoice(ada)")
+        # No shipment at all: the Order rule's head cannot embed.
+        assert uncoverable_facts(mapping, target) == {atom("Invoice", "ada")}
+
+    def test_clean_target_has_none(self):
+        mapping = orders_mapping()
+        target = parse_instance("Shipment(laptop), Invoice(ada)")
+        assert uncoverable_facts(mapping, target) == set()
+
+
+class TestRepair:
+    def test_valid_targets_repair_to_themselves(self):
+        mapping = orders_mapping()
+        target = parse_instance("Shipment(laptop), Invoice(ada)")
+        assert repair_target(mapping, target) == target
+
+    def test_foreign_fact_is_removed(self):
+        mapping = orders_mapping()
+        target = parse_instance("Shipment(laptop), Invoice(ada), Refund(ada)")
+        repaired = repair_target(mapping, target)
+        assert repaired == parse_instance("Shipment(laptop), Invoice(ada)")
+
+    def test_subsumption_violation_is_repaired(self):
+        """Equation (4): J = {T(a)} repairs to the empty instance; with an
+        extra S-fact the T-fact can be kept."""
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        repaired = repair_target(mapping, parse_instance("T(a), S(b)"))
+        assert repaired is not None
+        assert is_valid_for_recovery(mapping, repaired)
+        # Keeping both is impossible; the maximal repair keeps S(b).
+        assert repaired == parse_instance("S(b)")
+
+    def test_repairs_are_subset_maximal(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        target = parse_instance("T(a), S(b)")
+        for repaired in repairs(mapping, target):
+            assert is_valid_for_recovery(mapping, repaired)
+            # No strict superset within the target is valid.
+            for fact in target.facts - repaired.facts:
+                assert not is_valid_for_recovery(
+                    mapping, repaired.with_facts([fact])
+                )
+
+    def test_multiple_incomparable_repairs(self):
+        """T(a) can be kept by *adding nothing*, S(a) covers it... craft a
+        target with two maximal repairs."""
+        mapping = Mapping(parse_tgds("A(x) -> P(x), Q(x); B(y) -> P(y), W(y)"))
+        # P(1) needs Q(1) (via A) or W(1) (via B); providing both Q(1)
+        # and W(1) makes {P,Q,W} valid already, so corrupt differently:
+        target = parse_instance("Q(1), W(1)")
+        # Q(1) alone requires P(1) (absent) -> uncoverable; same for W(1).
+        repaired = repair_target(mapping, target)
+        assert repaired is not None
+        assert repaired.is_empty
+
+    def test_unrepairable_within_budget_returns_none(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        target = parse_instance("T(a), T(b), T(c), T(d), T(e)")
+        # All five facts must go, but only 2 removals are allowed
+        # (uncoverable-phase does not apply: T is coverable per HOM).
+        assert repair_target(mapping, target, max_removals=2) is None
+
+    def test_candidate_budget_enforced(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        target = parse_instance(", ".join(f"T(a{i})" for i in range(8)))
+        with pytest.raises(BudgetExceededError):
+            list(repairs(mapping, target, max_removals=6, max_candidates=10))
+
+
+class TestRecoverAfterAlteration:
+    def test_end_to_end(self):
+        mapping = orders_mapping()
+        target = parse_instance("Shipment(laptop), Invoice(ada), Refund(ada)")
+        repaired, recoveries = recover_after_alteration(mapping, target)
+        assert repaired == parse_instance("Shipment(laptop), Invoice(ada)")
+        assert recoveries
+        for recovery in recoveries:
+            assert is_valid_for_recovery(mapping, repaired)
+
+    def test_unrepairable_returns_empty(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        target = parse_instance("T(a), T(b), T(c), T(d)")
+        repaired, recoveries = recover_after_alteration(
+            mapping, target, max_removals=1
+        )
+        assert repaired is None
+        assert recoveries == []

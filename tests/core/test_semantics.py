@@ -1,0 +1,127 @@
+"""Unit tests for the recovery semantics oracle (Definitions 1-3)."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.errors import BudgetExceededError
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.semantics import (
+    is_justified,
+    is_minimal_solution,
+    is_recovery,
+    minimal_solution_images,
+)
+
+
+class TestExample1:
+    """Definition 1 on the paper's Example 1."""
+
+    def setup_method(self):
+        self.mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+
+    def test_j1_minimal_for_i1(self):
+        i1 = parse_instance("S(a), S(b)")
+        j1 = parse_instance("T(a, b), T(b, c)")
+        assert is_minimal_solution(self.mapping, i1, j1)
+
+    def test_j1_not_minimal_for_i2(self):
+        i2 = parse_instance("S(a)")
+        j1 = parse_instance("T(a, b), T(b, c)")
+        assert not is_minimal_solution(self.mapping, i2, j1)
+
+    def test_j2_never_minimal(self):
+        """J_2 = {T(a,b), T(a,c)} is not minimal for any source."""
+        j2 = parse_instance("T(a, b), T(a, c)")
+        for source_text in ["S(a)", "S(a), S(b)", "S(b)", ""]:
+            assert not is_minimal_solution(
+                self.mapping, parse_instance(source_text), j2
+            )
+
+    def test_non_model_is_not_minimal(self):
+        assert not is_minimal_solution(
+            self.mapping, parse_instance("S(a)"), parse_instance("T(b, c)")
+        )
+
+    def test_empty_target_minimal_for_empty_source(self):
+        assert is_minimal_solution(self.mapping, instance(), instance())
+
+
+class TestMinimalSolutionImages:
+    def test_canonical_image_enumeration(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        source = parse_instance("S(a)")
+        target = parse_instance("T(a, b)")
+        images = list(minimal_solution_images(mapping, source, target))
+        assert parse_instance("T(a, b)") in images
+
+    def test_budget_enforced(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        source = parse_instance(", ".join(f"S(c{i})" for i in range(10)))
+        target = parse_instance(", ".join(f"T(c{i}, d{i})" for i in range(10)))
+        with pytest.raises(BudgetExceededError):
+            list(minimal_solution_images(mapping, source, target, max_search=10))
+
+
+class TestJustified:
+    def setup_method(self):
+        self.mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+
+    def test_example1_j1_justified_by_i1(self):
+        assert is_justified(
+            self.mapping, parse_instance("S(a), S(b)"), parse_instance("T(a, b), T(b, c)")
+        )
+
+    def test_universal_solution_is_justified(self):
+        from repro.chase.standard import chase
+
+        source = parse_instance("S(a), S(b)")
+        canonical = chase(self.mapping, source).result
+        assert is_justified(self.mapping, source, canonical)
+
+    def test_unjustified_junk_tuple(self):
+        """A target tuple nothing in the source explains is rejected."""
+        mapping = Mapping(parse_tgds("R(x) -> T(x, z); M(x2) -> T(x2, x2)"))
+        source = parse_instance("R(a), M(a)")
+        # T(a,b) is only explained by R's existential, but then removing it
+        # leaves T(a,a) satisfying R's trigger: no minimal solution holds both.
+        assert not is_justified(mapping, source, parse_instance("T(a, b), T(a, a)"))
+        assert is_justified(mapping, source, parse_instance("T(a, a)"))
+
+    def test_non_model_is_never_justified(self):
+        assert not is_justified(
+            self.mapping, parse_instance("S(a)"), parse_instance("T(b, c)")
+        )
+
+    def test_empty_source_cannot_justify_nonempty_target(self):
+        assert not is_justified(self.mapping, instance(), parse_instance("T(a, b)"))
+
+    def test_empty_target_justified_by_trigger_free_source(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        assert is_justified(mapping, instance(), instance())
+
+
+class TestIsRecovery:
+    def test_paper_recovery_accepted(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b1), P(b2)")
+        assert is_recovery(mapping, parse_instance("R(a, b1), R(a, b2)"), target)
+
+    def test_partial_cover_rejected(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b1), P(b2)")
+        assert not is_recovery(mapping, parse_instance("R(a, b1)"), target)
+
+    def test_unsound_source_rejected(self):
+        """Equation (4): I = {R(a)} forces T(a), absent from J = {S(a)}."""
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        target = parse_instance("S(a)")
+        assert not is_recovery(mapping, parse_instance("R(a)"), target)
+        assert not is_recovery(mapping, parse_instance("R(a), M(a)"), target)
+        assert is_recovery(mapping, parse_instance("M(a)"), target)
+
+    def test_recovery_with_nulls_in_source(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x)"))
+        target = parse_instance("S(a)")
+        assert is_recovery(mapping, parse_instance("R(a, ?N)"), target)

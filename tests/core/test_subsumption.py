@@ -1,0 +1,205 @@
+"""Unit tests for subsumption constraints (Definitions 6-8, Examples 4-5, 8)."""
+
+import pytest
+
+from repro.data.substitutions import Substitution
+from repro.data.terms import Constant, Variable
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.hom_sets import TargetHomomorphism, hom_set
+from repro.core.subsumption import (
+    SubsumptionConstraint,
+    is_tautological,
+    minimal_subsumers,
+    models_all,
+    models_constraint,
+)
+
+
+def running_example():
+    return Mapping(
+        parse_tgds("R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)")
+    )
+
+
+class TestExample4And5:
+    def test_single_constraint_xi_subsumes_rho(self):
+        """Example 5: SUB(Sigma) = {theta_1 -> theta_0} once tautologies go."""
+        sub = minimal_subsumers(running_example())
+        assert len(sub) == 1
+        constraint = sub[0]
+        assert len(constraint.premises) == 1
+        assert constraint.premises[0][0].name == "xi1"
+        assert constraint.conclusion_tgd.name == "xi2"
+
+    def test_rho_cannot_subsume_xi(self):
+        """Example 4's remark: u and v would need distinct (token) values."""
+        sub = minimal_subsumers(running_example())
+        assert not any(c.conclusion_tgd.name == "xi1" for c in sub)
+
+    def test_sigma_not_involved(self):
+        sub = minimal_subsumers(running_example())
+        for constraint in sub:
+            tgds = {t.name for t, _ in constraint.premises}
+            tgds.add(constraint.conclusion_tgd.name)
+            assert "xi3" not in tgds
+
+    def test_conclusion_token_marks_body_only_variable(self):
+        (constraint,) = minimal_subsumers(running_example())
+        tokens = constraint.tokens()
+        assert len(tokens) == 1  # the image of xi's body-only variable y
+
+
+class TestModelChecking:
+    """Definition 8 on the running example's coverings (Examples 5-7)."""
+
+    def setup_method(self):
+        self.mapping = running_example()
+        self.target = parse_instance("S(a, b), T(c), T(d)")
+        self.homs = hom_set(self.mapping, self.target)
+        self.sub = minimal_subsumers(self.mapping)
+        self.by_name = {}
+        for h in self.homs:
+            self.by_name.setdefault(h.tgd.name, []).append(h)
+
+    def test_covering_with_rho_homs_is_model(self):
+        h1 = self.by_name["xi1"][0]
+        rho = self.by_name["xi2"]
+        assert models_all([h1, *rho], self.sub)
+
+    def test_covering_without_rho_homs_fails(self):
+        """H4 = {h1, h4, h5} does not model SUB (Example 7)."""
+        h1 = self.by_name["xi1"][0]
+        sigma = self.by_name["xi3"]
+        assert not models_all([h1, *sigma], self.sub)
+
+    def test_covering_without_xi1_is_vacuous_model(self):
+        rho = self.by_name["xi2"]
+        sigma = self.by_name["xi3"]
+        assert models_all([*rho, *sigma], self.sub)
+
+    def test_single_rho_hom_suffices_for_conclusion(self):
+        h1 = self.by_name["xi1"][0]
+        assert models_all([h1, self.by_name["xi2"][0]], self.sub)
+
+
+class TestEquation4:
+    """Sigma = {R(x)->T(x); R(x)->S(x); M(x)->S(x)} (intro, equation 4)."""
+
+    def setup_method(self):
+        self.mapping = Mapping(
+            parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)")
+        )
+        self.sub = minimal_subsumers(self.mapping)
+
+    def test_mutual_subsumption_between_r_rules(self):
+        pairs = {
+            (c.premises[0][0].name, c.conclusion_tgd.name) for c in self.sub
+        }
+        assert ("xi1", "xi2") in pairs
+        assert ("xi2", "xi1") in pairs
+
+    def test_m_rule_not_constrained(self):
+        for constraint in self.sub:
+            names = {t.name for t, _ in constraint.premises}
+            names.add(constraint.conclusion_tgd.name)
+            assert "xi3" not in names
+
+    def test_s_only_covering_by_r_fails(self):
+        target = parse_instance("S(a)")
+        homs = hom_set(self.mapping, target)
+        r_hom = [h for h in homs if h.tgd.name == "xi2"]
+        m_hom = [h for h in homs if h.tgd.name == "xi3"]
+        assert not models_all(r_hom, self.sub)
+        assert models_all(m_hom, self.sub)
+
+
+class TestExample8SelfJoin:
+    """Example 8: one tgd subsuming itself through two instantiations."""
+
+    def setup_method(self):
+        self.mapping = Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        )
+        self.sub = minimal_subsumers(self.mapping)
+
+    def test_constraints_exist(self):
+        assert len(self.sub) >= 1
+
+    def test_two_premise_instantiations_of_same_tgd(self):
+        for constraint in self.sub:
+            assert len(constraint.premises) == 2
+            assert {t.name for t, _ in constraint.premises} == {"xi1"}
+            assert constraint.conclusion_tgd.name == "xi1"
+
+    def test_premises_share_the_department_class(self):
+        constraint = self.sub[0]
+        d = Variable("d")
+        images = {theta.image(d) for _, theta in constraint.premises}
+        assert len(images) == 1  # both premises bind Dept to the same class
+
+    def test_constraint_rejects_mismatched_benefit_sets(self):
+        """Two employees of one department must share all benefits."""
+        tgd = self.mapping.tgds[0]
+        n, d, b = Variable("n"), Variable("d"), Variable("b")
+
+        def hom(name, dept, benefit):
+            return TargetHomomorphism(
+                tgd,
+                Substitution(
+                    {n: Constant(name), d: Constant(dept), b: Constant(benefit)}
+                ),
+            )
+
+        # Joe/HR/medical and Sue/HR/pension present, but Joe/HR/pension
+        # missing: the set cannot model the self-join constraint.
+        broken = [hom("joe", "hr", "medical"), hom("sue", "hr", "pension")]
+        assert not models_all(broken, self.sub)
+        complete = broken + [hom("joe", "hr", "pension"), hom("sue", "hr", "medical")]
+        assert models_all(complete, self.sub)
+
+
+class TestTautologies:
+    def test_identity_constraint_is_tautological(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x, y)"))
+        tgd = mapping.tgds[0]
+        theta = Substitution(
+            {Variable("x"): Variable("r1"), Variable("y"): Variable("r2")}
+        )
+        constraint = SubsumptionConstraint([(tgd, theta)], (tgd, theta))
+        assert is_tautological(constraint)
+
+    def test_sub_never_contains_tautologies(self):
+        for text in [
+            "R(x, y) -> S(x, y)",
+            "R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)",
+            "R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)",
+        ]:
+            for constraint in minimal_subsumers(Mapping(parse_tgds(text))):
+                assert not is_tautological(constraint)
+
+    def test_single_generic_tgd_has_empty_sub(self):
+        # Example 9's remark: SUB(Sigma) is empty for independent tgds.
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), S(y); D(z) -> T(z)"))
+        assert minimal_subsumers(mapping) == []
+
+    def test_vacuous_model_when_no_premise_homs(self):
+        sub = minimal_subsumers(running_example())
+        assert models_all([], sub)
+
+
+class TestConstraintObject:
+    def test_equality_and_repr(self):
+        sub = minimal_subsumers(running_example())
+        again = minimal_subsumers(running_example())
+        assert sub == again
+        assert "=>" in repr(sub[0])
+
+    def test_models_constraint_is_consistent_with_models_all(self):
+        mapping = running_example()
+        target = parse_instance("S(a, b), T(c), T(d)")
+        homs = hom_set(mapping, target)
+        sub = minimal_subsumers(mapping)
+        assert models_all(homs, sub) == all(
+            models_constraint(homs, c) for c in sub
+        )

@@ -1,0 +1,189 @@
+"""Unit tests for the tractable cases (Lemma 1, Theorems 5-7)."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.terms import Constant
+from repro.errors import NotRecoverableError
+from repro.logic.homomorphisms import maps_into
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.certain import certain_answer, certain_answers
+from repro.core.inverse_chase import inverse_chase
+from repro.core.tractable import (
+    complete_ucq_recovery,
+    forced_homomorphisms,
+    is_quasi_guarded_safe,
+    k_cover_recoveries,
+    maximal_unique_subset,
+    sound_ucq_instance,
+)
+
+
+class TestQuasiGuardedSafety:
+    def test_empty_sub_is_safe(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), S(y); D(z) -> T(z)"))
+        assert is_quasi_guarded_safe(mapping)
+
+    def test_quasi_guarded_self_join_is_safe(self):
+        """Example 8's single full+quasi-guarded tgd is safe."""
+        mapping = Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        )
+        assert is_quasi_guarded_safe(mapping)
+
+    def test_running_example_is_unsafe(self):
+        """xi has a body-only variable and participates in SUB(Sigma)."""
+        mapping = Mapping(
+            parse_tgds("R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)")
+        )
+        assert not is_quasi_guarded_safe(mapping)
+
+
+class TestTheorem5:
+    def test_example8_complete_recovery(self):
+        mapping = Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        )
+        target = parse_instance(
+            """
+            EmpDept(Joe, HR), EmpDept(Bill, Sales), EmpDept(Sue, HR),
+            EmpBnf(Joe, medical), EmpBnf(Joe, pension),
+            EmpBnf(Sue, medical), EmpBnf(Sue, pension),
+            EmpBnf(Bill, medical), EmpBnf(Bill, profit)
+            """
+        )
+        recovered = complete_ucq_recovery(mapping, target)
+        assert recovered == parse_instance(
+            """
+            Emp(Joe, HR), Emp(Sue, HR), Emp(Bill, Sales),
+            Bnf(HR, medical), Bnf(HR, pension),
+            Bnf(Sales, medical), Bnf(Sales, profit)
+            """
+        )
+
+    def test_example8_headline_query(self):
+        """Q = Bnf(HR, x) answers {medical, pension} — the paper's point."""
+        mapping = Mapping(
+            parse_tgds("Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)")
+        )
+        target = parse_instance(
+            """
+            EmpDept(Joe, HR), EmpDept(Sue, HR),
+            EmpBnf(Joe, medical), EmpBnf(Joe, pension),
+            EmpBnf(Sue, medical), EmpBnf(Sue, pension)
+            """
+        )
+        recovered = complete_ucq_recovery(mapping, target)
+        q = parse_query("q(x) :- Bnf('HR', x)")
+        assert q.certain_evaluate(recovered) == {
+            (Constant("medical"),),
+            (Constant("pension"),),
+        }
+
+    def test_complete_recovery_matches_inverse_chase_answers(self):
+        """The PTIME instance answers UCQs exactly like CERT."""
+        mapping = Mapping(parse_tgds("E(x, y) -> F(x, y); G(u) -> K(u), L(u)"))
+        target = parse_instance("F(a, b), K(g1), L(g1)")
+        recovered = complete_ucq_recovery(mapping, target)
+        for text in ["q(x) :- E(x, y)", "q(u) :- G(u)", "q(x) :- E(x, y); q(x) :- G(x)"]:
+            q = parse_query(text)
+            assert q.certain_evaluate(recovered) == certain_answer(q, mapping, target)
+
+    def test_non_unique_cover_rejected(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        with pytest.raises(ValueError, match="unique covering"):
+            complete_ucq_recovery(mapping, parse_instance("S(a)"))
+
+    def test_unsafe_mapping_rejected(self):
+        mapping = Mapping(
+            parse_tgds("R(x, x, y) -> S(x, z); R(u, v, w) -> T(w); D(k, p) -> T(p)")
+        )
+        with pytest.raises(ValueError, match="quasi-guarded"):
+            complete_ucq_recovery(mapping, parse_instance("S(a, b), T(c), T(d)"))
+
+    def test_unique_recovery_with_existentials(self):
+        """The remark after Theorem 5: Sigma = {R(x,y) -> S(x)} has
+        infinitely many recoveries but a complete UCQ recovery."""
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x)"))
+        target = parse_instance("S(a), S(b), S(c)")
+        recovered = complete_ucq_recovery(mapping, target)
+        assert len(recovered) == 3
+        assert all(fact.relation == "R" for fact in recovered)
+        firsts = {fact.args[0] for fact in recovered}
+        assert firsts == {Constant("a"), Constant("b"), Constant("c")}
+
+    def test_unrecoverable_unique_cover_raises(self):
+        """A unique covering can still violate subsumption: equation (4)
+        with J = {T(a)} has exactly one covering yet no recovery."""
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        with pytest.raises(NotRecoverableError):
+            complete_ucq_recovery(mapping, parse_instance("T(a)"))
+
+
+class TestKCoverRecoveries:
+    def test_two_covers_give_complete_answers(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a)")
+        recoveries = k_cover_recoveries(mapping, target, k=4)
+        assert len(recoveries) == 2
+        union = parse_query("q(x) :- R(x); q(x) :- M(x)")
+        assert certain_answers(union, recoveries) == certain_answer(
+            union, mapping, target
+        )
+
+    def test_k_too_small_raises_budget(self):
+        from repro.errors import BudgetExceededError
+
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        target = parse_instance("S(a), S(b)")
+        with pytest.raises(BudgetExceededError):
+            k_cover_recoveries(mapping, target, k=2)
+
+
+class TestTheorem7:
+    def setup_method(self):
+        # Example 9.
+        self.mapping = Mapping(parse_tgds("R(x, y) -> S(x), S(y); D(z) -> T(z)"))
+        self.target = parse_instance("S(a), S(b), T(c), T(d)")
+
+    def test_forced_homomorphisms(self):
+        forced = forced_homomorphisms(self.mapping, self.target)
+        assert {h.tgd.name for h in forced} == {"xi2"}
+        assert len(forced) == 2
+
+    def test_maximal_unique_subset_is_the_t_facts(self):
+        subset, forced = maximal_unique_subset(self.mapping, self.target)
+        assert subset == parse_instance("T(c), T(d)")
+        assert len(forced) == 2
+
+    def test_sound_instance_matches_example9(self):
+        assert sound_ucq_instance(self.mapping, self.target) == parse_instance(
+            "D(c), D(d)"
+        )
+
+    def test_sound_instance_answers_are_sound(self):
+        sound = sound_ucq_instance(self.mapping, self.target)
+        q = parse_query("q(x) :- D(x)")
+        assert q.certain_evaluate(sound) == {(Constant("c"),), (Constant("d"),)}
+
+    def test_sound_instance_maps_into_every_recovery(self):
+        sound = sound_ucq_instance(self.mapping, self.target)
+        for recovery in inverse_chase(self.mapping, self.target):
+            assert maps_into(sound, recovery)
+
+    def test_no_forced_homs_gives_empty_instance(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> S(y)"))
+        assert sound_ucq_instance(mapping, parse_instance("S(a)")).is_empty
+
+    def test_forced_ambiguous_mix(self):
+        """A target mixing forced and ambiguous facts keeps only the
+        forced part's consequences."""
+        mapping = Mapping(parse_tgds("A(x) -> P(x); B(u) -> P(u), Q(u)"))
+        target = parse_instance("P(1), Q(1)")
+        sound = sound_ucq_instance(mapping, target)
+        # Q(1) forces the B-homomorphism; B(1) is in every recovery.
+        assert sound == parse_instance("B(1)")
+        for recovery in inverse_chase(mapping, target):
+            assert maps_into(sound, recovery)

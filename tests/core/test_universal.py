@@ -1,0 +1,75 @@
+"""Unit tests for universal/canonical solution testing (Proposition 1)."""
+
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.chase.standard import chase
+from repro.core.universal import (
+    find_universal_source,
+    is_canonical_solution_for,
+    is_universal_solution_for,
+    is_universal_solution_for_some_source,
+)
+
+
+class TestPairwiseChecks:
+    def setup_method(self):
+        self.mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+
+    def test_canonical_solution_is_universal(self):
+        source = parse_instance("S(a), S(b)")
+        canonical = chase(self.mapping, source).result
+        assert is_universal_solution_for(self.mapping, source, canonical)
+        assert is_canonical_solution_for(self.mapping, source, canonical)
+
+    def test_grounded_witnesses_are_not_universal(self):
+        source = parse_instance("S(a)")
+        grounded = parse_instance("T(a, b)")
+        # A solution, but its constant witness cannot map into other
+        # solutions' witnesses.
+        assert not is_universal_solution_for(self.mapping, source, grounded)
+
+    def test_null_witnesses_are_universal(self):
+        source = parse_instance("S(a)")
+        assert is_universal_solution_for(
+            self.mapping, source, parse_instance("T(a, ?N)")
+        )
+
+    def test_non_solution_is_not_universal(self):
+        assert not is_universal_solution_for(
+            self.mapping, parse_instance("S(a)"), parse_instance("T(b, ?N)")
+        )
+
+    def test_canonical_requires_isomorphism(self):
+        source = parse_instance("S(a)")
+        fattened = parse_instance("T(a, ?N), T(a, ?M)")
+        assert not is_canonical_solution_for(self.mapping, source, fattened)
+        # Still universal: it maps into the canonical solution.
+        assert is_universal_solution_for(self.mapping, source, fattened)
+
+
+class TestExistentialSearch:
+    def test_exchanged_targets_have_universal_sources(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b)")
+        witness = find_universal_source(mapping, target)
+        assert witness is not None
+        assert is_universal_solution_for(mapping, witness, target)
+
+    def test_proposition1_positive(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        assert is_universal_solution_for_some_source(
+            mapping, parse_instance("T(a, ?N)")
+        )
+
+    def test_proposition1_negative_for_invalid_targets(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        assert not is_universal_solution_for_some_source(
+            mapping, parse_instance("T(a)")
+        )
+
+    def test_grounded_witness_targets_are_not_universal_for_searched_sources(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        # Recoverable (justified) but not universal for its recoveries:
+        # the witness b is a constant.
+        target = parse_instance("T(a, b)")
+        assert find_universal_source(mapping, target) is None

@@ -1,0 +1,67 @@
+"""Unit tests for the J-validity decision problem (Theorem 3)."""
+
+import pytest
+
+from repro.data.instances import instance
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.core.semantics import is_recovery
+from repro.core.validity import find_recovery, is_valid_for_recovery
+from repro.workloads.generators import corrupted_target, exchange_workload
+
+
+class TestValidity:
+    def test_exchanged_target_is_valid(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        assert is_valid_for_recovery(mapping, parse_instance("S(a), P(b)"))
+
+    def test_uncoverable_fact_is_invalid(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x)"))
+        assert not is_valid_for_recovery(mapping, parse_instance("S(a), T(b)"))
+
+    def test_subsumption_violation_is_invalid(self):
+        """Equation (4) with J = {T(a)}: coverable but unrecoverable."""
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        assert not is_valid_for_recovery(mapping, parse_instance("T(a)"))
+        assert is_valid_for_recovery(mapping, parse_instance("T(a), S(a)"))
+
+    def test_example1_style_non_minimal_target(self):
+        """J = {T(a,b), T(a,c)} is a minimal solution for no source, hence
+        not valid for recovery under S(x) -> T(x,y)."""
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        assert not is_valid_for_recovery(mapping, parse_instance("T(a, b), T(a, c)"))
+        assert is_valid_for_recovery(mapping, parse_instance("T(a, b), T(b, c)"))
+
+    def test_empty_target_is_valid(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x)"))
+        assert is_valid_for_recovery(mapping, instance())
+
+    def test_find_recovery_returns_witness(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b)")
+        witness = find_recovery(mapping, target)
+        assert witness is not None
+        assert is_recovery(mapping, witness, target)
+
+    def test_find_recovery_none_for_invalid(self):
+        mapping = Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+        assert find_recovery(mapping, parse_instance("T(a)")) is None
+
+
+class TestValidityOnWorkloads:
+    def test_honest_exchanges_are_valid(self):
+        for seed in range(5):
+            mapping, _, target = exchange_workload(
+                seed, tgds=2, source_facts=4, domain_size=3, max_arity=2
+            )
+            assert is_valid_for_recovery(mapping, target, max_covers=2000)
+
+    def test_validity_agrees_with_witness_existence(self):
+        for seed in range(5):
+            mapping, _, target = exchange_workload(
+                seed, tgds=2, source_facts=2, domain_size=2, max_arity=2
+            )
+            corrupted = corrupted_target(seed, mapping, target, extra_facts=1)
+            valid = is_valid_for_recovery(mapping, corrupted, max_covers=500)
+            witness = find_recovery(mapping, corrupted, max_covers=500)
+            assert valid == (witness is not None)

@@ -1,0 +1,123 @@
+"""Unit tests for atoms and atom-set helpers."""
+
+import pytest
+
+from repro.data.atoms import (
+    Atom,
+    atom,
+    atoms_constants,
+    atoms_nulls,
+    atoms_variables,
+    freeze_atoms,
+)
+from repro.data.terms import Constant, Null, Variable
+
+
+class TestConstruction:
+    def test_relation_and_args(self):
+        a = Atom("R", [Constant("a"), Variable("x")])
+        assert a.relation == "R"
+        assert a.args == (Constant("a"), Variable("x"))
+        assert a.arity == 2
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", [Constant("a")])
+
+    def test_nullary_atoms_allowed(self):
+        assert Atom("Unit", []).arity == 0
+
+    def test_string_coercion_conventions(self):
+        a = atom("R", "a", "?N", "$x", "_M", 3)
+        assert a.args == (
+            Constant("a"),
+            Null("N"),
+            Variable("x"),
+            Null("M"),
+            Constant(3),
+        )
+
+    def test_unknown_payload_rejected(self):
+        with pytest.raises(TypeError):
+            atom("R", object())
+
+
+class TestClassification:
+    def test_variables_nulls_constants(self):
+        a = atom("R", "$x", "?N", "a", "$x")
+        assert a.variables == {Variable("x")}
+        assert a.nulls == {Null("N")}
+        assert a.constants == {Constant("a")}
+
+    def test_is_fact(self):
+        assert atom("R", "a", "?N").is_fact
+        assert not atom("R", "$x").is_fact
+
+    def test_is_ground(self):
+        assert atom("R", "a", "b").is_ground
+        assert not atom("R", "a", "?N").is_ground
+
+
+class TestTransformation:
+    def test_apply_replaces_mapped_terms(self):
+        a = atom("R", "$x", "a")
+        image = a.apply({Variable("x"): Constant("c")})
+        assert image == atom("R", "c", "a")
+
+    def test_apply_keeps_unmapped_terms(self):
+        a = atom("R", "$x", "$y")
+        image = a.apply({Variable("x"): Constant("c")})
+        assert image == atom("R", "c", "$y")
+
+    def test_map_terms(self):
+        a = atom("R", "?N", "a")
+        image = a.map_terms(
+            lambda t: Constant("z") if isinstance(t, Null) else t
+        )
+        assert image == atom("R", "z", "a")
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert atom("R", "a") == atom("R", "a")
+        assert atom("R", "a") != atom("R", "b")
+        assert atom("R", "a") != atom("S", "a")
+        assert len({atom("R", "a"), atom("R", "a")}) == 1
+
+    def test_ordering_by_relation_then_args(self):
+        atoms = sorted([atom("S", "a"), atom("R", "b"), atom("R", "a")])
+        assert atoms == [atom("R", "a"), atom("R", "b"), atom("S", "a")]
+
+    def test_str_rendering(self):
+        assert str(atom("R", "a", "?N")) == "R(a, ?N)"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            atom("R", "a").relation = "S"
+
+
+class TestAtomSetHelpers:
+    def test_collective_classifiers(self):
+        atoms = [atom("R", "$x", "a"), atom("S", "?N", "$y")]
+        assert atoms_variables(atoms) == {Variable("x"), Variable("y")}
+        assert atoms_nulls(atoms) == {Null("N")}
+        assert atoms_constants(atoms) == {Constant("a")}
+
+    def test_freeze_replaces_variables_consistently(self):
+        atoms = [atom("R", "$x", "$y"), atom("S", "$x")]
+        frozen, mapping = freeze_atoms(atoms)
+        assert mapping.keys() == {Variable("x"), Variable("y")}
+        # The shared variable x freezes to the same null in both atoms.
+        assert frozen[0].args[0] == frozen[1].args[0]
+        assert all(a.is_fact for a in frozen)
+
+    def test_freeze_keeps_constants(self):
+        frozen, _ = freeze_atoms([atom("R", "a", "$x")])
+        assert frozen[0].args[0] == Constant("a")
+
+    def test_freeze_custom_rename(self):
+        frozen, mapping = freeze_atoms(
+            [atom("R", "$x")], rename=lambda v: Null(f"Q_{v.name}")
+        )
+        assert mapping[Variable("x")] == Null("Q_x")
+        assert frozen[0] == atom("R", "?Q_x")

@@ -1,0 +1,66 @@
+"""Unit tests for file I/O of mappings, instances and queries."""
+
+import io
+
+import pytest
+
+from repro.data.io import (
+    load_instance,
+    load_mapping,
+    load_query,
+    save_instance,
+    save_mapping,
+)
+from repro.logic.parser import parse_instance
+
+
+class TestRoundTrips:
+    def test_instance_file_round_trip(self, tmp_path):
+        path = tmp_path / "data.instance"
+        original = parse_instance("R(a, b), S(?N1), T('hello world?')")
+        save_instance(original, path)
+        assert load_instance(path) == original
+
+    def test_empty_instance_round_trip(self, tmp_path):
+        path = tmp_path / "empty.instance"
+        save_instance(parse_instance(""), path)
+        assert load_instance(path).is_empty
+
+    def test_mapping_file_round_trip(self, tmp_path):
+        path = tmp_path / "rules.mapping"
+        text = "R(x, y) -> S(x), P(y)\nD(z) -> T(z)\n"
+        path.write_text(text)
+        mapping = load_mapping(path)
+        assert len(mapping) == 2
+        save_mapping(mapping, tmp_path / "out.mapping")
+        reloaded = load_mapping(tmp_path / "out.mapping")
+        assert reloaded == mapping
+
+    def test_saved_mapping_keeps_names_as_comments(self, tmp_path):
+        path = tmp_path / "rules.mapping"
+        mapping = load_mapping(io.StringIO("R(x) -> S(x)"))
+        save_mapping(mapping, path)
+        assert "# xi1" in path.read_text()
+
+    def test_query_loading(self, tmp_path):
+        path = tmp_path / "q.query"
+        path.write_text("q(x) :- R(x, y)\nq(x) :- D(x)\n")
+        query = load_query(path)
+        assert query.arity == 1
+        assert len(query) == 2
+
+    def test_file_objects_are_accepted(self):
+        mapping = load_mapping(io.StringIO("R(x) -> S(x)"))
+        assert len(mapping) == 1
+        buffer = io.StringIO()
+        save_instance(parse_instance("R(a)"), buffer)
+        assert buffer.getvalue().strip() == "R(a)"
+
+    def test_saved_instance_is_sorted_and_stable(self, tmp_path):
+        path = tmp_path / "stable.instance"
+        original = parse_instance("Z(q), A(p), M(r)")
+        save_instance(original, path)
+        first = path.read_text()
+        save_instance(load_instance(path), path)
+        assert path.read_text() == first
+        assert first.splitlines() == ["A(p)", "M(r)", "Z(q)"]

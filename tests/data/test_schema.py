@@ -1,0 +1,106 @@
+"""Unit tests for schemas and schema validation."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.schema import RelationSymbol, Schema, ensure_disjoint
+from repro.errors import SchemaError
+
+
+class TestRelationSymbol:
+    def test_accessors(self):
+        r = RelationSymbol("R", 2)
+        assert r.name == "R"
+        assert r.arity == 2
+
+    def test_invalid_names_and_arities(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("", 1)
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", -1)
+
+    def test_equality_and_hash(self):
+        assert RelationSymbol("R", 2) == RelationSymbol("R", 2)
+        assert RelationSymbol("R", 2) != RelationSymbol("R", 3)
+        assert len({RelationSymbol("R", 2), RelationSymbol("R", 2)}) == 1
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            RelationSymbol("R", 2).arity = 3
+
+
+class TestSchema:
+    def test_from_arities(self):
+        s = Schema.from_arities({"R": 2, "S": 1})
+        assert "R" in s
+        assert s.arity("R") == 2
+        assert len(s) == 2
+
+    def test_conflicting_declaration_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSymbol("R", 1), RelationSymbol("R", 2)])
+
+    def test_inferred_from_atoms(self):
+        s = Schema.inferred_from_atoms([atom("R", "a", "b"), atom("S", "c")])
+        assert s.arity("R") == 2
+        assert s.arity("S") == 1
+
+    def test_inferred_rejects_inconsistent_arities(self):
+        with pytest.raises(SchemaError):
+            Schema.inferred_from_atoms([atom("R", "a"), atom("R", "a", "b")])
+
+    def test_unknown_relation_lookup(self):
+        with pytest.raises(SchemaError):
+            Schema().arity("R")
+
+    def test_iteration_is_sorted(self):
+        s = Schema.from_arities({"Z": 1, "A": 1})
+        assert [r.name for r in s] == ["A", "Z"]
+
+    def test_equality_and_hash(self):
+        assert Schema.from_arities({"R": 1}) == Schema.from_arities({"R": 1})
+        assert hash(Schema.from_arities({"R": 1})) == hash(
+            Schema.from_arities({"R": 1})
+        )
+
+
+class TestValidation:
+    def test_validate_atom_accepts_conforming(self):
+        Schema.from_arities({"R": 2}).validate_atom(atom("R", "a", "b"))
+
+    def test_validate_atom_rejects_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Schema.from_arities({"R": 2}).validate_atom(atom("S", "a"))
+
+    def test_validate_atom_rejects_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            Schema.from_arities({"R": 2}).validate_atom(atom("R", "a"))
+
+    def test_validate_atoms_bulk(self):
+        schema = Schema.from_arities({"R": 1})
+        schema.validate_atoms([atom("R", "a"), atom("R", "b")])
+        with pytest.raises(SchemaError):
+            schema.validate_atoms([atom("R", "a"), atom("R", "a", "b")])
+
+
+class TestDisjointness:
+    def test_disjoint_schemas(self):
+        s = Schema.from_arities({"R": 1})
+        t = Schema.from_arities({"T": 1})
+        assert s.is_disjoint_from(t)
+        ensure_disjoint(s, t)
+
+    def test_overlapping_schemas_raise(self):
+        s = Schema.from_arities({"R": 1})
+        t = Schema.from_arities({"R": 1, "T": 1})
+        assert not s.is_disjoint_from(t)
+        with pytest.raises(SchemaError, match="R"):
+            ensure_disjoint(s, t)
+
+    def test_union(self):
+        u = Schema.from_arities({"R": 1}).union(Schema.from_arities({"S": 2}))
+        assert u.arity("R") == 1 and u.arity("S") == 2
+
+    def test_union_conflict(self):
+        with pytest.raises(SchemaError):
+            Schema.from_arities({"R": 1}).union(Schema.from_arities({"R": 2}))

@@ -1,0 +1,139 @@
+"""Unit tests for substitutions (the paper's finite mappings)."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.substitutions import IDENTITY, Substitution, merge
+from repro.data.terms import Constant, Null, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B, C = Constant("a"), Constant("b"), Constant("c")
+N1, N2 = Null("N1"), Null("N2")
+
+
+class TestBasics:
+    def test_mapping_protocol(self):
+        s = Substitution({X: A, Y: B})
+        assert s[X] == A
+        assert len(s) == 2
+        assert set(s) == {X, Y}
+
+    def test_identity_entries_are_dropped(self):
+        s = Substitution({X: X, Y: B})
+        assert len(s) == 1
+        assert X not in s
+
+    def test_image_is_total(self):
+        s = Substitution({X: A})
+        assert s.image(X) == A
+        assert s.image(Y) == Y
+        assert s.image(A) == A
+
+    def test_non_term_entries_rejected(self):
+        with pytest.raises(TypeError):
+            Substitution({"x": A})
+
+    def test_identity_constant(self):
+        assert len(IDENTITY) == 0
+        assert IDENTITY.image(X) == X
+
+
+class TestApplication:
+    def test_apply_atom(self):
+        s = Substitution({X: A, N1: B})
+        assert s.apply_atom(atom("R", "$x", "?N1", "c")) == atom("R", "a", "b", "c")
+
+    def test_apply_atoms(self):
+        s = Substitution({X: A})
+        assert s.apply_atoms([atom("R", "$x"), atom("S", "$x")]) == [
+            atom("R", "a"),
+            atom("S", "a"),
+        ]
+
+    def test_apply_tuple(self):
+        s = Substitution({X: A})
+        assert s.apply_tuple((X, Y, B)) == (A, Y, B)
+
+
+class TestAlgebra:
+    def test_compose_applies_inner_first(self):
+        f = Substitution({Y: C})
+        g = Substitution({X: Y})
+        composed = f.compose(g)
+        # (f o g)(x) = f(g(x)) = f(y) = c
+        assert composed.image(X) == C
+
+    def test_compose_keeps_outer_entries(self):
+        f = Substitution({Y: C})
+        g = Substitution({X: A})
+        assert (f @ g).image(Y) == C
+
+    def test_restrict(self):
+        s = Substitution({X: A, Y: B})
+        restricted = s.restrict([X, Z])
+        assert X in restricted
+        assert Y not in restricted
+
+    def test_extend_disjoint(self):
+        s = Substitution({X: A}).extend({Y: B})
+        assert s.image(Y) == B
+
+    def test_extend_conflict_raises(self):
+        with pytest.raises(ValueError):
+            Substitution({X: A}).extend({X: B})
+
+    def test_extend_agreeing_is_fine(self):
+        assert Substitution({X: A}).extend({X: A}).image(X) == A
+
+    def test_without(self):
+        s = Substitution({X: A, Y: B}).without([X])
+        assert X not in s
+        assert Y in s
+
+
+class TestPredicates:
+    def test_is_homomorphism(self):
+        assert Substitution({X: A, N1: B}).is_homomorphism
+        assert not Substitution({A: B}).is_homomorphism
+
+    def test_is_injective(self):
+        assert Substitution({X: A, Y: B}).is_injective
+        assert not Substitution({X: A, Y: A}).is_injective
+
+    def test_is_variable_renaming(self):
+        assert Substitution({X: Y}).is_variable_renaming
+        assert not Substitution({X: A}).is_variable_renaming
+        assert not Substitution({X: Z, Y: Z}).is_variable_renaming
+
+    def test_agrees_with(self):
+        assert Substitution({X: A}).agrees_with(Substitution({Y: B}))
+        assert Substitution({X: A}).agrees_with(Substitution({X: A, Y: B}))
+        assert not Substitution({X: A}).agrees_with(Substitution({X: B}))
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert Substitution({X: A}) == Substitution({X: A})
+        assert Substitution({X: A}) != Substitution({X: B})
+        assert hash(Substitution({X: A})) == hash(Substitution({X: A}))
+
+    def test_repr_uses_paper_notation(self):
+        assert repr(Substitution({X: A})) == "{x/a}"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Substitution({X: A})._map = {}
+
+
+class TestMerge:
+    def test_merge_compatible(self):
+        merged = merge([Substitution({X: A}), Substitution({Y: B})])
+        assert merged is not None
+        assert merged.image(X) == A and merged.image(Y) == B
+
+    def test_merge_conflicting_returns_none(self):
+        assert merge([Substitution({X: A}), Substitution({X: B})]) is None
+
+    def test_merge_empty(self):
+        merged = merge([])
+        assert merged is not None and len(merged) == 0

@@ -1,0 +1,43 @@
+"""The shipped example scripts must run and print their headline results."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "CERT(who teaches physics?): ['alice']" in output
+        assert "nothing" in output  # the baseline misses the join
+
+    def test_schema_evolution(self):
+        output = run_example("schema_evolution.py")
+        assert "medical, pension" in output
+        assert "employees with profit sharing: ['Bill']" in output
+
+    def test_view_recovery(self):
+        output = run_example("view_recovery.py")
+        assert "certainly some flight exists: True" in output
+        assert "('yul', 'cdg')" in output
+
+    def test_audit_recovery(self):
+        output = run_example("audit_recovery.py")
+        assert "valid for recovery: True" in output
+        assert "Refund(ada)" in output
+        assert output.count("valid for recovery: False") == 2

@@ -1,0 +1,124 @@
+"""Unit tests for CQ/UCQ containment and minimization."""
+
+import pytest
+
+from repro.logic.containment import (
+    canonical_instance,
+    cq_contained_in,
+    cq_equivalent,
+    minimize_cq,
+    minimize_ucq,
+    ucq_contained_in,
+    ucq_equivalent,
+)
+from repro.logic.parser import parse_query
+from repro.logic.queries import UnionOfConjunctiveQueries
+
+
+class TestCanonicalInstance:
+    def test_head_variables_become_distinguished_constants(self):
+        q = parse_query("q(x) :- R(x, y)")
+        frozen, heads = canonical_instance(q)
+        assert len(heads) == 1
+        fact = next(iter(frozen))
+        assert fact.args[0] == heads[0]
+
+    def test_body_only_variables_become_nulls(self):
+        q = parse_query("q(x) :- R(x, y)")
+        frozen, _ = canonical_instance(q)
+        fact = next(iter(frozen))
+        assert fact.args[1].is_null
+
+
+class TestCqContainment:
+    def test_more_constrained_is_contained_in_less(self):
+        tight = parse_query("q(x) :- R(x, y), S(y)")
+        loose = parse_query("q(x) :- R(x, y)")
+        assert cq_contained_in(tight, loose)
+        assert not cq_contained_in(loose, tight)
+
+    def test_syntactic_variants_are_equivalent(self):
+        a = parse_query("q(x) :- R(x, y)")
+        b = parse_query("q(u) :- R(u, w)")
+        assert cq_equivalent(a, b)
+
+    def test_redundant_atom_is_equivalent(self):
+        a = parse_query("q(x) :- R(x, y)")
+        b = parse_query("q(x) :- R(x, y), R(x, z)")
+        assert cq_equivalent(a, b)
+
+    def test_constants_matter(self):
+        a = parse_query("q(x) :- R(x, 'b')")
+        b = parse_query("q(x) :- R(x, y)")
+        assert cq_contained_in(a, b)
+        assert not cq_contained_in(b, a)
+
+    def test_arity_mismatch_never_contained(self):
+        a = parse_query("q(x) :- R(x, y)")
+        b = parse_query("q(x, y) :- R(x, y)")
+        assert not cq_contained_in(a, b)
+
+    def test_self_join_specializes(self):
+        diagonal = parse_query("q(x) :- R(x, x)")
+        general = parse_query("q(x) :- R(x, y)")
+        assert cq_contained_in(diagonal, general)
+        assert not cq_contained_in(general, diagonal)
+
+    def test_boolean_containment(self):
+        a = parse_query("q() :- R(x, x)")
+        b = parse_query("q() :- R(x, y)")
+        assert cq_contained_in(a, b)
+        assert not cq_contained_in(b, a)
+
+
+class TestUcqContainment:
+    def test_disjunct_subsumption(self):
+        small = parse_query("q(x) :- R(x, x)")
+        big = parse_query("q(x) :- R(x, y); q(x) :- S(x)")
+        assert ucq_contained_in(small, big)
+        assert not ucq_contained_in(big, small)
+
+    def test_union_equivalence_is_order_insensitive(self):
+        a = parse_query("q(x) :- R(x); q(x) :- S(x)")
+        b = parse_query("q(x) :- S(x); q(x) :- R(x)")
+        assert ucq_equivalent(a, b)
+
+    def test_cq_vs_ucq(self):
+        cq = parse_query("q(x) :- R(x)")
+        ucq = parse_query("q(x) :- R(x); q(x) :- S(x)")
+        assert ucq_contained_in(cq, ucq)
+
+
+class TestMinimization:
+    def test_redundant_atoms_are_dropped(self):
+        q = parse_query("q(x) :- R(x, y), R(x, z)")
+        minimized = minimize_cq(q)
+        assert len(minimized.body) == 1
+        assert cq_equivalent(q, minimized)
+
+    def test_core_is_reached_on_chains(self):
+        q = parse_query("q(x) :- R(x, y), R(x, z), R(x, 'c')")
+        minimized = minimize_cq(q)
+        # The constant atom implies the generic ones.
+        assert len(minimized.body) == 1
+        assert cq_equivalent(q, minimized)
+
+    def test_non_redundant_body_is_untouched(self):
+        q = parse_query("q(x) :- R(x, y), S(y)")
+        assert set(minimize_cq(q).body) == set(q.body)
+
+    def test_ucq_minimization_drops_subsumed_disjuncts(self):
+        q = parse_query("q(x) :- R(x, x); q(x) :- R(x, y)")
+        minimized = minimize_ucq(q)
+        assert len(minimized) == 1
+        assert ucq_equivalent(q, minimized)
+
+    def test_ucq_minimization_keeps_one_of_equivalent_pair(self):
+        q = parse_query("q(x) :- R(x, y); q(u) :- R(u, v)")
+        minimized = minimize_ucq(q)
+        assert len(minimized) == 1
+
+    def test_minimized_ucq_is_a_ucq(self):
+        q = parse_query("q(x) :- R(x); q(x) :- S(x)")
+        assert isinstance(minimize_ucq(q), UnionOfConjunctiveQueries)
+        assert len(minimize_ucq(q)) == 2

@@ -1,0 +1,100 @@
+"""Stress and regression tests for the iterative homomorphism matcher."""
+
+from repro.data.atoms import Atom, atom
+from repro.data.instances import Instance
+from repro.data.terms import Constant, Null, Variable
+from repro.logic.homomorphisms import (
+    find_homomorphism,
+    homomorphisms,
+    instance_homomorphisms,
+    maps_into,
+)
+
+
+class TestLargePatterns:
+    def test_thousand_atom_pattern_no_recursion_error(self):
+        """Regression: matching an instance-sized pattern must not hit
+        the interpreter recursion limit (the matcher is iterative)."""
+        n = 1500
+        facts = [Atom("R", [Constant(f"a{i}"), Constant(f"a{i+1}")]) for i in range(n)]
+        big = Instance(facts)
+        assert maps_into(big, big)
+
+    def test_long_chain_query(self):
+        """A 60-step path query over a 200-node path graph."""
+        n = 200
+        data = Instance(
+            Atom("E", [Constant(f"v{i}"), Constant(f"v{i+1}")]) for i in range(n)
+        )
+        length = 60
+        pattern = [
+            Atom("E", [Variable(f"x{i}"), Variable(f"x{i+1}")])
+            for i in range(length)
+        ]
+        hom = find_homomorphism(pattern, data)
+        assert hom is not None
+        # The chain binds consecutively.
+        start = hom.image(Variable("x0"))
+        assert isinstance(start, Constant)
+
+    def test_all_homomorphisms_counted_on_cliques(self):
+        """K4 has 4*3 = 12 homomorphisms for a single directed edge and
+        exactly 24 injective-like matches for a 2-path with distinct ends."""
+        nodes = [Constant(c) for c in "abcd"]
+        edges = Instance(
+            Atom("E", [u, v]) for u in nodes for v in nodes if u != v
+        )
+        single = list(homomorphisms([atom("E", "$x", "$y")], edges))
+        assert len(single) == 12
+        path = [atom("E", "$x", "$y"), atom("E", "$y", "$z")]
+        matches = list(homomorphisms(path, edges))
+        # y has 4 choices, x != y (3), z != y (3).
+        assert len(matches) == 36
+
+    def test_backtracking_past_dead_ends(self):
+        """The first candidate choice must be revisable."""
+        data = Instance(
+            [
+                Atom("R", [Constant("a"), Constant("b")]),
+                Atom("R", [Constant("a"), Constant("c")]),
+                Atom("S", [Constant("c")]),
+            ]
+        )
+        pattern = [atom("R", "$x", "$y"), atom("S", "$y")]
+        hom = find_homomorphism(pattern, data)
+        assert hom is not None
+        assert hom.image(Variable("y")) == Constant("c")
+
+    def test_wide_fanout_enumeration_is_complete(self):
+        data = Instance(Atom("R", [Constant(f"c{i}")]) for i in range(50))
+        homs = list(homomorphisms([atom("R", "$x")], data))
+        assert len(homs) == 50
+
+    def test_instance_homs_with_many_nulls(self):
+        source = Instance(
+            Atom("R", [Null(f"N{i}"), Null(f"N{i+1}")]) for i in range(40)
+        )
+        target = Instance([Atom("R", [Constant("a"), Constant("a")])])
+        assert maps_into(source, target)
+        hom = next(instance_homomorphisms(source, target))
+        assert all(value == Constant("a") for value in hom.values())
+
+
+class TestMatcherCornerCases:
+    def test_empty_pattern_yields_identity(self):
+        homs = list(homomorphisms([], Instance([atom("R", "a")])))
+        assert len(homs) == 1
+        assert len(homs[0]) == 0
+
+    def test_pattern_against_empty_instance(self):
+        assert find_homomorphism([atom("R", "$x")], Instance()) is None
+
+    def test_duplicate_pattern_atoms(self):
+        data = Instance([atom("R", "a")])
+        homs = list(homomorphisms([atom("R", "$x"), atom("R", "$x")], data))
+        assert len(homs) == 1
+
+    def test_nullary_relations(self):
+        data = Instance([Atom("Flag", [])])
+        assert find_homomorphism([Atom("Flag", [])], data) is not None
+        assert find_homomorphism([Atom("Other", [])], data) is None

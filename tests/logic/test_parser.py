@@ -1,0 +1,126 @@
+"""Unit tests for the textual DSL parser."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.terms import Constant, Null, Variable
+from repro.errors import ParseError
+from repro.logic.parser import (
+    format_instance,
+    parse_instance,
+    parse_query,
+    parse_tgd,
+    parse_tgds,
+)
+from repro.logic.queries import ConjunctiveQuery, UnionOfConjunctiveQueries
+
+
+class TestTgdParsing:
+    def test_simple_tgd(self):
+        tgd = parse_tgd("R(x, y) -> S(x)")
+        assert tgd.body == (atom("R", "$x", "$y"),)
+        assert tgd.head == (atom("S", "$x"),)
+
+    def test_multi_atom_body_and_head(self):
+        tgd = parse_tgd("R(x), P(x, y) -> S(x), T(y)")
+        assert len(tgd.body) == 2
+        assert len(tgd.head) == 2
+
+    def test_quoted_constants_in_rules(self):
+        tgd = parse_tgd("R(x, 'alice') -> S(x)")
+        assert Constant("alice") in tgd.body[0].constants
+
+    def test_numbers_are_constants(self):
+        tgd = parse_tgd("R(x, 42) -> S(x)")
+        assert Constant(42) in tgd.body[0].constants
+
+    def test_several_tgds_by_semicolon_and_newline(self):
+        tgds = parse_tgds("R(x) -> S(x); M(y) -> T(y)\nD(z) -> U(z)")
+        assert len(tgds) == 3
+
+    def test_comments_are_skipped(self):
+        tgds = parse_tgds(
+            """
+            # leading comment
+            R(x) -> S(x)   -- trailing comment
+            """
+        )
+        assert len(tgds) == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x) -> S(x) extra(")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgds("   ")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x), S(x)")
+
+
+class TestInstanceParsing:
+    def test_bare_identifiers_are_constants(self):
+        inst = parse_instance("R(a, b)")
+        assert inst == parse_instance("R(a,b)")
+        assert list(inst)[0].args == (Constant("a"), Constant("b"))
+
+    def test_null_syntax(self):
+        inst = parse_instance("R(?X1, _Y2)")
+        fact = list(inst)[0]
+        assert fact.args == (Null("X1"), Null("Y2"))
+
+    def test_quoted_and_numeric_constants(self):
+        inst = parse_instance("R('hello world?', 7)")
+        fact = list(inst)[0]
+        assert fact.args == (Constant("hello world?"), Constant(7))
+
+    def test_separators(self):
+        inst = parse_instance("R(a); S(b)\nT(c), U(d)")
+        assert len(inst) == 4
+
+    def test_empty_instance(self):
+        assert parse_instance("").is_empty
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as info:
+            parse_instance("R(a) @ S(b)")
+        assert info.value.position >= 0
+
+    def test_format_round_trip(self):
+        inst = parse_instance("R(a, ?N), S(b)")
+        assert parse_instance(format_instance(inst)) == inst
+
+
+class TestQueryParsing:
+    def test_single_rule_is_cq(self):
+        q = parse_query("q(x) :- R(x, y)")
+        assert isinstance(q, ConjunctiveQuery)
+        assert q.head_vars == (Variable("x"),)
+        assert q.name == "q"
+
+    def test_multiple_rules_form_ucq(self):
+        q = parse_query("q(x) :- R(x); q(x) :- S(x)")
+        assert isinstance(q, UnionOfConjunctiveQueries)
+        assert len(q) == 2
+
+    def test_boolean_query(self):
+        q = parse_query("q() :- R(x)")
+        assert q.is_boolean
+
+    def test_constants_in_query_bodies(self):
+        q = parse_query("q(x) :- Bnf('HR', x)")
+        assert Constant("HR") in q.body[0].constants
+
+    def test_mismatched_head_predicates_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(x) :- R(x); p(x) :- S(x)")
+
+    def test_non_variable_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q('a') :- R('a')")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("")

@@ -1,0 +1,113 @@
+"""Unit tests for conjunctive queries and UCQs."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.instances import instance
+from repro.data.terms import Constant, Null, Variable
+from repro.errors import DependencyError
+from repro.logic.parser import parse_query
+from repro.logic.queries import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    as_ucq,
+    cq,
+)
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestCQConstruction:
+    def test_head_vars_must_occur_in_body(self):
+        with pytest.raises(DependencyError):
+            ConjunctiveQuery([X], [atom("R", "$y")])
+
+    def test_head_entries_must_be_variables(self):
+        with pytest.raises(DependencyError):
+            ConjunctiveQuery([Constant("a")], [atom("R", "a")])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DependencyError):
+            ConjunctiveQuery([X], [])
+
+    def test_accessors(self):
+        q = cq([X], [atom("R", "$x", "$y")])
+        assert q.arity == 1
+        assert q.variables == {X, Y}
+        assert q.relations == {"R"}
+        assert not q.is_boolean
+
+
+class TestCQEvaluation:
+    def test_simple_projection(self):
+        q = cq([X], [atom("R", "$x", "$y")])
+        data = instance(atom("R", "a", "b"), atom("R", "c", "d"))
+        assert q.evaluate(data) == {(Constant("a"),), (Constant("c"),)}
+
+    def test_join_evaluation(self):
+        q = cq([X], [atom("R", "$x", "$y"), atom("S", "$y")])
+        data = instance(atom("R", "a", "b"), atom("R", "c", "d"), atom("S", "b"))
+        assert q.evaluate(data) == {(Constant("a"),)}
+
+    def test_certain_evaluate_drops_null_answers(self):
+        q = cq([X, Y], [atom("R", "$x", "$y")])
+        data = instance(atom("R", "a", "?N"), atom("R", "a", "b"))
+        assert (Constant("a"), Null("N")) in q.evaluate(data)
+        assert q.certain_evaluate(data) == {(Constant("a"), Constant("b"))}
+
+    def test_boolean_query(self):
+        q = cq([], [atom("R", "$x")])
+        assert q.is_boolean
+        assert q.holds_in(instance(atom("R", "a")))
+        assert not q.holds_in(instance(atom("S", "a")))
+        assert q.evaluate(instance(atom("R", "a"))) == {()}
+
+    def test_constant_in_body(self):
+        q = cq([X], [atom("R", "$x", "b")])
+        data = instance(atom("R", "a", "b"), atom("R", "c", "d"))
+        assert q.evaluate(data) == {(Constant("a"),)}
+
+
+class TestUCQ:
+    def test_arities_must_agree(self):
+        with pytest.raises(DependencyError):
+            UnionOfConjunctiveQueries(
+                [cq([X], [atom("R", "$x")]), cq([], [atom("S", "$y")])]
+            )
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(DependencyError):
+            UnionOfConjunctiveQueries([])
+
+    def test_union_evaluation(self):
+        q = UnionOfConjunctiveQueries(
+            [cq([X], [atom("R", "$x")]), cq([Y], [atom("S", "$y")])]
+        )
+        data = instance(atom("R", "a"), atom("S", "b"))
+        assert q.evaluate(data) == {(Constant("a"),), (Constant("b"),)}
+
+    def test_union_certain_evaluation(self):
+        q = UnionOfConjunctiveQueries(
+            [cq([X], [atom("R", "$x")]), cq([Y], [atom("S", "$y")])]
+        )
+        data = instance(atom("R", "?N"), atom("S", "b"))
+        assert q.certain_evaluate(data) == {(Constant("b"),)}
+
+    def test_boolean_union(self):
+        q = UnionOfConjunctiveQueries(
+            [cq([], [atom("R", "$x")]), cq([], [atom("S", "$y")])]
+        )
+        assert q.holds_in(instance(atom("S", "a")))
+        assert not q.holds_in(instance(atom("T", "a")))
+
+    def test_as_ucq_wraps_cq(self):
+        q = cq([X], [atom("R", "$x")])
+        wrapped = as_ucq(q)
+        assert isinstance(wrapped, UnionOfConjunctiveQueries)
+        assert len(wrapped) == 1
+        assert as_ucq(wrapped) is wrapped
+
+    def test_equality(self):
+        a = parse_query("q(x) :- R(x); q(y) :- S(y)")
+        b = parse_query("q(y) :- S(y); q(x) :- R(x)")
+        assert a == b

@@ -1,0 +1,157 @@
+"""Unit tests for tgds and mappings."""
+
+import pytest
+
+from repro.data.atoms import atom
+from repro.data.schema import Schema
+from repro.data.substitutions import Substitution
+from repro.data.terms import Variable
+from repro.errors import DependencyError, SchemaError
+from repro.logic.parser import parse_tgd, parse_tgds
+from repro.logic.tgds import TGD, Mapping
+
+
+class TestTGDStructure:
+    def test_variable_classification(self):
+        # R(x, y) -> exists z S(x, z): x frontier, y body-only, z existential.
+        tgd = parse_tgd("R(x, y) -> S(x, z)")
+        assert tgd.frontier_variables == {Variable("x")}
+        assert tgd.body_only_variables == {Variable("y")}
+        assert tgd.existential_variables == {Variable("z")}
+        assert tgd.variables == {Variable("x"), Variable("y"), Variable("z")}
+
+    def test_full_tgd(self):
+        assert parse_tgd("R(x) -> T(x)").is_full
+        assert not parse_tgd("R(x) -> T(x, z)").is_full
+
+    def test_quasi_guarded_tgd(self):
+        assert parse_tgd("R(x) -> T(x, z)").is_quasi_guarded
+        assert not parse_tgd("R(x, y) -> T(x)").is_quasi_guarded
+
+    def test_relations(self):
+        tgd = parse_tgd("R(x), P(x) -> S(x), T(x)")
+        assert tgd.body_relations == {"R", "P"}
+        assert tgd.head_relations == {"S", "T"}
+
+    def test_empty_body_or_head_rejected(self):
+        with pytest.raises(DependencyError):
+            TGD([], [atom("T", "$x")])
+        with pytest.raises(DependencyError):
+            TGD([atom("R", "$x")], [])
+
+    def test_nulls_in_tgd_rejected(self):
+        with pytest.raises(DependencyError):
+            TGD([atom("R", "?N")], [atom("T", "?N")])
+
+    def test_equality_ignores_name(self):
+        a = parse_tgd("R(x) -> T(x)").with_name("a")
+        b = parse_tgd("R(x) -> T(x)").with_name("b")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestReversal:
+    def test_reverse_swaps_body_and_head(self):
+        tgd = parse_tgd("R(x, y) -> S(x, z)")
+        reverse = tgd.reverse()
+        assert reverse.body == tgd.head
+        assert reverse.head == tgd.body
+
+    def test_reverse_of_quasi_guarded_is_full(self):
+        tgd = parse_tgd("R(x) -> S(x, z)")
+        assert tgd.is_quasi_guarded
+        assert tgd.reverse().is_full
+
+    def test_body_only_becomes_existential(self):
+        reverse = parse_tgd("R(x, y) -> S(x)").reverse()
+        assert reverse.existential_variables == {Variable("y")}
+
+    def test_double_reverse_is_identity(self):
+        tgd = parse_tgd("R(x, y) -> S(x, z)")
+        assert tgd.reverse().reverse() == tgd
+
+
+class TestRenaming:
+    def test_rename_variables(self):
+        tgd = parse_tgd("R(x) -> T(x)")
+        renamed = tgd.rename_variables(Substitution({Variable("x"): Variable("w")}))
+        assert renamed.variables == {Variable("w")}
+
+    def test_rename_rejects_non_renaming(self):
+        tgd = parse_tgd("R(x) -> T(x)")
+        with pytest.raises(DependencyError):
+            tgd.rename_variables(Substitution({Variable("x"): atom("R", "a").args[0]}))
+
+    def test_rename_apart_only_touches_clashes(self):
+        tgd = parse_tgd("R(x, y) -> T(x)")
+        renamed = tgd.rename_apart({Variable("x")}, suffix="#2")
+        assert Variable("y") in renamed.variables
+        assert Variable("x") not in renamed.variables
+
+    def test_rename_apart_avoids_taken_candidates(self):
+        tgd = parse_tgd("R(x) -> T(x)")
+        renamed = tgd.rename_apart({Variable("x"), Variable("x#2")}, suffix="#2")
+        assert renamed.variables.isdisjoint({Variable("x"), Variable("x#2")})
+
+
+class TestMapping:
+    def test_tgds_are_renamed_apart(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(x) -> T(x)"))
+        xi1, xi2 = mapping.tgds
+        assert xi1.variables.isdisjoint(xi2.variables)
+
+    def test_default_names(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> T(y)"))
+        assert [t.name for t in mapping] == ["xi1", "xi2"]
+        assert mapping.tgd_named("xi2").body_relations == {"M"}
+
+    def test_unknown_name_lookup(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x)"))
+        with pytest.raises(KeyError):
+            mapping.tgd_named("nope")
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(DependencyError):
+            Mapping([])
+
+    def test_schemas_inferred(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x)"))
+        assert mapping.source_schema.arity("R") == 2
+        assert mapping.target_schema.arity("S") == 1
+
+    def test_overlapping_schemas_rejected(self):
+        with pytest.raises(SchemaError):
+            Mapping(parse_tgds("R(x) -> R(x)"))
+
+    def test_explicit_schema_validation(self):
+        with pytest.raises(SchemaError):
+            Mapping(
+                parse_tgds("R(x) -> S(x)"),
+                source_schema=Schema.from_arities({"Q": 1}),
+            )
+
+    def test_class_properties(self):
+        full = Mapping(parse_tgds("R(x) -> S(x)"))
+        assert full.is_full and full.is_quasi_guarded
+        lossy = Mapping(parse_tgds("R(x, y) -> S(x, z)"))
+        assert not lossy.is_full and not lossy.is_quasi_guarded
+
+    def test_complexity_parameters(self):
+        mapping = Mapping(parse_tgds("R(x, y), P(y, w) -> S(x, z), T(z)"))
+        assert mapping.max_head_variables == 2  # x and z
+        assert mapping.max_body_variables == 3  # x, y, w
+
+    def test_reversed_tgds(self):
+        mapping = Mapping(parse_tgds("R(x) -> S(x); M(y) -> T(y)"))
+        reversed_ = mapping.reversed_tgds()
+        assert [t.body_relations for t in reversed_] == [{"S"}, {"T"}]
+
+    def test_parse_classmethod(self):
+        mapping = Mapping.parse("R(x) -> S(x)")
+        assert len(mapping) == 1
+
+    def test_equality_is_set_based(self):
+        a = Mapping(parse_tgds("R(x) -> S(x); M(y) -> T(y)"))
+        b = Mapping(parse_tgds("M(y) -> T(y); R(x) -> S(x)"))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,84 @@
+"""Hypothesis strategies for mappings, instances and targets.
+
+The strategies keep everything small — the decision problems involved
+are NP-hard, and the point of the property tests is breadth of shapes,
+not size.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.data.atoms import Atom
+from repro.data.instances import Instance
+from repro.data.terms import Constant, Variable
+from repro.logic.tgds import TGD, Mapping
+from repro.chase.standard import chase
+
+SOURCE_RELATIONS = {"S0": 1, "S1": 2}
+TARGET_RELATIONS = {"T0": 1, "T1": 2}
+CONSTANTS = [Constant(c) for c in "abc"]
+VARIABLES = [Variable(v) for v in ("v0", "v1", "v2")]
+
+
+@st.composite
+def source_atoms(draw) -> Atom:
+    name = draw(st.sampled_from(sorted(SOURCE_RELATIONS)))
+    arity = SOURCE_RELATIONS[name]
+    return Atom(name, [draw(st.sampled_from(VARIABLES)) for _ in range(arity)])
+
+
+@st.composite
+def target_atoms(draw, variables) -> Atom:
+    name = draw(st.sampled_from(sorted(TARGET_RELATIONS)))
+    arity = TARGET_RELATIONS[name]
+    return Atom(name, [draw(st.sampled_from(variables)) for _ in range(arity)])
+
+
+@st.composite
+def tgds(draw) -> TGD:
+    body = draw(st.lists(source_atoms(), min_size=1, max_size=2))
+    body_vars = sorted({v for a in body for v in a.variables})
+    # Heads draw from the body variables plus one possible existential.
+    head_pool = body_vars + [Variable("z")]
+    head = draw(
+        st.lists(target_atoms(head_pool), min_size=1, max_size=2)
+    )
+    return TGD(body, head)
+
+
+@st.composite
+def mappings(draw) -> Mapping:
+    dependencies = draw(st.lists(tgds(), min_size=1, max_size=2))
+    return Mapping(dependencies)
+
+
+@st.composite
+def ground_source_instances(draw) -> Instance:
+    facts = draw(
+        st.lists(
+            st.sampled_from(sorted(SOURCE_RELATIONS)).flatmap(
+                lambda name: st.tuples(
+                    st.just(name),
+                    st.tuples(
+                        *[
+                            st.sampled_from(CONSTANTS)
+                            for _ in range(SOURCE_RELATIONS[name])
+                        ]
+                    ),
+                )
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return Instance(Atom(name, list(args)) for name, args in facts)
+
+
+@st.composite
+def exchanges(draw):
+    """A mapping together with a non-empty honestly-exchanged target."""
+    mapping = draw(mappings())
+    source = draw(ground_source_instances())
+    target = chase(mapping, source).result
+    return mapping, source, target

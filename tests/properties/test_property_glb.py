@@ -1,0 +1,98 @@
+"""Property-based tests for the glb and for substitution algebra."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.glb import glb, glb2
+from repro.data.substitutions import Substitution
+from repro.data.terms import Constant, Variable
+from repro.logic.homomorphisms import homomorphically_equivalent, maps_into
+
+from .strategies import ground_source_instances
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGlbProperties:
+    @RELAXED
+    @given(ground_source_instances(), ground_source_instances())
+    def test_glb_is_a_lower_bound(self, a, b):
+        bound = glb2(a, b)
+        assert maps_into(bound, a)
+        assert maps_into(bound, b)
+
+    @RELAXED
+    @given(ground_source_instances(), ground_source_instances())
+    def test_glb_is_greatest_against_the_intersection(self, a, b):
+        # The plain intersection is always a common lower bound, so it
+        # must map into the glb.
+        bound = glb2(a, b)
+        assert maps_into(a & b, bound)
+
+    @RELAXED
+    @given(ground_source_instances(), ground_source_instances())
+    def test_glb_commutes_up_to_hom_equivalence(self, a, b):
+        assert homomorphically_equivalent(glb2(a, b), glb2(b, a))
+
+    @RELAXED
+    @given(ground_source_instances())
+    def test_glb_is_idempotent_up_to_hom_equivalence(self, a):
+        assert homomorphically_equivalent(glb2(a, a), a)
+
+    @RELAXED
+    @given(
+        ground_source_instances(),
+        ground_source_instances(),
+        ground_source_instances(),
+    )
+    def test_fold_order_is_hom_equivalent(self, a, b, c):
+        assert homomorphically_equivalent(glb([a, b, c]), glb([c, a, b]))
+
+    @RELAXED
+    @given(ground_source_instances(), ground_source_instances())
+    def test_ground_cq_answer_intersection(self, a, b):
+        """For ground inputs the glb answers exactly the common answers of
+        every per-relation projection query."""
+        bound = glb2(a, b)
+        from repro.data.atoms import Atom
+        from repro.logic.queries import ConjunctiveQuery
+
+        for relation, arity in [("S0", 1), ("S1", 2)]:
+            head = [Variable(f"x{i}") for i in range(arity)]
+            q = ConjunctiveQuery(head, [Atom(relation, head)])
+            assert q.certain_evaluate(bound) == (
+                q.certain_evaluate(a) & q.certain_evaluate(b)
+            )
+
+
+_terms = st.sampled_from(
+    [Variable("x"), Variable("y"), Variable("z"), Constant("a"), Constant("b")]
+)
+_substitutions = st.dictionaries(
+    st.sampled_from([Variable("x"), Variable("y"), Variable("z")]),
+    _terms,
+    max_size=3,
+).map(Substitution)
+
+
+class TestSubstitutionProperties:
+    @RELAXED
+    @given(_substitutions, _substitutions, _terms)
+    def test_composition_agrees_pointwise(self, f, g, term):
+        assert (f @ g).image(term) == f.image(g.image(term))
+
+    @RELAXED
+    @given(_substitutions, _substitutions, _substitutions, _terms)
+    def test_composition_is_associative(self, f, g, h, term):
+        assert ((f @ g) @ h).image(term) == (f @ (g @ h)).image(term)
+
+    @RELAXED
+    @given(_substitutions, _terms)
+    def test_identity_is_neutral(self, f, term):
+        identity = Substitution()
+        assert (f @ identity).image(term) == f.image(term)
+        assert (identity @ f).image(term) == f.image(term)

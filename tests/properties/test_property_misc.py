@@ -1,0 +1,127 @@
+"""Property tests: parser round-trips, containment laws, core laws."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.atoms import Atom
+from repro.data.instances import Instance
+from repro.data.terms import Constant, Null
+from repro.logic.containment import cq_contained_in, minimize_cq
+from repro.logic.homomorphisms import homomorphically_equivalent
+from repro.logic.parser import format_instance, parse_instance
+from repro.core.cores import core
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_names = st.sampled_from(["R", "S", "Longer_name", "T2"])
+_payloads = st.one_of(
+    st.sampled_from(["a", "b", "value_1", "with space", "UPPER", "semi;colon"]),
+    st.integers(min_value=-5, max_value=99),
+)
+
+
+@st.composite
+def dsl_instances(draw) -> Instance:
+    facts = []
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        relation = draw(_names)
+        arity = draw(st.integers(min_value=1, max_value=3))
+        args = []
+        for _ in range(arity):
+            if draw(st.booleans()):
+                args.append(Constant(draw(_payloads)))
+            else:
+                args.append(Null(f"N{draw(st.integers(min_value=1, max_value=4))}"))
+        facts.append(Atom(relation, args))
+    # One relation name per arity (instances are schema-checked downstream).
+    by_arity: dict[str, int] = {}
+    cleaned = []
+    for fact in facts:
+        known = by_arity.setdefault(fact.relation, fact.arity)
+        if known == fact.arity:
+            cleaned.append(fact)
+    return Instance(cleaned)
+
+
+class TestParserRoundTrip:
+    @RELAXED
+    @given(dsl_instances())
+    def test_format_then_parse_is_identity(self, instance):
+        assert parse_instance(format_instance(instance)) == instance
+
+    @RELAXED
+    @given(dsl_instances())
+    def test_multiline_save_format_round_trips(self, instance):
+        text = "\n".join(str(fact) for fact in instance)
+        assert parse_instance(text) == instance
+
+
+class TestContainmentLaws:
+    @st.composite
+    @staticmethod
+    def queries(draw):
+        from repro.data.terms import Variable
+        from repro.logic.queries import ConjunctiveQuery
+
+        pool = [Variable(f"v{i}") for i in range(3)]
+        body = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            name = draw(st.sampled_from(["P", "Q"]))
+            body.append(
+                Atom(name, [draw(st.sampled_from(pool)) for _ in range(2)])
+            )
+        head_candidates = sorted({v for a in body for v in a.variables})
+        head = head_candidates[: draw(st.integers(min_value=0, max_value=1))]
+        return ConjunctiveQuery(head, body)
+
+    @RELAXED
+    @given(queries())
+    def test_containment_is_reflexive(self, query):
+        assert cq_contained_in(query, query)
+
+    @RELAXED
+    @given(queries(), queries(), queries())
+    def test_containment_is_transitive(self, a, b, c):
+        if cq_contained_in(a, b) and cq_contained_in(b, c):
+            assert cq_contained_in(a, c)
+
+    @RELAXED
+    @given(queries())
+    def test_minimization_preserves_equivalence(self, query):
+        minimized = minimize_cq(query)
+        assert cq_contained_in(query, minimized)
+        assert cq_contained_in(minimized, query)
+        assert len(minimized.body) <= len(query.body)
+
+
+class TestCoreLaws:
+    @st.composite
+    @staticmethod
+    def nulled_instances(draw):
+        values = [Constant("a"), Constant("b"), Null("X"), Null("Y"), Null("Z")]
+        facts = []
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            facts.append(
+                Atom("R", [draw(st.sampled_from(values)) for _ in range(2)])
+            )
+        return Instance(facts)
+
+    @RELAXED
+    @given(nulled_instances())
+    def test_core_is_hom_equivalent(self, instance):
+        assert homomorphically_equivalent(core(instance), instance)
+
+    @RELAXED
+    @given(nulled_instances())
+    def test_core_is_idempotent(self, instance):
+        once = core(instance)
+        assert len(core(once)) == len(once)
+
+    @RELAXED
+    @given(nulled_instances())
+    def test_core_never_grows(self, instance):
+        assert len(core(instance)) <= len(instance)

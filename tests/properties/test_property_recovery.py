@@ -1,0 +1,127 @@
+"""Property-based tests for the paper's main theorems on random workloads."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import BudgetExceededError
+from repro.core.certain import certain_answers
+from repro.core.cq_sound import cq_sound_instance
+from repro.core.inverse_chase import inverse_chase
+from repro.core.semantics import is_recovery
+from repro.core.tractable import sound_ucq_instance
+from repro.logic.homomorphisms import maps_into
+from repro.logic.queries import ConjunctiveQuery
+from repro.data.terms import Variable
+
+from .strategies import exchanges
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+
+def _bounded_inverse_chase(mapping, target, **options):
+    """inverse_chase, or None when the example blows the test budget
+    (duplicate tgds over null-rich targets can explode combinatorially;
+    such examples are skipped rather than weakening the property)."""
+    try:
+        return inverse_chase(mapping, target, **options)
+    except BudgetExceededError:
+        return None
+
+def _probe_queries(mapping):
+    """One projection query per source relation of the mapping."""
+    queries = []
+    for relation in mapping.source_schema:
+        head = [Variable(f"q{i}") for i in range(relation.arity)]
+        from repro.data.atoms import Atom
+
+        queries.append(ConjunctiveQuery(head, [Atom(relation.name, head)]))
+    return queries
+
+
+class TestTheorem1:
+    @RELAXED
+    @given(exchanges())
+    def test_every_inverse_chase_output_is_a_recovery(self, exchange):
+        mapping, _, target = exchange
+        if target.is_empty:
+            return
+        recoveries = _bounded_inverse_chase(
+            mapping, target, max_covers=200, max_recoveries=200
+        )
+        if recoveries is None:
+            return
+        assert recoveries, "honest exchange must be recoverable"
+        for recovery in recoveries:
+            assert is_recovery(mapping, recovery, target)
+
+
+class TestCoverModeAblation:
+    @RELAXED
+    @given(exchanges())
+    def test_minimal_and_all_covers_agree_on_certain_answers(self, exchange):
+        mapping, _, target = exchange
+        if target.is_empty or len(target) > 3:
+            return
+        minimal = _bounded_inverse_chase(
+            mapping, target, cover_mode="minimal", max_covers=100, max_recoveries=200
+        )
+        full = _bounded_inverse_chase(
+            mapping, target, cover_mode="all", max_covers=400, max_recoveries=800
+        )
+        if minimal is None or full is None:
+            return
+        assert minimal and full
+        for query in _probe_queries(mapping):
+            assert certain_answers(query, minimal) == certain_answers(query, full)
+
+
+class TestTheorem9:
+    @RELAXED
+    @given(exchanges())
+    def test_cq_sound_instance_maps_into_every_recovery(self, exchange):
+        mapping, _, target = exchange
+        if target.is_empty or len(target) > 3:
+            return
+        sound = cq_sound_instance(mapping, target)
+        recoveries = _bounded_inverse_chase(
+            mapping, target, max_covers=100, max_recoveries=200
+        )
+        for recovery in recoveries or []:
+            assert maps_into(sound, recovery)
+
+    @RELAXED
+    @given(exchanges())
+    def test_cq_sound_answers_below_certain_answers(self, exchange):
+        mapping, _, target = exchange
+        if target.is_empty or len(target) > 3:
+            return
+        sound = cq_sound_instance(mapping, target)
+        recoveries = _bounded_inverse_chase(
+            mapping, target, max_covers=100, max_recoveries=200
+        )
+        if recoveries is None:
+            return
+        assert recoveries
+        for query in _probe_queries(mapping):
+            assert query.certain_evaluate(sound) <= certain_answers(
+                query, recoveries
+            )
+
+
+class TestTheorem7:
+    @RELAXED
+    @given(exchanges())
+    def test_forced_instance_maps_into_every_recovery(self, exchange):
+        mapping, _, target = exchange
+        if target.is_empty or len(target) > 3:
+            return
+        sound = sound_ucq_instance(mapping, target)
+        recoveries = _bounded_inverse_chase(
+            mapping, target, max_covers=100, max_recoveries=200
+        )
+        for recovery in recoveries or []:
+            assert maps_into(sound, recovery)

@@ -1,0 +1,128 @@
+"""Property tests: the justification search vs. a brute-force oracle.
+
+``is_justified`` uses a placement search over the semi-oblivious
+canonical solution; ``minimal_solution_images`` enumerates minimal
+solutions by brute force.  Both implement Definition 2, so on every
+(small) random input they must agree — this guards the optimized
+search, which the whole inverse chase gates through.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.standard import chase, satisfies
+from repro.data.atoms import Atom
+from repro.data.instances import Instance
+from repro.data.terms import Constant, Null
+from repro.errors import BudgetExceededError
+from repro.logic.homomorphisms import maps_into
+from repro.core.semantics import (
+    is_justified,
+    is_minimal_solution,
+    minimal_solution_images,
+)
+
+from .strategies import TARGET_RELATIONS, exchanges, ground_source_instances
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@st.composite
+def small_targets(draw) -> Instance:
+    """Small random target instances, possibly with nulls."""
+    values = [Constant("a"), Constant("b"), Null("J1")]
+    facts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        name = draw(st.sampled_from(sorted(TARGET_RELATIONS)))
+        arity = TARGET_RELATIONS[name]
+        facts.append(Atom(name, [draw(st.sampled_from(values)) for _ in range(arity)]))
+    return Instance(facts)
+
+
+def _reference_is_justified(mapping, source, target) -> bool:
+    """Brute-force Definition 2."""
+    if not satisfies(source, target, mapping):
+        return False
+    if target.is_empty:
+        return True
+    try:
+        candidates = minimal_solution_images(
+            mapping, source, target, max_search=50000
+        )
+        return any(maps_into(target, candidate) for candidate in candidates)
+    except BudgetExceededError:
+        return None  # oracle out of budget; skip comparison
+
+
+class TestJustificationAgreement:
+    @RELAXED
+    @given(exchanges())
+    def test_agreement_on_honest_exchanges(self, exchange):
+        mapping, source, target = exchange
+        reference = _reference_is_justified(mapping, source, target)
+        if reference is None:
+            return
+        try:
+            optimized = is_justified(mapping, source, target)
+        except BudgetExceededError:
+            return
+        assert optimized == reference
+
+    @RELAXED
+    @given(exchanges(), small_targets())
+    def test_agreement_on_arbitrary_targets(self, exchange, target):
+        mapping, source, _ = exchange
+        reference = _reference_is_justified(mapping, source, target)
+        if reference is None:
+            return
+        try:
+            optimized = is_justified(mapping, source, target)
+        except BudgetExceededError:
+            return
+        assert optimized == reference
+
+    @RELAXED
+    @given(exchanges())
+    def test_justified_targets_map_into_some_minimal_image(self, exchange):
+        mapping, source, target = exchange
+        if target.is_empty:
+            return
+        try:
+            justified = is_justified(mapping, source, target)
+        except BudgetExceededError:
+            return
+        if not justified:
+            return
+        reference = _reference_is_justified(mapping, source, target)
+        if reference is None:
+            return
+        assert reference
+
+
+class TestMinimalSolutionProperties:
+    @RELAXED
+    @given(exchanges())
+    def test_enumerated_images_are_minimal_solutions(self, exchange):
+        mapping, source, target = exchange
+        try:
+            images = list(
+                minimal_solution_images(mapping, source, target, max_search=20000)
+            )
+        except BudgetExceededError:
+            return
+        for image in images:
+            assert is_minimal_solution(mapping, source, image)
+
+    @RELAXED
+    @given(ground_source_instances())
+    def test_semi_oblivious_chase_is_a_solution(self, source):
+        from repro.logic.tgds import Mapping
+        from repro.logic.parser import parse_tgds
+
+        mapping = Mapping(parse_tgds("S0(x) -> T1(x, z); S1(u, v) -> T0(u)"))
+        canonical = chase(mapping, source, dedup="frontier").result
+        assert satisfies(source, canonical, mapping)

@@ -1,0 +1,164 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_instance, save_instance, save_mapping
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """A mapping file plus source/target instance files on disk."""
+    mapping = Mapping(
+        parse_tgds(
+            "Order(c, i) -> Shipment(i), Invoice(c); Gift(c2, i2) -> Shipment(i2)"
+        )
+    )
+    mapping_path = tmp_path / "orders.mapping"
+    save_mapping(mapping, mapping_path)
+    source_path = tmp_path / "source.instance"
+    save_instance(parse_instance("Order(ada, laptop)"), source_path)
+    target_path = tmp_path / "target.instance"
+    save_instance(parse_instance("Shipment(laptop), Invoice(ada)"), target_path)
+    return tmp_path, mapping_path, source_path, target_path
+
+
+class TestExchange:
+    def test_exchange_to_file(self, workspace, capsys):
+        tmp_path, mapping_path, source_path, _ = workspace
+        out = tmp_path / "exchanged.instance"
+        code = main(
+            [
+                "exchange",
+                "--mapping",
+                str(mapping_path),
+                "--source",
+                str(source_path),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert load_instance(out) == parse_instance("Shipment(laptop), Invoice(ada)")
+
+    def test_exchange_to_stdout(self, workspace, capsys):
+        _, mapping_path, source_path, _ = workspace
+        assert main(
+            ["exchange", "--mapping", str(mapping_path), "--source", str(source_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Shipment(laptop)" in output
+
+
+class TestRecover:
+    def test_recover_valid_target(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        code = main(
+            ["recover", "--mapping", str(mapping_path), "--target", str(target_path)]
+        )
+        assert code == 0
+        assert "recovery(ies):" in capsys.readouterr().out
+
+    def test_recover_with_cores(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--cores",
+            ]
+        )
+        assert code == 0
+
+    def test_recover_invalid_target(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, _ = workspace
+        bad = tmp_path / "bad.instance"
+        save_instance(parse_instance("Invoice(eve)"), bad)
+        code = main(
+            ["recover", "--mapping", str(mapping_path), "--target", str(bad)]
+        )
+        assert code == 1
+
+
+class TestValidate:
+    def test_valid(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        assert main(
+            ["validate", "--mapping", str(mapping_path), "--target", str(target_path)]
+        ) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_lists_orphans(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, _ = workspace
+        bad = tmp_path / "bad.instance"
+        save_instance(parse_instance("Shipment(laptop), Refund(ada)"), bad)
+        assert main(
+            ["validate", "--mapping", str(mapping_path), "--target", str(bad)]
+        ) == 1
+        assert "Refund(ada)" in capsys.readouterr().out
+
+
+class TestCertain:
+    def test_certain_answers(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, target_path = workspace
+        query_path = tmp_path / "q.query"
+        query_path.write_text("q(c) :- Order(c, i)\n")
+        assert main(
+            [
+                "certain",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--query",
+                str(query_path),
+            ]
+        ) == 0
+        assert "ada" in capsys.readouterr().out
+
+    def test_certain_on_invalid_target(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, _ = workspace
+        bad = tmp_path / "bad.instance"
+        save_instance(parse_instance("Refund(ada)"), bad)
+        query_path = tmp_path / "q.query"
+        query_path.write_text("q(c) :- Order(c, i)\n")
+        assert main(
+            [
+                "certain",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(bad),
+                "--query",
+                str(query_path),
+            ]
+        ) == 1
+
+
+class TestRepair:
+    def test_repair_removes_foreign_fact(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, _ = workspace
+        bad = tmp_path / "bad.instance"
+        save_instance(
+            parse_instance("Shipment(laptop), Invoice(ada), Refund(ada)"), bad
+        )
+        assert main(
+            ["repair", "--mapping", str(mapping_path), "--target", str(bad)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "- Refund(ada)" in output
+
+    def test_parse_error_is_reported(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, _ = workspace
+        broken = tmp_path / "broken.instance"
+        broken.write_text("R(a) @@")
+        code = main(
+            ["recover", "--mapping", str(mapping_path), "--target", str(broken)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

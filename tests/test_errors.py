@@ -1,0 +1,47 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    ChaseError,
+    DependencyError,
+    NotRecoverableError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            SchemaError,
+            DependencyError,
+            NotRecoverableError,
+            ChaseError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_parse_error_carries_position(self):
+        error = ParseError("bad token", text="R(a) @@", position=5)
+        assert error.position == 5
+        assert "offset 5" in str(error)
+
+    def test_parse_error_without_position(self):
+        error = ParseError("empty input")
+        assert error.position == -1
+        assert str(error) == "empty input"
+
+    def test_budget_error_carries_limit(self):
+        error = BudgetExceededError("coverings", 100)
+        assert error.limit == 100
+        assert error.what == "coverings"
+        assert "100" in str(error)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(ReproError):
+            raise BudgetExceededError("anything", 1)

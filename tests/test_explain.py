@@ -1,0 +1,95 @@
+"""Unit tests for the diagnostics module."""
+
+from repro.data.instances import Instance
+from repro.explain import (
+    RecoveryExplanation,
+    ValidityExplanation,
+    explain_recovery,
+    explain_validity,
+)
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+
+
+def eq4_mapping():
+    return Mapping(parse_tgds("R(x) -> T(x); R(x2) -> S(x2); M(x3) -> S(x3)"))
+
+
+class TestExplainRecovery:
+    def test_positive_verdict(self):
+        mapping = eq4_mapping()
+        explanation = explain_recovery(
+            mapping, parse_instance("M(a)"), parse_instance("S(a)")
+        )
+        assert explanation.is_recovery
+        assert "is a recovery" in str(explanation)
+
+    def test_model_violation_is_reported(self):
+        mapping = eq4_mapping()
+        explanation = explain_recovery(
+            mapping, parse_instance("R(a)"), parse_instance("S(a)")
+        )
+        assert not explanation.is_recovery
+        assert explanation.violations
+        assert not explanation.unjustified
+        assert "requires target" in str(explanation)
+
+    def test_unjustified_is_reported(self):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        explanation = explain_recovery(
+            mapping, parse_instance("S(a)"), parse_instance("T(a, b), T(a, c)")
+        )
+        assert not explanation.is_recovery
+        assert explanation.unjustified
+        assert "minimal solution" in str(explanation)
+
+    def test_partial_cover_is_unjustified(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        explanation = explain_recovery(
+            mapping,
+            parse_instance("R(a, b1)"),
+            parse_instance("S(a), P(b1), P(b2)"),
+        )
+        assert not explanation.is_recovery
+        assert explanation.unjustified
+
+
+class TestExplainValidity:
+    def test_valid_with_witness(self):
+        mapping = eq4_mapping()
+        explanation = explain_validity(mapping, parse_instance("S(a)"))
+        assert explanation.is_valid
+        assert explanation.witness == parse_instance("M(a)")
+        assert "witness" in str(explanation)
+
+    def test_uncoverable_facts_listed(self):
+        mapping = eq4_mapping()
+        explanation = explain_validity(mapping, parse_instance("S(a), U(b)"))
+        assert not explanation.is_valid
+        assert [str(f) for f in explanation.uncoverable] == ["U(b)"]
+        assert "cannot be produced" in str(explanation)
+
+    def test_refuted_coverings_reported(self):
+        mapping = eq4_mapping()
+        explanation = explain_validity(mapping, parse_instance("T(a)"))
+        assert not explanation.is_valid
+        assert not explanation.uncoverable
+        assert explanation.coverings_refuted
+        assert "forward consequences" in str(explanation)
+
+    def test_empty_target_is_trivially_valid(self):
+        mapping = eq4_mapping()
+        explanation = explain_validity(mapping, Instance.empty())
+        assert explanation.is_valid
+        assert explanation.witness is not None and explanation.witness.is_empty
+
+    def test_agreement_with_the_decision_procedure(self):
+        from repro.core.validity import is_valid_for_recovery
+        from repro.workloads import PAPER_SCENARIOS, scenario
+
+        for name in PAPER_SCENARIOS:
+            s = scenario(name)
+            assert (
+                explain_validity(s.mapping, s.target).is_valid
+                == is_valid_for_recovery(s.mapping, s.target)
+            )

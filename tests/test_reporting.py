@@ -1,0 +1,55 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.data.terms import Constant, Null
+from repro.logic.parser import parse_instance
+from repro.reporting import format_answers, format_instances, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_borders(self):
+        table = format_table(["name", "n"], [("short", 1), ("a-much-longer-name", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("+")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every row is equally wide
+
+    def test_title_is_prepended(self):
+        table = format_table(["x"], [(1,)], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+    def test_non_string_cells_are_rendered(self):
+        table = format_table(["v"], [(None,), (3.5,), (True,)])
+        assert "None" in table and "3.5" in table and "True" in table
+
+
+class TestFormatAnswers:
+    def test_sorted_deterministic(self):
+        answers = {(Constant("b"),), (Constant("a"),)}
+        assert format_answers(answers) == "{(a), (b)}"
+
+    def test_tuples_of_width_two(self):
+        answers = {(Constant("a"), Constant("b"))}
+        assert format_answers(answers) == "{(a, b)}"
+
+    def test_empty(self):
+        assert format_answers(set()) == "{}"
+
+    def test_nulls_render_with_marker(self):
+        assert "?N" in format_answers({(Null("N"),)})
+
+
+class TestFormatInstances:
+    def test_each_instance_on_its_own_line(self):
+        rendered = format_instances(
+            [parse_instance("R(a)"), parse_instance("S(b)")]
+        )
+        assert len(rendered.splitlines()) == 2
+
+    def test_eliding_after_limit(self):
+        instances = [parse_instance(f"R(a{i})") for i in range(15)]
+        rendered = format_instances(instances, limit=10)
+        assert "5 more" in rendered

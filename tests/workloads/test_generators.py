@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.chase.standard import chase, satisfies
+from repro.workloads.generators import (
+    corrupted_target,
+    exchange_workload,
+    random_ground_instance,
+    random_mapping,
+    unique_cover_workload,
+)
+
+
+class TestRandomMapping:
+    def test_seed_determinism(self):
+        a = random_mapping(42, tgds=3)
+        b = random_mapping(42, tgds=3)
+        assert a == b
+
+    def test_different_seeds_usually_differ(self):
+        assert any(
+            random_mapping(i, tgds=3) != random_mapping(i + 100, tgds=3)
+            for i in range(5)
+        )
+
+    def test_requested_shape(self):
+        mapping = random_mapping(1, tgds=4, max_body_atoms=2, max_head_atoms=2)
+        assert len(mapping) == 4
+        for tgd in mapping:
+            assert 1 <= len(tgd.body) <= 2
+            assert 1 <= len(tgd.head) <= 2
+
+    def test_schemas_are_disjoint(self):
+        mapping = random_mapping(7)
+        assert mapping.source_schema.is_disjoint_from(mapping.target_schema)
+
+    def test_accepts_random_instance(self):
+        rng = random.Random(3)
+        assert random_mapping(rng) is not None
+
+
+class TestRandomInstance:
+    def test_respects_schema(self):
+        mapping = random_mapping(5)
+        inst = random_ground_instance(5, mapping.source_schema, facts=8)
+        mapping.source_schema.validate_atoms(inst.facts)
+
+    def test_requested_size_and_grounded(self):
+        mapping = random_mapping(5)
+        inst = random_ground_instance(5, mapping.source_schema, facts=8)
+        assert len(inst) == 8
+        assert inst.is_ground
+
+    def test_determinism(self):
+        mapping = random_mapping(5)
+        assert random_ground_instance(9, mapping.source_schema) == (
+            random_ground_instance(9, mapping.source_schema)
+        )
+
+
+class TestExchangeWorkload:
+    def test_target_is_the_chase_of_the_source(self):
+        mapping, source, target = exchange_workload(11, tgds=2, source_facts=5)
+        assert chase(mapping, source).result == target
+
+    def test_target_is_a_model(self):
+        mapping, source, target = exchange_workload(11, tgds=2, source_facts=5)
+        assert satisfies(source, target, mapping)
+
+    def test_target_never_empty(self):
+        for seed in range(5):
+            _, _, target = exchange_workload(seed, tgds=2, source_facts=5)
+            assert not target.is_empty
+
+    def test_determinism(self):
+        a = exchange_workload(13, tgds=2, source_facts=4)
+        b = exchange_workload(13, tgds=2, source_facts=4)
+        assert a == b
+
+
+class TestCorruptedTarget:
+    def test_adds_facts(self):
+        mapping, _, target = exchange_workload(17, tgds=2, source_facts=4)
+        corrupted = corrupted_target(17, mapping, target, extra_facts=3)
+        assert target <= corrupted
+        assert len(corrupted) >= len(target)
+
+    def test_stays_in_target_schema(self):
+        mapping, _, target = exchange_workload(17, tgds=2, source_facts=4)
+        corrupted = corrupted_target(17, mapping, target, extra_facts=3)
+        mapping.target_schema.validate_atoms(corrupted.facts)
+
+
+class TestUniqueCoverWorkload:
+    def test_preconditions_of_theorem5_hold(self):
+        from repro.core.covers import unique_cover
+        from repro.core.hom_sets import hom_set
+        from repro.core.tractable import is_quasi_guarded_safe
+
+        mapping, target = unique_cover_workload(23, facts=20)
+        assert is_quasi_guarded_safe(mapping)
+        assert unique_cover(hom_set(mapping, target), target) is not None
+
+    def test_requested_size_roughly(self):
+        _, target = unique_cover_workload(23, facts=30)
+        assert len(target) >= 30
+
+    def test_complete_recovery_runs(self):
+        from repro.core.tractable import complete_ucq_recovery
+
+        mapping, target = unique_cover_workload(29, facts=16)
+        recovered = complete_ucq_recovery(mapping, target)
+        assert satisfies(recovered, target, mapping)

@@ -1,0 +1,72 @@
+"""Unit tests for the named paper scenarios."""
+
+import pytest
+
+from repro.workloads.scenarios import (
+    PAPER_SCENARIOS,
+    employee_benefits_scaled,
+    example10,
+    intro_split_scaled,
+    lemma1_remark,
+    scenario,
+)
+
+
+class TestRegistry:
+    def test_all_registered_scenarios_build(self):
+        for name in PAPER_SCENARIOS:
+            s = scenario(name)
+            assert s.mapping is not None
+            assert not s.target.is_empty
+            assert s.description
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario("no_such_scenario")
+
+    def test_queries_are_well_formed(self):
+        for name in PAPER_SCENARIOS:
+            s = scenario(name)
+            for query in s.queries.values():
+                assert query.arity >= 0
+
+    def test_targets_conform_to_target_schema(self):
+        for name in PAPER_SCENARIOS:
+            s = scenario(name)
+            s.mapping.target_schema.validate_atoms(s.target.facts)
+
+
+class TestParameterizedScenarios:
+    def test_intro_split_scaled_size(self):
+        s = intro_split_scaled(16)
+        assert len(s.target) == 17  # 16 P-facts plus S(a)
+
+    def test_employee_benefits_scaled_shape(self):
+        s = employee_benefits_scaled(employees=6, departments=2, benefits=3)
+        assert len(s.target.facts_for("EmpDept")) == 6
+        assert len(s.target.facts_for("EmpBnf")) == 18
+
+    def test_example10_size(self):
+        s = example10(5)
+        assert len(s.target.facts_for("T")) == 5
+
+    def test_lemma1_remark_default_matches_paper(self):
+        s = lemma1_remark(2)
+        assert len(s.target) == 4
+
+
+class TestScenarioSemantics:
+    def test_all_paper_targets_are_valid_for_recovery(self):
+        from repro.core.validity import is_valid_for_recovery
+
+        for name in PAPER_SCENARIOS:
+            s = scenario(name)
+            assert is_valid_for_recovery(s.mapping, s.target), name
+
+    def test_scaled_employee_benefits_complete_recovery(self):
+        from repro.core.tractable import complete_ucq_recovery
+
+        s = employee_benefits_scaled(employees=4, departments=2, benefits=2)
+        recovered = complete_ucq_recovery(s.mapping, s.target)
+        q = s.queries["dept0_benefits"]
+        assert len(q.certain_evaluate(recovered)) == 2
