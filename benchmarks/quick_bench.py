@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Quick-bench harness for the engine layer (PR regression gate).
+
+Times the inverse-chase and certainty benchmarks on small fixtures in
+three engine modes and writes a JSON report:
+
+* ``seed``     — every engine optimisation off, serial: the pre-engine
+  code path (eager indexes, no incremental index maintenance, no sort
+  cache, no memoization, no value fast paths);
+* ``serial``   — all optimisations on, serial executor;
+* ``parallel`` — all optimisations on, 4 worker threads.
+
+Each measurement rebuilds its fixture *inside* the mode's
+configuration context, so seed-mode timings never benefit from hashes
+or caches populated while the optimisations were enabled.  Result sets
+are verified identical across modes before any timing is reported.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+from repro.core.certain import certain_answer
+from repro.core.inverse_chase import inverse_chase
+from repro.engine import CONFIG, Executor, engine_options
+from repro.engine.cache import clear_registered_caches
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.tgds import Mapping
+
+#: The engine configuration emulating the pre-engine code path.
+SEED_OPTIONS = dict(
+    lazy_indexes=False,
+    incremental_ops=False,
+    sort_cache=False,
+    memoize_hom_sets=False,
+    memoize_subsumers=False,
+    value_fastpaths=False,
+)
+
+#: Fixture size: the Lemma-1-remark family, asymmetric (3 S-facts,
+#: 4 T-facts -> |Chase^-1| = 1398).  Big enough that a run takes a
+#: few hundred milliseconds -- timer noise stays well below the gate
+#: margin -- while the full three-mode sweep finishes in about a
+#: minute.
+N_S, N_T = 3, 4
+
+
+def fixture():
+    """The recovery-set blow-up workload (E6/E7's family, scaled)."""
+    mapping = Mapping(parse_tgds("R(x, y) -> S(x); R(u, v) -> T(v)"))
+    facts = ", ".join(
+        [f"S(a{i})" for i in range(N_S)] + [f"T(b{i})" for i in range(N_T)]
+    )
+    return mapping, parse_instance(facts)
+
+
+def bench_inverse_chase(executor):
+    """E6's fixture: the recovery-set blow-up workload."""
+    mapping, target = fixture()
+    return inverse_chase(
+        mapping,
+        target,
+        verify_justification=False,
+        max_recoveries=100000,
+        executor=executor,
+    )
+
+
+def bench_certainty(executor):
+    """E7's fixture: exact certainty through the recovery set."""
+    mapping, target = fixture()
+    # First components are certain (every recovery covers every S-fact),
+    # so the answer set is nonempty and the intersection never
+    # early-exits: all modes evaluate the full recovery set.
+    query = parse_query("q(x) :- R(x, y)")
+    return certain_answer(
+        query,
+        mapping,
+        target,
+        max_recoveries=100000,
+        verify_justification=False,
+        executor=executor,
+    )
+
+
+BENCHMARKS = {
+    "inverse_chase": bench_inverse_chase,
+    "certainty": bench_certainty,
+}
+
+MODES = {
+    "seed": (SEED_OPTIONS, None),
+    "serial": ({}, None),
+    "parallel": ({}, lambda jobs: Executor(jobs=jobs, backend="thread")),
+}
+
+
+def measure(fn, executor, options, repeats):
+    """Best-of / mean-of timings, with the fixture built per mode."""
+    timings = []
+    result = None
+    with engine_options(**options) if options else engine_options():
+        clear_registered_caches()
+        result = fn(executor)  # warmup + the result to verify
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(executor)
+            timings.append(time.perf_counter() - start)
+    return {
+        "best_s": min(timings),
+        "mean_s": statistics.fmean(timings),
+        "repeats": repeats,
+    }, result
+
+
+def canonical(result):
+    """A mode-independent fingerprint of a benchmark's result."""
+    if isinstance(result, set):
+        return sorted(str(answer) for answer in result)
+    return [str(recovery) for recovery in result]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_PR1.json", help="report path")
+    parser.add_argument("--jobs", type=int, default=4, help="parallel workers")
+    parser.add_argument("--repeats", type=int, default=5, help="timed repeats")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="fail unless parallel beats seed by this factor on every benchmark",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "fixture": (
+            f"lemma1_remark family, {N_S} S-facts x {N_T} T-facts,"
+            " verify_justification=False"
+        ),
+        "python": platform.python_version(),
+        "jobs": args.jobs,
+        "config": {k: v for k, v in CONFIG.as_dict().items()},
+        "benchmarks": {},
+    }
+    failures = []
+    for name, fn in BENCHMARKS.items():
+        results = {}
+        fingerprints = {}
+        for mode, (options, make_executor) in MODES.items():
+            executor = make_executor(args.jobs) if make_executor else None
+            timing, result = measure(fn, executor, options, args.repeats)
+            results[mode] = timing
+            fingerprints[mode] = canonical(result)
+        if not (fingerprints["seed"] == fingerprints["serial"] == fingerprints["parallel"]):
+            print(f"FAIL {name}: modes disagree on the result set", file=sys.stderr)
+            return 1
+        seed = results["seed"]["best_s"]
+        speedups = {
+            "serial_vs_seed": round(seed / results["serial"]["best_s"], 2),
+            "parallel_vs_seed": round(seed / results["parallel"]["best_s"], 2),
+        }
+        results["speedups"] = speedups
+        results["result_size"] = len(fingerprints["seed"])
+        results["results_identical_across_modes"] = True
+        report["benchmarks"][name] = results
+        line = (
+            f"{name}: seed={seed:.3f}s"
+            f" serial={results['serial']['best_s']:.3f}s ({speedups['serial_vs_seed']}x)"
+            f" parallel{args.jobs}={results['parallel']['best_s']:.3f}s"
+            f" ({speedups['parallel_vs_seed']}x)"
+        )
+        print(line)
+        if speedups["parallel_vs_seed"] < args.min_speedup:
+            failures.append(name)
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if failures:
+        print(
+            f"FAIL: below {args.min_speedup}x parallel-vs-seed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

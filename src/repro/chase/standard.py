@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Union
 
-from ..data.atoms import Atom
-from ..data.instances import Instance
+from ..data.instances import Instance, InstanceBuilder
 from ..data.substitutions import Substitution
 from ..data.terms import NullFactory, Term, Variable
 from ..logic.homomorphisms import has_homomorphism, homomorphisms
@@ -72,7 +71,7 @@ def chase(
     factory = factory or NullFactory()
     factory.avoid(instance.domain())
     applications: list[TriggerApplication] = []
-    produced: list[Atom] = []
+    produced = InstanceBuilder()
     for tgd in tgd_list:
         key_vars = (
             sorted(tgd.body_variables)
@@ -87,8 +86,8 @@ def chase(
             seen.add(key)
             app = _apply_trigger(tgd, hom.restrict(tgd.frontier_variables), factory)
             applications.append(app)
-            produced.extend(app.produced)
-    return ChaseResult(instance, Instance(produced), applications)
+            produced.add_all(app.produced)
+    return ChaseResult(instance, produced.build(), applications)
 
 
 def chase_restricted(
@@ -107,12 +106,12 @@ def chase_restricted(
     factory = factory or NullFactory()
     factory.avoid(instance.domain())
     applications: list[TriggerApplication] = []
-    produced: list[Atom] = []
+    produced = InstanceBuilder()
     for tgd, hom in triggers:
         app = _apply_trigger(tgd, hom, factory)
         applications.append(app)
-        produced.extend(app.produced)
-    return ChaseResult(instance, Instance(produced), applications)
+        produced.add_all(app.produced)
+    return ChaseResult(instance, produced.build(), applications)
 
 
 def oblivious_chase_instance(

@@ -27,8 +27,9 @@ from .core.inverse_chase import inverse_chase
 from .core.repair import recover_after_alteration, uncoverable_facts
 from .core.validity import is_valid_for_recovery
 from .data.io import load_instance, load_mapping, load_query, save_instance
+from .engine.counters import COUNTERS
 from .errors import NotRecoverableError, ReproError
-from .reporting import format_answers
+from .reporting import format_answers, format_counters
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +41,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--mapping", required=True, help="mapping DSL file")
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="print engine counters (work done, cache hits) after the run",
+        )
+
+    def parallel(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker threads for covering/query evaluation (default serial)",
+        )
 
     p_exchange = sub.add_parser("exchange", help="chase a source forward")
     common(p_exchange)
@@ -48,6 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_recover = sub.add_parser("recover", help="compute Chase^{-1}(Sigma, J)")
     common(p_recover)
+    parallel(p_recover)
     p_recover.add_argument("--target", required=True, help="target instance file")
     p_recover.add_argument(
         "--max-recoveries", type=int, default=1000, help="enumeration budget"
@@ -64,6 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_certain = sub.add_parser("certain", help="certain answers of a source query")
     common(p_certain)
+    parallel(p_certain)
     p_certain.add_argument("--target", required=True)
     p_certain.add_argument("--query", required=True, help="query DSL file")
     p_certain.add_argument("--max-recoveries", type=int, default=1000)
@@ -92,7 +108,7 @@ def _cmd_recover(args) -> int:
     mapping = load_mapping(args.mapping)
     target = load_instance(args.target)
     recoveries = inverse_chase(
-        mapping, target, max_recoveries=args.max_recoveries
+        mapping, target, max_recoveries=args.max_recoveries, jobs=args.jobs
     )
     if not recoveries:
         print("target is not valid for recovery; no recoveries exist")
@@ -124,7 +140,11 @@ def _cmd_certain(args) -> int:
     query = load_query(args.query)
     try:
         answers = certain_answer(
-            query, mapping, target, max_recoveries=args.max_recoveries
+            query,
+            mapping,
+            target,
+            max_recoveries=args.max_recoveries,
+            jobs=args.jobs,
         )
     except NotRecoverableError:
         print("target is not valid for recovery; certain answers undefined")
@@ -164,11 +184,15 @@ _COMMANDS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    COUNTERS.reset()
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if getattr(args, "stats", False):
+            print(format_counters(COUNTERS.snapshot()), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution

@@ -5,6 +5,11 @@
 ``Chase^{-1}(Sigma, J)`` is a UCQ-universal recovery, so for any UCQ
 the intersection over that set equals the certain answer; this module
 implements exactly that.
+
+Per-recovery UCQ evaluation is independent work, so
+:func:`certain_answers` accepts an :class:`~repro.engine.executor.Executor`
+and fans the evaluations out; the intersection is folded in input
+order with the same early exit on the empty set as the serial loop.
 """
 
 from __future__ import annotations
@@ -13,26 +18,52 @@ from typing import Iterable, Optional, Sequence
 
 from ..data.instances import Instance
 from ..data.terms import Term
+from ..engine.executor import Executor, ExecutorLike, resolve_executor
 from ..errors import NotRecoverableError
-from ..logic.queries import Query, as_ucq
+from ..logic.queries import Query, UnionOfConjunctiveQueries, as_ucq
 from ..logic.tgds import Mapping
 from .covers import CoverMode
 from .inverse_chase import inverse_chase
 from .subsumption import SubsumptionConstraint
 
 
+def _evaluate_on(
+    task: tuple[UnionOfConjunctiveQueries, Instance],
+) -> set[tuple[Term, ...]]:
+    """Worker: one recovery's null-free answer set (picklable unit)."""
+    ucq, instance = task
+    return ucq.certain_evaluate(instance)
+
+
 def certain_answers(
-    query: Query, instances: Iterable[Instance]
+    query: Query,
+    instances: Iterable[Instance],
+    *,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> set[tuple[Term, ...]]:
     """The intersection of null-free answers over a set of instances.
 
     Raises :class:`ValueError` on an empty collection: the certain
     answer over no instances is undefined (it would be "everything").
+
+    ``executor`` / ``jobs`` evaluate the per-instance answer sets in
+    parallel.  The intersection folds results in input order and still
+    exits early once it is empty — with a parallel executor at most one
+    window of evaluations past the emptying instance is computed.
     """
     ucq = as_ucq(query)
+    runner = resolve_executor(executor, jobs)
+    if not runner.is_serial and runner.chunk_size is None:
+        # One UCQ evaluation is micro-work; per-item fan-out would cost
+        # more in submissions than it saves, and on recovery sets in the
+        # thousands small chunks thrash the scheduler.  Batch coarsely.
+        runner = Executor(
+            jobs=runner.jobs, backend=runner.backend, chunk_size=256
+        )
     result: Optional[set[tuple[Term, ...]]] = None
-    for instance in instances:
-        answers = ucq.certain_evaluate(instance)
+    answer_sets = runner.map(_evaluate_on, ((ucq, inst) for inst in instances))
+    for answers in answer_sets:
         result = answers if result is None else (result & answers)
         if not result:
             return set()
@@ -50,13 +81,24 @@ def certain_answer(
     subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
     max_covers: Optional[int] = None,
     max_recoveries: Optional[int] = None,
+    verify_justification: bool = True,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> set[tuple[Term, ...]]:
     """``CERT(Q, Sigma, J)`` computed through the inverse chase.
+
+    ``executor`` / ``jobs`` parallelize both phases: the per-covering
+    inverse-chase pipelines and the per-recovery query evaluations.
+    ``verify_justification`` is forwarded to
+    :func:`~repro.core.inverse_chase.inverse_chase`; disable it only
+    for targets known to be valid for recovery (e.g. honestly exchanged
+    ones), where the Definition 2 oracle is redundant work.
 
     :raises NotRecoverableError: when ``J`` is not valid for recovery
         under ``Sigma`` (the recovery set is empty and the certain
         answer undefined).
     """
+    runner = resolve_executor(executor, jobs)
     recoveries = inverse_chase(
         mapping,
         target,
@@ -64,12 +106,14 @@ def certain_answer(
         subsumption=subsumption,
         max_covers=max_covers,
         max_recoveries=max_recoveries,
+        verify_justification=verify_justification,
+        executor=runner,
     )
     if not recoveries:
         raise NotRecoverableError(
             "target instance is not valid for recovery under the mapping"
         )
-    return certain_answers(query, recoveries)
+    return certain_answers(query, recoveries, executor=runner)
 
 
 def certain_boolean(
@@ -82,4 +126,6 @@ def certain_boolean(
     ucq = as_ucq(query)
     if not ucq.is_boolean:
         raise ValueError("certain_boolean expects a Boolean query")
+    # ``ucq`` is already a UCQ; certain_answer's own as_ucq call is the
+    # identity on it, so the conversion happens exactly once.
     return () in certain_answer(ucq, mapping, target, **options)

@@ -28,6 +28,7 @@ from typing import Iterator, Literal, Optional, Sequence
 
 from ..data.atoms import Atom
 from ..data.instances import Instance
+from ..engine.counters import COUNTERS
 from ..errors import BudgetExceededError
 from .hom_sets import TargetHomomorphism, covered_by
 
@@ -110,9 +111,8 @@ def enumerate_covers(
     worst-case exponential).
     """
     if mode == "minimal":
-        count = 0
         for chosen in _minimal_covers_indexes(homs, target, limit):
-            count += 1
+            COUNTERS.covers_enumerated += 1
             yield tuple(homs[i] for i in sorted(chosen))
         return
     if mode != "all":
@@ -137,6 +137,7 @@ def enumerate_covers(
                 count += 1
                 if limit is not None and count > limit:
                     raise BudgetExceededError("covering enumeration", limit)
+                COUNTERS.covers_enumerated += 1
                 yield tuple(homs[i] for i in sorted(candidate))
 
 
@@ -151,7 +152,9 @@ def count_covers(
 
 
 def unique_cover(
-    homs: Sequence[TargetHomomorphism], target: Instance
+    homs: Sequence[TargetHomomorphism],
+    target: Instance,
+    index: Optional[dict[Atom, list[int]]] = None,
 ) -> Optional[tuple[TargetHomomorphism, ...]]:
     """The unique covering when ``|COV(Sigma, J)| = 1`` (Theorem 6), else ``None``.
 
@@ -159,8 +162,13 @@ def unique_cover(
     some fact that no other homomorphism covers.  In that case the
     unique covering is ``HOM(Sigma, J)`` itself.  The test runs in time
     quadratic in ``|HOM|`` as the paper notes.
+
+    ``index`` accepts a precomputed :func:`coverage_index` for the same
+    ``(homs, target)`` pair, so callers that already built one (e.g.
+    the tractable-case pipeline) avoid a second pass.
     """
-    index = coverage_index(homs, target)
+    if index is None:
+        index = coverage_index(homs, target)
     if any(not entry for entry in index.values()):
         return None
     for i in range(len(homs)):
@@ -173,8 +181,15 @@ def unique_cover(
 
 
 def uniquely_covered_facts(
-    homs: Sequence[TargetHomomorphism], target: Instance
+    homs: Sequence[TargetHomomorphism],
+    target: Instance,
+    index: Optional[dict[Atom, list[int]]] = None,
 ) -> set[Atom]:
-    """The facts of ``J`` covered by exactly one homomorphism (Theorem 7's ``K``)."""
-    index = coverage_index(homs, target)
+    """The facts of ``J`` covered by exactly one homomorphism (Theorem 7's ``K``).
+
+    ``index`` accepts a precomputed :func:`coverage_index`, as in
+    :func:`unique_cover`.
+    """
+    if index is None:
+        index = coverage_index(homs, target)
     return {fact for fact, entry in index.items() if len(entry) == 1}

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from ..data.atoms import Atom
-from ..data.instances import Instance
+from ..data.instances import Instance, InstanceBuilder
 from ..data.terms import NullFactory, Term
 
 
@@ -51,13 +51,13 @@ def glb2(
 ) -> Instance:
     """``glb(I_1, I_2)`` by the direct-product construction."""
     pairing = pairing or _fresh_pairing(left, right)
-    facts: list[Atom] = []
+    facts = InstanceBuilder()
     for relation in left.relation_names & right.relation_names:
         for l_fact in left.facts_for(relation):
             for r_fact in right.facts_for(relation):
                 if l_fact.arity != r_fact.arity:
                     continue
-                facts.append(
+                facts.add(
                     Atom(
                         relation,
                         tuple(
@@ -66,7 +66,7 @@ def glb2(
                         ),
                     )
                 )
-    return Instance(facts)
+    return facts.build()
 
 
 def _fresh_pairing(

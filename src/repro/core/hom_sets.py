@@ -19,6 +19,8 @@ from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.substitutions import Substitution
 from ..data.terms import Term
+from ..engine.cache import LRUCache
+from ..engine.config import CONFIG
 from ..logic.homomorphisms import homomorphisms
 from ..logic.tgds import TGD, Mapping
 
@@ -74,6 +76,9 @@ class TargetHomomorphism:
             repr(other._substitution),
         )
 
+    def __reduce__(self):
+        return (TargetHomomorphism, (self._tgd, self._substitution))
+
     def __repr__(self) -> str:
         return f"<{self._tgd.name or 'tgd'} {self._substitution}>"
 
@@ -94,12 +99,26 @@ def tgd_homomorphisms(tgd: TGD, target: Instance) -> Iterator[TargetHomomorphism
         yield TargetHomomorphism(tgd, restricted)
 
 
+#: Memo for ``HOM(Sigma, J)``, keyed by the (hashable, immutable)
+#: mapping/target pair.  The inverse chase, the certainty pipeline and
+#: the baselines all recompute the same hom-set for a scenario; caching
+#: it removes that redundancy (see ``CONFIG.memoize_hom_sets``).
+_HOM_SET_CACHE = LRUCache("hom_set", maxsize=CONFIG.hom_set_cache_size)
+
+
 def hom_set(mapping: Mapping, target: Instance) -> list[TargetHomomorphism]:
     """``HOM(Sigma, J)``: the union over all tgds, deterministically ordered."""
-    homs: list[TargetHomomorphism] = []
-    for tgd in mapping:
-        homs.extend(tgd_homomorphisms(tgd, target))
-    return sorted(homs)
+
+    def compute() -> tuple[TargetHomomorphism, ...]:
+        homs: list[TargetHomomorphism] = []
+        for tgd in mapping:
+            homs.extend(tgd_homomorphisms(tgd, target))
+        return tuple(sorted(homs))
+
+    if not CONFIG.memoize_hom_sets:
+        return list(compute())
+    _HOM_SET_CACHE.resize(CONFIG.hom_set_cache_size)
+    return list(_HOM_SET_CACHE.get_or_compute((mapping, target), compute))
 
 
 def covered_by(homs: Sequence[TargetHomomorphism]) -> frozenset[Atom]:

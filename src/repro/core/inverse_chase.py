@@ -37,7 +37,9 @@ from __future__ import annotations
 from typing import Iterator, Literal, Optional, Sequence
 
 from ..data.instances import Instance
-from ..data.terms import NullFactory
+from ..data.terms import NullFactory, Term
+from ..engine.counters import COUNTERS
+from ..engine.executor import Executor, ExecutorLike, resolve_executor
 from ..errors import BudgetExceededError
 from ..logic.homomorphisms import instance_homomorphisms
 from ..logic.tgds import Mapping
@@ -98,8 +100,67 @@ class RecoveryCandidate:
     def __repr__(self) -> str:
         return f"RecoveryCandidate({self._recovery!r})"
 
+    def __reduce__(self):
+        return (
+            RecoveryCandidate,
+            (self._covering, self._backward, self._forward, self._g, self._recovery),
+        )
+
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("RecoveryCandidate is immutable")
+
+
+def _evaluate_covering(
+    task: tuple[
+        Mapping,
+        Instance,
+        set[Term],
+        tuple[TargetHomomorphism, ...],
+        bool,
+        dict[Instance, bool],
+    ],
+) -> tuple[list[RecoveryCandidate], dict[Instance, bool]]:
+    """Steps 4-6 of Definition 9 for one covering (the parallel unit).
+
+    A top-level function so the process backend can pickle it.  Each
+    invocation creates its own :class:`NullFactory` seeded exactly like
+    the serial path, so the produced instances are bit-identical to a
+    serial run regardless of evaluation order.
+
+    ``known`` carries already-computed justification verdicts (reads
+    are safe while the parent merges concurrently); fresh verdicts are
+    returned alongside the candidates so the parent can share them with
+    later coverings even across a process boundary.
+    """
+    mapping, target, target_domain, covering, verify, known = task
+    factory = NullFactory()
+    factory.avoid(target_domain)
+    backward = chase_restricted(
+        [hom.reverse_trigger for hom in covering], target, factory
+    ).result
+    forward = chase(mapping, backward, factory).result
+    candidates: list[RecoveryCandidate] = []
+    verdicts: dict[Instance, bool] = {}
+    for g in instance_homomorphisms(forward, target, identity_on=target_domain):
+        recovery = backward.apply(g)
+        if verify:
+            verdict = known.get(recovery)
+            if verdict is None:
+                verdict = verdicts.get(recovery)
+            if verdict is None:
+                # Thread workers share COUNTERS; process workers lose
+                # these increments with the rest of their globals.
+                COUNTERS.justification_misses += 1
+                verdict = is_justified(mapping, recovery, target)
+                verdicts[recovery] = verdict
+            else:
+                COUNTERS.justification_hits += 1
+            if not verdict:
+                continue
+        candidates.append(
+            RecoveryCandidate(covering, backward, forward, g, recovery)
+        )
+    return candidates, verdicts
 
 
 def inverse_chase_candidates(
@@ -112,6 +173,8 @@ def inverse_chase_candidates(
     max_covers: Optional[int] = None,
     max_recoveries: Optional[int] = None,
     verify_justification: bool = True,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> Iterator[RecoveryCandidate]:
     """Yield recovery candidates with provenance (lazy Definition 9).
 
@@ -139,6 +202,13 @@ def inverse_chase_candidates(
         docstring).  Disable only for targets known to be valid for
         recovery — e.g. honestly exchanged benchmark targets — where
         the check is redundant work.
+    :param executor: an :class:`~repro.engine.executor.Executor` (or a
+        worker count) fanning coverings out in parallel.  Each covering
+        is an independent backward-chase → forward-chase → gate
+        pipeline; results keep the serial enumeration order, so
+        parallel and serial runs yield identical sequences.
+    :param jobs: shorthand for ``executor`` when only a worker count is
+        needed; ``None``/``0``/``1`` stay serial (and fully lazy).
     """
     homs = hom_set(mapping, target)
     if subsumption_mode == "auto":
@@ -153,32 +223,77 @@ def inverse_chase_candidates(
     conclusion_pool = homs if subsumption_mode == "refute" else None
     # Distinct (covering, g) pairs frequently produce the same recovery
     # (homomorphisms differing only on forward-chase nulls); cache the
-    # justification verdict per recovery instance.
+    # justification verdict per recovery instance.  The cache is shared
+    # across parallel workers: threads read it directly, processes get
+    # a snapshot per task and ship fresh verdicts back.
     justified_cache: dict[Instance, bool] = {}
-    for covering in enumerate_covers(homs, target, mode=cover_mode, limit=max_covers):
-        if subsumption_mode != "off" and not models_all(
-            covering, constraints, conclusion_pool
+    runner = resolve_executor(executor, jobs)
+
+    def surviving_coverings() -> Iterator[tuple[TargetHomomorphism, ...]]:
+        for covering in enumerate_covers(
+            homs, target, mode=cover_mode, limit=max_covers
         ):
-            continue
-        factory = NullFactory()
-        factory.avoid(target_domain)
-        backward = chase_restricted(
-            [hom.reverse_trigger for hom in covering], target, factory
-        ).result
-        forward = chase(mapping, backward, factory).result
-        for g in instance_homomorphisms(forward, target, identity_on=target_domain):
-            recovery = backward.apply(g)
-            if verify_justification:
-                verdict = justified_cache.get(recovery)
-                if verdict is None:
-                    verdict = is_justified(mapping, recovery, target)
-                    justified_cache[recovery] = verdict
-                if not verdict:
-                    continue
+            if subsumption_mode != "off" and not models_all(
+                covering, constraints, conclusion_pool
+            ):
+                continue
+            yield covering
+
+    if runner.is_serial:
+        # The serial path stays lazy per homomorphism g: callers like
+        # is_valid_for_recovery pull a single candidate and stop.
+        for covering in surviving_coverings():
+            COUNTERS.coverings_evaluated += 1
+            factory = NullFactory()
+            factory.avoid(target_domain)
+            backward = chase_restricted(
+                [hom.reverse_trigger for hom in covering], target, factory
+            ).result
+            forward = chase(mapping, backward, factory).result
+            for g in instance_homomorphisms(
+                forward, target, identity_on=target_domain
+            ):
+                recovery = backward.apply(g)
+                if verify_justification:
+                    verdict = justified_cache.get(recovery)
+                    if verdict is None:
+                        COUNTERS.justification_misses += 1
+                        verdict = is_justified(mapping, recovery, target)
+                        justified_cache[recovery] = verdict
+                    else:
+                        COUNTERS.justification_hits += 1
+                    if not verdict:
+                        continue
+                emitted += 1
+                COUNTERS.recoveries_emitted += 1
+                if max_recoveries is not None and emitted > max_recoveries:
+                    raise BudgetExceededError(
+                        "inverse chase recoveries", max_recoveries
+                    )
+                yield RecoveryCandidate(covering, backward, forward, g, recovery)
+        return
+
+    if runner.chunk_size is None:
+        # One covering's pipeline usually runs well under a millisecond,
+        # comparable to a single submission's overhead.  Batch them.
+        runner = Executor(
+            jobs=runner.jobs, backend=runner.backend, chunk_size=8
+        )
+    tasks = (
+        (mapping, target, target_domain, covering, verify_justification, justified_cache)
+        for covering in surviving_coverings()
+    )
+    for candidates, verdicts in runner.map(_evaluate_covering, tasks):
+        COUNTERS.coverings_evaluated += 1
+        justified_cache.update(verdicts)
+        for candidate in candidates:
             emitted += 1
+            COUNTERS.recoveries_emitted += 1
             if max_recoveries is not None and emitted > max_recoveries:
-                raise BudgetExceededError("inverse chase recoveries", max_recoveries)
-            yield RecoveryCandidate(covering, backward, forward, g, recovery)
+                raise BudgetExceededError(
+                    "inverse chase recoveries", max_recoveries
+                )
+            yield candidate
 
 
 def inverse_chase(
@@ -191,11 +306,14 @@ def inverse_chase(
     max_covers: Optional[int] = None,
     max_recoveries: Optional[int] = None,
     verify_justification: bool = True,
+    executor: ExecutorLike = None,
+    jobs: Optional[int] = None,
 ) -> list[Instance]:
     """``Chase^{-1}(Sigma, J)``: the deduplicated set of recoveries.
 
     Returns the empty list exactly when ``J`` is not valid for recovery
-    under ``Sigma`` (Theorem 3's characterization).
+    under ``Sigma`` (Theorem 3's characterization).  ``executor`` /
+    ``jobs`` parallelize per covering, preserving the serial order.
     """
     seen: set[Instance] = set()
     result: list[Instance] = []
@@ -208,6 +326,8 @@ def inverse_chase(
         max_covers=max_covers,
         max_recoveries=max_recoveries,
         verify_justification=verify_justification,
+        executor=executor,
+        jobs=jobs,
     ):
         if candidate.recovery not in seen:
             seen.add(candidate.recovery)

@@ -39,6 +39,8 @@ from typing import Iterable, Optional, Sequence
 from ..data.atoms import Atom
 from ..data.substitutions import Substitution
 from ..data.terms import Constant, Term, Variable
+from ..engine.cache import LRUCache
+from ..engine.config import CONFIG
 from ..errors import BudgetExceededError
 from ..logic.tgds import TGD, Mapping
 from .hom_sets import TargetHomomorphism
@@ -117,6 +119,9 @@ class SubsumptionConstraint:
 
         left = ", ".join(fmt(p) for p in self._premises)
         return f"{left} => {fmt(self._conclusion)}"
+
+    def __reduce__(self):
+        return (SubsumptionConstraint, (self._premises, self._conclusion))
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("SubsumptionConstraint is immutable")
@@ -343,6 +348,12 @@ def _canonical_constraint(
     return SubsumptionConstraint(parts, conclusion)
 
 
+#: Memo for ``SUB(Sigma)``.  The constraint derivation depends only on
+#: the mapping, so the inverse chase pays it once per scenario instead
+#: of once per call (see ``CONFIG.memoize_subsumers``).
+_SUBSUMERS_CACHE = LRUCache("subsumers", maxsize=CONFIG.subsumers_cache_size)
+
+
 def minimal_subsumers(
     mapping: Mapping,
     max_premises: Optional[int] = None,
@@ -359,6 +370,22 @@ def minimal_subsumers(
         are generated (the search is exponential in ``|Sigma|``, which
         the paper treats as a constant).
     """
+    if not CONFIG.memoize_subsumers:
+        return list(_derive_subsumers(mapping, max_premises, limit))
+    _SUBSUMERS_CACHE.resize(CONFIG.subsumers_cache_size)
+    return list(
+        _SUBSUMERS_CACHE.get_or_compute(
+            (mapping, max_premises, limit),
+            lambda: _derive_subsumers(mapping, max_premises, limit),
+        )
+    )
+
+
+def _derive_subsumers(
+    mapping: Mapping,
+    max_premises: Optional[int],
+    limit: int,
+) -> tuple[SubsumptionConstraint, ...]:
     constraints: dict[SubsumptionConstraint, None] = {}
     for conclusion_tgd in mapping:
         cap = len(conclusion_tgd.body)
@@ -382,7 +409,7 @@ def minimal_subsumers(
                         raise BudgetExceededError(
                             "subsumption constraints", limit
                         )
-    return list(constraints)
+    return tuple(constraints)
 
 
 # ---------------------------------------------------------------------------

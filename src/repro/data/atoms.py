@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, Sequence, Union
 
+from ..engine.config import CONFIG
 from .terms import Constant, Null, Term, Variable
 
 TermLike = Union[Term, str, int]
@@ -61,6 +62,15 @@ class Atom:
         object.__setattr__(self, "_relation", relation)
         object.__setattr__(self, "_args", coerced)
         object.__setattr__(self, "_hash", hash((relation, coerced)))
+
+    @classmethod
+    def _of_terms(cls, relation: str, args: tuple[Term, ...]) -> "Atom":
+        """Internal: wrap arguments already known to be terms, uncoerced."""
+        atom = object.__new__(cls)
+        object.__setattr__(atom, "_relation", relation)
+        object.__setattr__(atom, "_args", args)
+        object.__setattr__(atom, "_hash", hash((relation, args)))
+        return atom
 
     @property
     def relation(self) -> str:
@@ -111,7 +121,11 @@ class Atom:
 
     def apply(self, mapping: Mapping[Term, Term]) -> "Atom":
         """Replace arguments by their image in ``mapping`` (missing = keep)."""
-        return Atom(self._relation, tuple(mapping.get(t, t) for t in self._args))
+        args = tuple(mapping.get(t, t) for t in self._args)
+        if CONFIG.value_fastpaths:
+            # The images of a term-to-term mapping need no coercion.
+            return Atom._of_terms(self._relation, args)
+        return Atom(self._relation, args)
 
     def map_terms(self, fn: Callable[[Term], Term]) -> "Atom":
         """Apply ``fn`` to every argument."""
@@ -137,6 +151,9 @@ class Atom:
         if self._relation != other._relation:
             return self._relation < other._relation
         return list(self._args) < list(other._args)
+
+    def __reduce__(self):
+        return (Atom, (self._relation, self._args))
 
     def __repr__(self) -> str:
         return f"Atom({self._relation!r}, {self._args!r})"

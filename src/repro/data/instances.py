@@ -13,12 +13,26 @@ Instances are immutable; the algebraic operations (union, difference,
 substitution application) return new instances.  This keeps the many
 intermediate instances of the inverse chase safe to share and to use
 as dictionary keys.
+
+Two engine optimisations (see :mod:`repro.engine.config`) keep
+chase-heavy loops from going quadratic in index work:
+
+* **lazy indexing** — the indexes are built on first lookup, not at
+  construction.  Most intermediate instances (recovery images,
+  justification candidates) are only hashed and compared, so their
+  indexes are never built at all;
+* **incremental maintenance** — ``union`` / ``with_facts`` /
+  ``without_facts`` on an instance whose indexes exist reuse them
+  through :class:`InstanceBuilder`, re-freezing only the touched
+  ``(relation, position, term)`` entries and sharing the rest.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, Optional
 
+from ..engine.config import CONFIG
+from ..engine.counters import COUNTERS
 from ..errors import SchemaError
 from .atoms import Atom
 from .schema import Schema
@@ -39,23 +53,13 @@ class Instance:
                 )
             if schema is not None:
                 schema.validate_atom(fact)
-        by_relation: dict[str, frozenset[Atom]] = {}
-        grouped: dict[str, set[Atom]] = {}
-        position_index: dict[tuple[str, int, Term], set[Atom]] = {}
-        for fact in fact_set:
-            grouped.setdefault(fact.relation, set()).add(fact)
-            for i, term in enumerate(fact.args):
-                position_index.setdefault((fact.relation, i, term), set()).add(fact)
-        for name, facts_of in grouped.items():
-            by_relation[name] = frozenset(facts_of)
         object.__setattr__(self, "_facts", fact_set)
-        object.__setattr__(self, "_by_relation", by_relation)
-        object.__setattr__(
-            self,
-            "_position_index",
-            {k: frozenset(v) for k, v in position_index.items()},
-        )
+        object.__setattr__(self, "_by_relation", None)
+        object.__setattr__(self, "_position_index", None)
         object.__setattr__(self, "_hash", None)
+        COUNTERS.instances_built += 1
+        if not CONFIG.lazy_indexes:
+            self._ensure_indexes()
 
     # -- constructors --------------------------------------------------------
 
@@ -68,6 +72,85 @@ class Instance:
         """Variadic constructor: ``Instance.of(atom(...), atom(...))``."""
         return cls(facts)
 
+    @classmethod
+    def _from_validated(cls, fact_set: frozenset[Atom]) -> "Instance":
+        """Internal: wrap facts known to be valid, skipping re-validation."""
+        if not fact_set:
+            return _EMPTY
+        inst = object.__new__(cls)
+        object.__setattr__(inst, "_facts", fact_set)
+        object.__setattr__(inst, "_by_relation", None)
+        object.__setattr__(inst, "_position_index", None)
+        object.__setattr__(inst, "_hash", None)
+        COUNTERS.instances_built += 1
+        if not CONFIG.lazy_indexes:
+            inst._ensure_indexes()
+        return inst
+
+    @classmethod
+    def _from_parts(
+        cls,
+        fact_set: frozenset[Atom],
+        by_relation: dict[str, frozenset[Atom]],
+        position_index: Optional[dict[tuple[str, int, Term], frozenset[Atom]]],
+    ) -> "Instance":
+        """Internal: adopt prebuilt indexes (the :class:`InstanceBuilder` path).
+
+        ``position_index`` may be ``None`` when the base never built its
+        positional tier; the result builds it lazily on first probe.
+        """
+        inst = object.__new__(cls)
+        object.__setattr__(inst, "_facts", fact_set)
+        object.__setattr__(inst, "_by_relation", by_relation)
+        object.__setattr__(inst, "_position_index", position_index)
+        object.__setattr__(inst, "_hash", None)
+        COUNTERS.instances_built += 1
+        return inst
+
+    # -- indexing ------------------------------------------------------------
+
+    def _ensure_relation_index(self) -> None:
+        """Build the cheap by-relation tier only (idempotent).
+
+        Lookups by relation name alone (``facts_for``, and through it
+        single-atom homomorphism searches) are far more common than
+        positional lookups; grouping facts by relation costs one pass,
+        while the positional tier costs one entry per argument.  The
+        tiers build independently so throwaway instances — e.g. the
+        recoveries a certain-answer intersection sweeps over — never
+        pay for positions they will not probe.
+        """
+        if self._by_relation is not None:
+            return
+        grouped: dict[str, set[Atom]] = {}
+        for fact in self._facts:
+            grouped.setdefault(fact.relation, set()).add(fact)
+        object.__setattr__(
+            self,
+            "_by_relation",
+            {name: frozenset(facts) for name, facts in grouped.items()},
+        )
+
+    def _ensure_indexes(self) -> None:
+        """Build both index tiers (idempotent; lazy by default)."""
+        self._ensure_relation_index()
+        if self._position_index is not None:
+            return
+        position_index: dict[tuple[str, int, Term], set[Atom]] = {}
+        for fact in self._facts:
+            for i, term in enumerate(fact.args):
+                position_index.setdefault((fact.relation, i, term), set()).add(fact)
+        COUNTERS.facts_indexed += len(self._facts)
+        object.__setattr__(
+            self,
+            "_position_index",
+            {k: frozenset(v) for k, v in position_index.items()},
+        )
+
+    @property
+    def _indexes_built(self) -> bool:
+        return self._by_relation is not None
+
     # -- basic queries ---------------------------------------------------------
 
     @property
@@ -76,15 +159,18 @@ class Instance:
 
     @property
     def relation_names(self) -> frozenset[str]:
+        self._ensure_relation_index()
         return frozenset(self._by_relation)
 
     def facts_for(self, relation: str) -> frozenset[Atom]:
         """All facts of one relation (empty set when absent)."""
-        return self._by_relation.get(relation, frozenset())
+        self._ensure_relation_index()
+        return self._by_relation.get(relation, _EMPTY_FACTS)
 
     def facts_matching(self, relation: str, position: int, term: Term) -> frozenset[Atom]:
         """All ``relation``-facts whose ``position``-th argument equals ``term``."""
-        return self._position_index.get((relation, position, term), frozenset())
+        self._ensure_indexes()
+        return self._position_index.get((relation, position, term), _EMPTY_FACTS)
 
     def candidates(
         self,
@@ -149,26 +235,71 @@ class Instance:
     # -- algebra ------------------------------------------------------------------------
 
     def union(self, other: "Instance") -> "Instance":
-        return Instance(self._facts | other._facts)
+        if not other._facts:
+            return self
+        if not self._facts:
+            return other
+        if CONFIG.incremental_ops:
+            # Grow from the side whose indexes already exist (prefer the
+            # larger one when both do); the other side's facts are the
+            # delta the builder re-indexes.
+            base, extra = self, other
+            if (other._indexes_built, len(other)) > (self._indexes_built, len(self)):
+                base, extra = other, self
+            if base._indexes_built:
+                builder = InstanceBuilder(base)
+                builder.add_validated(extra._facts)
+                return builder.build()
+        return Instance._from_validated(self._facts | other._facts)
 
     def difference(self, other: "Instance") -> "Instance":
-        return Instance(self._facts - other._facts)
+        return self.without_facts(other._facts)
 
     def intersection(self, other: "Instance") -> "Instance":
-        return Instance(self._facts & other._facts)
+        return Instance._from_validated(self._facts & other._facts)
 
     def with_facts(self, extra: Iterable[Atom]) -> "Instance":
-        return Instance(self._facts.union(extra))
+        extra = frozenset(extra) - self._facts
+        if not extra:
+            return self
+        for fact in extra:
+            if not fact.is_fact:
+                raise SchemaError(
+                    f"instances may not contain variables, got {fact}"
+                )
+        if CONFIG.incremental_ops and self._indexes_built:
+            builder = InstanceBuilder(self)
+            builder.add_validated(extra)
+            return builder.build()
+        return Instance._from_validated(self._facts | extra)
 
     def without_facts(self, removed: Iterable[Atom]) -> "Instance":
-        return Instance(self._facts.difference(removed))
+        removed = frozenset(removed) & self._facts
+        if not removed:
+            return self
+        if CONFIG.incremental_ops and self._indexes_built:
+            builder = InstanceBuilder(self)
+            for fact in removed:
+                builder.discard(fact)
+            return builder.build()
+        return Instance._from_validated(self._facts - removed)
 
     def restrict_to_schema(self, schema: Schema) -> "Instance":
         """Keep only the facts whose relation belongs to ``schema``."""
-        return Instance(f for f in self._facts if f.relation in schema)
+        return Instance._from_validated(
+            frozenset(f for f in self._facts if f.relation in schema)
+        )
 
     def apply(self, mapping: Mapping[Term, Term]) -> "Instance":
         """Apply a term mapping to every fact (e.g. a homomorphism image)."""
+        if CONFIG.value_fastpaths and not any(
+            isinstance(v, Variable) for v in mapping.values()
+        ):
+            # A variable-free range keeps every image a storable fact,
+            # so the per-fact validation of the constructor is skipped.
+            return Instance._from_validated(
+                frozenset(fact.apply(mapping) for fact in self._facts)
+            )
         return Instance(fact.apply(mapping) for fact in self._facts)
 
     def map_terms(self, fn: Callable[[Term], Term]) -> "Instance":
@@ -176,6 +307,10 @@ class Instance:
 
     def issubset(self, other: "Instance") -> bool:
         return self._facts <= other._facts
+
+    def builder(self) -> "InstanceBuilder":
+        """An :class:`InstanceBuilder` seeded with this instance's facts."""
+        return InstanceBuilder(self)
 
     # -- dunder --------------------------------------------------------------------------
 
@@ -219,11 +354,171 @@ class Instance:
         inner = ", ".join(str(f) for f in self)
         return "{" + inner + "}"
 
+    def __reduce__(self):
+        # Indexes are rebuilt lazily on the other side of the pickle
+        # boundary (the process executor ships instances to workers).
+        return (_restore_instance, (tuple(self._facts),))
+
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Instance is immutable")
 
 
+def _restore_instance(facts: tuple[Atom, ...]) -> Instance:
+    return Instance._from_validated(frozenset(facts))
+
+
 _EMPTY = Instance()
+_EMPTY_FACTS: frozenset[Atom] = frozenset()
+
+
+class InstanceBuilder:
+    """A mutable fact accumulator with incremental index maintenance.
+
+    Chase loops repeatedly extend or shrink an instance by a small
+    delta; rebuilding the full per-position index each time makes them
+    quadratic.  A builder tracks the delta against an optional base
+    instance and, when the base's indexes exist, :meth:`build` merges
+    the delta into *copies* of them — re-freezing only the touched
+    ``(relation, position, term)`` entries and sharing every untouched
+    frozen set with the base (index sharing for unchanged relations).
+
+    Builders validate facts on entry (no variables), so :meth:`build`
+    can skip the validation pass entirely.
+    """
+
+    __slots__ = ("_base", "_added", "_removed")
+
+    def __init__(self, base: Optional[Instance] = None):
+        self._base = base if base is not None and base._facts else None
+        self._added: set[Atom] = set()
+        self._removed: set[Atom] = set()
+
+    @classmethod
+    def from_instance(cls, base: Instance) -> "InstanceBuilder":
+        return cls(base)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, fact: Atom) -> "InstanceBuilder":
+        """Add one fact (validating it); returns ``self`` for chaining."""
+        if not fact.is_fact:
+            raise SchemaError(f"instances may not contain variables, got {fact}")
+        self._removed.discard(fact)
+        if self._base is None or fact not in self._base._facts:
+            self._added.add(fact)
+        return self
+
+    def add_all(self, facts: Iterable[Atom]) -> "InstanceBuilder":
+        for fact in facts:
+            self.add(fact)
+        return self
+
+    def add_validated(self, facts: Iterable[Atom]) -> "InstanceBuilder":
+        """Add facts known to be valid (e.g. drawn from another instance)."""
+        base_facts = self._base._facts if self._base is not None else _EMPTY_FACTS
+        for fact in facts:
+            self._removed.discard(fact)
+            if fact not in base_facts:
+                self._added.add(fact)
+        return self
+
+    def update(self, instance: Instance) -> "InstanceBuilder":
+        """Merge every fact of ``instance`` into the builder."""
+        return self.add_validated(instance._facts)
+
+    def discard(self, fact: Atom) -> "InstanceBuilder":
+        """Remove a fact if present (no error otherwise)."""
+        self._added.discard(fact)
+        if self._base is not None and fact in self._base._facts:
+            self._removed.add(fact)
+        return self
+
+    def discard_all(self, facts: Iterable[Atom]) -> "InstanceBuilder":
+        for fact in facts:
+            self.discard(fact)
+        return self
+
+    # -- inspection ----------------------------------------------------------
+
+    def facts(self) -> frozenset[Atom]:
+        """The current fact set the builder would freeze."""
+        base_facts = self._base._facts if self._base is not None else _EMPTY_FACTS
+        if not self._added and not self._removed:
+            return base_facts
+        return (base_facts - self._removed) | self._added
+
+    def __contains__(self, fact: Atom) -> bool:
+        if fact in self._added:
+            return True
+        if self._base is None or fact in self._removed:
+            return False
+        return fact in self._base._facts
+
+    def __len__(self) -> int:
+        base = len(self._base._facts) if self._base is not None else 0
+        return base - len(self._removed) + len(self._added)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(sorted(self.facts()))
+
+    # -- freezing ------------------------------------------------------------
+
+    def build(self) -> Instance:
+        """Freeze the builder into an :class:`Instance`.
+
+        When the base instance's indexes exist and incremental
+        operations are enabled, the result adopts merged copies of them
+        instead of re-indexing from scratch.
+        """
+        base = self._base
+        if base is not None and not self._added and not self._removed:
+            return base
+        fact_set = self.facts()
+        if (
+            base is None
+            or not base._indexes_built
+            or not CONFIG.incremental_ops
+        ):
+            return Instance._from_validated(fact_set)
+
+        by_relation = dict(base._by_relation)
+        # The positional tier is only carried forward when the base built
+        # it; otherwise the result inherits its laziness.
+        has_positions = base._position_index is not None
+        position_index = dict(base._position_index) if has_positions else None
+        # Group the delta so every touched index entry is re-frozen once.
+        relation_delta: dict[str, tuple[set[Atom], set[Atom]]] = {}
+        key_delta: dict[tuple[str, int, Term], tuple[set[Atom], set[Atom]]] = {}
+        for fact, adding in [(f, True) for f in self._added] + [
+            (f, False) for f in self._removed
+        ]:
+            rel_add, rel_del = relation_delta.setdefault(
+                fact.relation, (set(), set())
+            )
+            (rel_add if adding else rel_del).add(fact)
+            if not has_positions:
+                continue
+            for i, term in enumerate(fact.args):
+                key_add, key_del = key_delta.setdefault(
+                    (fact.relation, i, term), (set(), set())
+                )
+                (key_add if adding else key_del).add(fact)
+        for relation, (added, removed) in relation_delta.items():
+            merged = (by_relation.get(relation, _EMPTY_FACTS) - removed) | added
+            if merged:
+                by_relation[relation] = merged
+            else:
+                by_relation.pop(relation, None)
+        if has_positions:
+            for key, (added, removed) in key_delta.items():
+                merged = (position_index.get(key, _EMPTY_FACTS) - removed) | added
+                if merged:
+                    position_index[key] = merged
+                else:
+                    position_index.pop(key, None)
+        COUNTERS.facts_indexed += len(self._added) + len(self._removed)
+        COUNTERS.instances_shared += 1
+        return Instance._from_parts(fact_set, by_relation, position_index)
 
 
 def instance(*facts: Atom) -> Instance:

@@ -43,6 +43,9 @@ class RelationSymbol:
     def __hash__(self) -> int:
         return hash((self._name, self._arity))
 
+    def __reduce__(self):
+        return (RelationSymbol, (self._name, self._arity))
+
     def __repr__(self) -> str:
         return f"{self._name}/{self._arity}"
 
@@ -113,6 +116,9 @@ class Schema:
 
     def __hash__(self) -> int:
         return hash(frozenset(self._relations.values()))
+
+    def __reduce__(self):
+        return (Schema, (tuple(self._relations.values()),))
 
     # -- validation ----------------------------------------------------------------
 

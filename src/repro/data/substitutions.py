@@ -147,6 +147,9 @@ class Substitution(Mapping[Term, Term]):
             object.__setattr__(self, "_hash", cached)
         return cached
 
+    def __reduce__(self):
+        return (Substitution, (self._map,))
+
     def __repr__(self) -> str:
         inner = ", ".join(
             f"{k}/{v}" for k, v in sorted(self._map.items(), key=lambda kv: kv[0])

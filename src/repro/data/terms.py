@@ -24,6 +24,8 @@ import itertools
 import threading
 from typing import Iterable, Union
 
+from ..engine.config import CONFIG
+
 
 class Term:
     """Base class of :class:`Constant`, :class:`Null` and :class:`Variable`.
@@ -33,7 +35,7 @@ class Term:
     printed instances and enumeration orders reproducible).
     """
 
-    __slots__ = ("_key",)
+    __slots__ = ("_key", "_hash")
 
     #: Sort rank of the concrete class; constants < nulls < variables.
     _rank = 0
@@ -64,7 +66,12 @@ class Term:
         return not result
 
     def __hash__(self) -> int:
-        return hash((self._rank, self._key))
+        cached = self._hash
+        if cached is None:
+            cached = hash((self._rank, self._key))
+            if CONFIG.value_fastpaths:
+                object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __lt__(self, other: "Term") -> bool:
         if not isinstance(other, Term):
@@ -85,11 +92,15 @@ class Constant(Term):
 
     def __init__(self, value: Union[str, int]):
         object.__setattr__(self, "_key", value)
+        object.__setattr__(self, "_hash", None)
 
     @property
     def value(self) -> Union[str, int]:
         """The payload carried by the constant (a string or an int)."""
         return self._key
+
+    def __reduce__(self):
+        return (Constant, (self._key,))
 
     def __repr__(self) -> str:
         return f"Constant({self._key!r})"
@@ -123,11 +134,15 @@ class Null(Term):
 
     def __init__(self, label: str):
         object.__setattr__(self, "_key", label)
+        object.__setattr__(self, "_hash", None)
 
     @property
     def label(self) -> str:
         """The identifying label of this null."""
         return self._key
+
+    def __reduce__(self):
+        return (Null, (self._key,))
 
     def __repr__(self) -> str:
         return f"Null({self._key!r})"
@@ -147,11 +162,15 @@ class Variable(Term):
 
     def __init__(self, name: str):
         object.__setattr__(self, "_key", name)
+        object.__setattr__(self, "_hash", None)
 
     @property
     def name(self) -> str:
         """The name of the variable as written in the dependency."""
         return self._key
+
+    def __reduce__(self):
+        return (Variable, (self._key,))
 
     def __repr__(self) -> str:
         return f"Variable({self._key!r})"

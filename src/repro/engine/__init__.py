@@ -1,0 +1,41 @@
+"""The performance layer: executors, caches, counters, feature flags.
+
+``repro.engine`` holds everything that makes the reproduction fast
+without changing *what* is computed:
+
+* :class:`~repro.engine.executor.Executor` — pluggable serial /
+  thread / process fan-out with deterministic result ordering and
+  graceful serial fallback (used by the inverse chase, certain-answer
+  intersection and the baselines);
+* :class:`~repro.engine.cache.LRUCache` — keyed memoization behind
+  ``hom_set`` and ``minimal_subsumers``;
+* :data:`~repro.engine.counters.COUNTERS` — lightweight perf counters
+  surfaced by the CLI's ``--stats`` flag;
+* :data:`~repro.engine.config.CONFIG` — switches for every
+  optimisation, so benchmarks can measure each in isolation.
+
+This package deliberately never imports ``repro.data`` / ``repro.core``
+(they import *it*), keeping the layering acyclic.
+"""
+
+from .cache import LRUCache, clear_registered_caches, registered_cache_stats
+from .config import CONFIG, EngineConfig, configure, engine_options
+from .counters import COUNTERS, EngineCounters
+from .executor import SERIAL, Backend, Executor, default_jobs, resolve_executor
+
+__all__ = [
+    "Backend",
+    "CONFIG",
+    "COUNTERS",
+    "EngineConfig",
+    "EngineCounters",
+    "Executor",
+    "LRUCache",
+    "SERIAL",
+    "clear_registered_caches",
+    "configure",
+    "default_jobs",
+    "engine_options",
+    "registered_cache_stats",
+    "resolve_executor",
+]

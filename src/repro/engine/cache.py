@@ -1,0 +1,95 @@
+"""Keyed LRU caches with hit/miss accounting.
+
+:class:`LRUCache` is a small, dependency-free LRU used to memoize the
+engine's pure-but-expensive derivations — ``HOM(Σ, J)`` and ``SUB(Σ)``
+— behind hashable keys (mappings and instances are immutable and
+hashable throughout the library, which is what makes this safe).
+
+Every cache registers itself in a module-level registry so that
+:func:`repro.engine.counters.EngineCounters.snapshot` can report all
+cache statistics and the benchmark harness can flush everything
+between measured configurations via :func:`clear_registered_caches`.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, TypeVar
+
+V = TypeVar("V")
+
+_REGISTRY: "weakref.WeakSet[LRUCache]" = weakref.WeakSet()
+_SENTINEL = object()
+
+
+class LRUCache:
+    """A named, bounded, thread-safe least-recently-used cache."""
+
+    __slots__ = ("name", "_maxsize", "_data", "_lock", "hits", "misses", "__weakref__")
+
+    def __init__(self, name: str, maxsize: int = 128):
+        self.name = name
+        self._maxsize = maxsize
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        _REGISTRY.add(self)
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def resize(self, maxsize: int) -> None:
+        if maxsize == self._maxsize:
+            return
+        with self._lock:
+            self._maxsize = maxsize
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], V]) -> V:
+        """The cached value for ``key``, computing and storing on a miss.
+
+        The computation runs outside the lock — it may be slow and may
+        itself use other caches; a rare duplicated computation under
+        contention is harmless because cached functions are pure.
+        """
+        with self._lock:
+            value = self._data.get(key, _SENTINEL)
+            if value is not _SENTINEL:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return value  # type: ignore[return-value]
+            self.misses += 1
+        value = compute()
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def registered_cache_stats() -> dict[str, int]:
+    """``{"<name>_cache_hits": ..., "<name>_cache_misses": ...}`` for all caches."""
+    stats: dict[str, int] = {}
+    for cache in list(_REGISTRY):
+        stats[f"{cache.name}_cache_hits"] = cache.hits
+        stats[f"{cache.name}_cache_misses"] = cache.misses
+    return stats
+
+
+def clear_registered_caches() -> None:
+    """Flush every registered cache (statistics are kept)."""
+    for cache in list(_REGISTRY):
+        cache.clear()

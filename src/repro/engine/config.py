@@ -1,0 +1,112 @@
+"""Engine feature flags and tuning knobs.
+
+The performance layer added on top of the paper's algorithms is
+switchable: every optimisation consults the process-global
+:data:`CONFIG` so benchmarks can measure each one (and emulate the
+pre-engine "seed" code path by turning them all off).
+
+Knobs:
+
+* ``lazy_indexes`` — build an :class:`~repro.data.instances.Instance`'s
+  per-relation / per-position indexes on first lookup instead of at
+  construction time.  Chase-heavy loops create many short-lived
+  instances (recovery images, justification candidates) that are only
+  ever hashed or compared; laziness skips their index builds entirely.
+* ``incremental_ops`` — let ``union`` / ``with_facts`` /
+  ``without_facts`` reuse the receiver's already-built indexes,
+  re-indexing only the touched ``(relation, position, term)`` keys and
+  sharing the frozen entries of unchanged relations.
+* ``sort_cache`` — memoize the deterministic candidate-fact presort of
+  the homomorphism engine per candidate set, instead of re-sorting in
+  every backtracking frame.
+* ``memoize_hom_sets`` / ``memoize_subsumers`` — keyed LRU caches for
+  ``hom_set(Σ, J)`` and ``minimal_subsumers(Σ)`` (sizes below).
+* ``value_fastpaths`` — cache the structural hash of terms on first
+  use, and skip re-coercion / re-validation when transforming values
+  that are already known to be well-formed (``Atom.apply`` over a
+  term-to-term mapping, ``Instance.apply`` with a variable-free
+  range).  These paths dominate the inner loops of the homomorphism
+  engine and the inverse chase.
+
+Use :func:`configure` for permanent changes and :func:`engine_options`
+as a context manager for scoped ones (the benchmark harness does the
+latter).  This module must not import the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class EngineConfig:
+    """Mutable switchboard for the engine optimisations."""
+
+    __slots__ = (
+        "lazy_indexes",
+        "incremental_ops",
+        "sort_cache",
+        "memoize_hom_sets",
+        "memoize_subsumers",
+        "value_fastpaths",
+        "hom_set_cache_size",
+        "subsumers_cache_size",
+        "min_parallel_items",
+    )
+
+    def __init__(self) -> None:
+        self.lazy_indexes = True
+        self.incremental_ops = True
+        self.sort_cache = True
+        self.memoize_hom_sets = True
+        self.memoize_subsumers = True
+        self.value_fastpaths = True
+        self.hom_set_cache_size = 256
+        self.subsumers_cache_size = 128
+        #: Below this many work items the executor stays serial: the
+        #: fan-out overhead dwarfs the work on tiny instances.
+        self.min_parallel_items = 4
+
+    def as_dict(self) -> dict[str, object]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: The process-global engine configuration.
+CONFIG = EngineConfig()
+
+
+def configure(**options: object) -> None:
+    """Set engine options by name; unknown names raise ``ValueError``."""
+    for name, value in options.items():
+        if name not in EngineConfig.__slots__:
+            raise ValueError(f"unknown engine option {name!r}")
+        setattr(CONFIG, name, value)
+
+
+@contextmanager
+def engine_options(**options: object) -> Iterator[EngineConfig]:
+    """Temporarily override engine options (restored on exit).
+
+    Disabling either memoization flag also clears the corresponding
+    cache on entry *and* exit, so measurements inside the block never
+    see entries populated outside it and vice versa.
+    """
+    for name in options:
+        if name not in EngineConfig.__slots__:
+            raise ValueError(f"unknown engine option {name!r}")
+    previous = {name: getattr(CONFIG, name) for name in options}
+    configure(**options)
+    _clear_caches_if_toggled(options)
+    try:
+        yield CONFIG
+    finally:
+        for name, value in previous.items():
+            setattr(CONFIG, name, value)
+        _clear_caches_if_toggled(options)
+
+
+def _clear_caches_if_toggled(options: dict[str, object]) -> None:
+    if "memoize_hom_sets" in options or "memoize_subsumers" in options:
+        from .cache import clear_registered_caches
+
+        clear_registered_caches()

@@ -1,0 +1,62 @@
+"""Lightweight engine performance counters.
+
+One process-global :class:`EngineCounters` instance (:data:`COUNTERS`)
+is threaded through the hot paths of the library: the homomorphism
+engine, the covering enumeration, the instance indexes and the
+executor.  Increments are plain integer additions on an object with
+``__slots__`` — cheap enough to leave enabled unconditionally, and
+atomic enough under the GIL for statistics purposes.
+
+The CLI surfaces a snapshot via ``--stats`` (see
+:func:`repro.reporting.format_counters`); benchmarks use
+:meth:`EngineCounters.snapshot` / :meth:`EngineCounters.reset` around
+measured regions.
+
+This module must stay import-free of the rest of ``repro`` — the data
+layer imports it, so any dependency back into ``repro.data`` or
+``repro.core`` would be circular.
+"""
+
+from __future__ import annotations
+
+
+class EngineCounters:
+    """Monotonic counters for the engine's hot paths."""
+
+    __slots__ = (
+        "homomorphisms_explored",
+        "covers_enumerated",
+        "coverings_evaluated",
+        "recoveries_emitted",
+        "facts_indexed",
+        "instances_built",
+        "instances_shared",
+        "justification_hits",
+        "justification_misses",
+        "parallel_chunks",
+        "parallel_fallbacks",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (typically at the start of a CLI command)."""
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """The current counter values plus cache statistics, as a dict.
+
+        Cache hit/miss figures come from the LRU caches registered in
+        :mod:`repro.engine.cache`, so new caches appear automatically.
+        """
+        values = {name: getattr(self, name) for name in self.__slots__}
+        from .cache import registered_cache_stats
+
+        values.update(registered_cache_stats())
+        return values
+
+
+#: The process-global counter set.
+COUNTERS = EngineCounters()

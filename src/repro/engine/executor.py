@@ -1,0 +1,193 @@
+"""Pluggable parallel execution for embarrassingly-parallel pipelines.
+
+The paper's constructions expose natural per-item parallelism: each
+covering of ``Chase⁻¹(Σ, J)`` runs an independent backward-chase →
+forward-chase → soundness-gate pipeline, and each recovery's UCQ
+answer set can be computed independently before intersecting.  An
+:class:`Executor` fans such items out in chunks while guaranteeing
+**deterministic, input-ordered results** — parallel runs are
+set-and-order-equal to serial runs by construction.
+
+Three backends:
+
+* ``"serial"`` — a plain lazy loop (the default; also what tiny inputs
+  fall back to, per ``CONFIG.min_parallel_items``);
+* ``"thread"`` — :class:`concurrent.futures.ThreadPoolExecutor`; no
+  pickling requirements, a good default on I/O-mixed or small-object
+  work (``"auto"`` resolves to it);
+* ``"process"`` — :class:`concurrent.futures.ProcessPoolExecutor`;
+  true multi-core parallelism for CPU-bound pipelines.  All of the
+  library's value objects define ``__reduce__`` so they cross the
+  pickle boundary.
+
+Worker failure is handled gracefully: if a pool breaks or a payload
+refuses to pickle, the affected chunk — and everything after it — is
+recomputed serially in the parent, so callers always get a complete,
+correctly-ordered result (``COUNTERS.parallel_fallbacks`` records the
+event).
+
+Inputs are consumed lazily in windows of ``jobs × chunk_size`` items,
+so budgeted enumerations (e.g. ``max_covers``) keep their exception
+semantics and unbounded generators never materialize fully.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from itertools import islice
+from typing import Callable, Iterable, Iterator, Literal, Optional, Sequence, TypeVar, Union
+
+from .config import CONFIG
+from .counters import COUNTERS
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+Backend = Literal["auto", "serial", "thread", "process"]
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the CPU count, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+class Executor:
+    """A reusable fan-out policy: backend, worker count, chunking.
+
+    Executors are cheap to construct; the underlying pool is created
+    per :meth:`map` call and torn down afterwards, which keeps the
+    object trivially picklable and fork-safe.
+    """
+
+    __slots__ = ("jobs", "backend", "chunk_size")
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        backend: Backend = "auto",
+        chunk_size: Optional[int] = None,
+    ):
+        if backend not in ("auto", "serial", "thread", "process"):
+            raise ValueError(f"unknown executor backend {backend!r}")
+        if jobs is None:
+            jobs = 1 if backend in ("auto", "serial") else default_jobs()
+        if jobs < 0:
+            raise ValueError("jobs must be non-negative")
+        jobs = max(jobs, 1)
+        if backend == "auto":
+            backend = "serial" if jobs == 1 else "thread"
+        if backend == "serial":
+            jobs = 1
+        self.jobs = jobs
+        self.backend = backend
+        self.chunk_size = chunk_size
+
+    @property
+    def is_serial(self) -> bool:
+        return self.backend == "serial" or self.jobs == 1
+
+    def __repr__(self) -> str:
+        return f"Executor(jobs={self.jobs}, backend={self.backend!r})"
+
+    # -- mapping ---------------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        """Yield ``fn(item)`` for every item, in input order.
+
+        Serial executors stay fully lazy (one item at a time).
+        Parallel executors consume ``items`` window by window; within a
+        window, chunks run concurrently and results are drained in
+        submission order, so the output sequence is identical to the
+        serial one.
+        """
+        if self.is_serial:
+            return (fn(item) for item in items)
+        return self._parallel_map(fn, items)
+
+    def _parallel_map(self, fn: Callable[[T], R], items: Iterable[T]) -> Iterator[R]:
+        iterator = iter(items)
+        chunk_size = self.chunk_size or 1
+        window = max(self.jobs * chunk_size, chunk_size)
+        pool = self._make_pool()
+        broken = False
+        try:
+            while True:
+                batch = list(islice(iterator, window))
+                if not batch:
+                    return
+                if len(batch) < CONFIG.min_parallel_items or broken:
+                    for item in batch:
+                        yield fn(item)
+                    continue
+                chunks = [
+                    batch[i : i + chunk_size]
+                    for i in range(0, len(batch), chunk_size)
+                ]
+                futures: list[Optional[Future]] = []
+                for chunk in chunks:
+                    try:
+                        futures.append(pool.submit(_run_chunk, fn, chunk))
+                    except Exception:
+                        # Pool already broken or payload unpicklable.
+                        futures.append(None)
+                        broken = True
+                COUNTERS.parallel_chunks += len(chunks)
+                for chunk, future in zip(chunks, futures):
+                    results: Optional[Sequence[R]] = None
+                    if future is not None:
+                        try:
+                            results = future.result()
+                        except (BrokenExecutor, OSError, TypeError, ValueError, AttributeError, ImportError):
+                            # A dead worker or a pickling failure; fall
+                            # back to in-process evaluation and stop
+                            # handing work to this pool.
+                            broken = True
+                            results = None
+                    if results is None:
+                        COUNTERS.parallel_fallbacks += 1
+                        results = [fn(item) for item in chunk]
+                    yield from results
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _make_pool(self):
+        if self.backend == "process":
+            return ProcessPoolExecutor(max_workers=self.jobs)
+        return ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-engine"
+        )
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
+    """Worker entry point: evaluate one chunk, preserving order."""
+    return [fn(item) for item in chunk]
+
+
+#: The default executor: serial, lazy, zero overhead.
+SERIAL = Executor(jobs=1, backend="serial")
+
+ExecutorLike = Union[Executor, int, None]
+
+
+def resolve_executor(
+    executor: ExecutorLike = None, jobs: Optional[int] = None, backend: Backend = "auto"
+) -> Executor:
+    """Normalize the ``executor=`` / ``jobs=`` calling conventions.
+
+    Accepts an :class:`Executor` (returned as-is), an integer worker
+    count, or ``None`` (then ``jobs`` decides; ``None``/``0``/``1``
+    mean serial).
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if isinstance(executor, int):
+        jobs = executor
+    if jobs is None or jobs <= 1:
+        return SERIAL
+    return Executor(jobs=jobs, backend=backend)

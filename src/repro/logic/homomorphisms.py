@@ -27,6 +27,8 @@ from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.substitutions import Substitution
 from ..data.terms import Constant, Null, Term, Variable
+from ..engine.config import CONFIG
+from ..engine.counters import COUNTERS
 
 
 def _mappable(term: Term, frozen: frozenset[Term]) -> bool:
@@ -103,15 +105,33 @@ def _search(
     and the bindings to undo on backtrack.
     """
     if not remaining:
+        COUNTERS.homomorphisms_explored += 1
         yield dict(binding)
         return
+
+    # The deterministic candidate order is a sort of the index's frozen
+    # sets.  Backtracking recreates frames over the same candidate sets
+    # many times, so the sort is memoized per search: frozensets cache
+    # their hash, making them cheap dictionary keys.
+    sort_cache: Optional[dict[frozenset[Atom], tuple[Atom, ...]]] = (
+        {} if CONFIG.sort_cache else None
+    )
+
+    def ordered(candidates: frozenset[Atom]) -> tuple[Atom, ...]:
+        if sort_cache is None:
+            return tuple(sorted(candidates))
+        presorted = sort_cache.get(candidates)
+        if presorted is None:
+            presorted = tuple(sorted(candidates))
+            sort_cache[candidates] = presorted
+        return presorted
 
     def make_frame(atoms: list[Atom]) -> list:
         index, candidates = _pick_next(atoms, target, binding, frozen)
         pattern = atoms[index]
         rest = atoms[:index] + atoms[index + 1 :]
         # frame = [pattern, rest, candidate iterator, undo list]
-        return [pattern, rest, iter(sorted(candidates)), []]
+        return [pattern, rest, iter(ordered(candidates)), []]
 
     stack = [make_frame(remaining)]
     while stack:
@@ -130,6 +150,7 @@ def _search(
                 stack.append(make_frame(rest))
                 descended = True
             else:
+                COUNTERS.homomorphisms_explored += 1
                 yield dict(binding)
             break
         else:

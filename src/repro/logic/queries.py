@@ -20,7 +20,9 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from ..data.atoms import Atom, atoms_variables
 from ..data.instances import Instance
-from ..data.terms import Null, Term, Variable
+from ..data.terms import Constant, Null, Term, Variable
+from ..engine.config import CONFIG
+from ..engine.counters import COUNTERS
 from ..errors import DependencyError
 from .homomorphisms import homomorphisms
 
@@ -85,9 +87,39 @@ class ConjunctiveQuery:
 
     def evaluate(self, instance: Instance) -> set[tuple[Term, ...]]:
         """``Q(I)``: all answers, possibly containing nulls."""
+        if CONFIG.value_fastpaths and len(self._body) == 1:
+            return self._evaluate_single_atom(instance)
         answers: set[tuple[Term, ...]] = set()
         for hom in homomorphisms(self._body, instance):
             answers.add(tuple(hom.image(v) for v in self._head_vars))
+        return answers
+
+    def _evaluate_single_atom(self, instance: Instance) -> set[tuple[Term, ...]]:
+        """Single-atom bodies: match facts directly, skipping the search
+        engine's frames and Substitution objects.  Semantics match the
+        general path: constants are rigid, variables and nulls mappable,
+        answers are head-variable images (identity off the binding).
+        """
+        pattern = self._body[0]
+        p_args = pattern.args
+        answers: set[tuple[Term, ...]] = set()
+        for fact in instance.facts_for(pattern.relation):
+            if fact.arity != pattern.arity:
+                continue
+            binding: dict[Term, Term] = {}
+            for p, t in zip(p_args, fact.args):
+                if isinstance(p, Constant):
+                    if p != t:
+                        break
+                else:
+                    bound = binding.get(p)
+                    if bound is None:
+                        binding[p] = t
+                    elif bound != t:
+                        break
+            else:
+                COUNTERS.homomorphisms_explored += 1
+                answers.add(tuple(binding.get(v, v) for v in self._head_vars))
         return answers
 
     def certain_evaluate(self, instance: Instance) -> set[tuple[Term, ...]]:
@@ -115,6 +147,9 @@ class ConjunctiveQuery:
 
     def __hash__(self) -> int:
         return hash((self._head_vars, frozenset(self._body)))
+
+    def __reduce__(self):
+        return (ConjunctiveQuery, (self._head_vars, self._body, self._name))
 
     def __repr__(self) -> str:
         head = ", ".join(str(v) for v in self._head_vars)
@@ -195,6 +230,9 @@ class UnionOfConjunctiveQueries:
 
     def __hash__(self) -> int:
         return hash(frozenset(self._disjuncts))
+
+    def __reduce__(self):
+        return (UnionOfConjunctiveQueries, (self._disjuncts, self._name))
 
     def __repr__(self) -> str:
         return " | ".join(repr(q) for q in self._disjuncts)

@@ -168,6 +168,9 @@ class TGD:
             return NotImplemented
         return self._body == other._body and self._head == other._head
 
+    def __reduce__(self):
+        return (TGD, (self._body, self._head, self._name))
+
     def __hash__(self) -> int:
         return self._hash
 
@@ -304,6 +307,11 @@ class Mapping:
 
     def __hash__(self) -> int:
         return hash(frozenset(self._tgds))
+
+    def __reduce__(self):
+        # Reconstruction re-runs rename-apart, which is the identity on
+        # an already renamed-apart tgd list, so the round trip is exact.
+        return (Mapping, (self._tgds, self._source_schema, self._target_schema))
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Mapping is immutable")

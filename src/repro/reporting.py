@@ -57,3 +57,15 @@ def format_instances(instances: Iterable[Instance], limit: int = 10) -> str:
     if len(listed) > limit:
         lines.append(f"  ... and {len(listed) - limit} more")
     return "\n".join(lines)
+
+
+def format_counters(snapshot: dict) -> str:
+    """Render an engine-counter snapshot as an aligned table.
+
+    ``snapshot`` is what :meth:`repro.engine.counters.EngineCounters.snapshot`
+    returns: raw counters plus the hit/miss totals of every registered
+    LRU cache.  Keys are sorted so the output is deterministic; the
+    table backs the CLI's ``--stats`` flag and the benchmark reports.
+    """
+    rows = [(name, snapshot[name]) for name in sorted(snapshot)]
+    return format_table(("counter", "value"), rows, title="engine counters")

@@ -1,0 +1,165 @@
+"""Engine configuration, counters, caches and their reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hom_sets import hom_set
+from repro.engine import CONFIG, COUNTERS, engine_options
+from repro.engine.cache import LRUCache, clear_registered_caches
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.reporting import format_counters
+
+
+class TestConfig:
+    def test_defaults_enable_all_optimisations(self):
+        assert CONFIG.lazy_indexes
+        assert CONFIG.incremental_ops
+        assert CONFIG.sort_cache
+        assert CONFIG.memoize_hom_sets
+        assert CONFIG.memoize_subsumers
+
+    def test_engine_options_restores_previous_values(self):
+        before = CONFIG.as_dict()
+        with engine_options(lazy_indexes=False, min_parallel_items=99):
+            assert not CONFIG.lazy_indexes
+            assert CONFIG.min_parallel_items == 99
+        assert CONFIG.as_dict() == before
+
+    def test_engine_options_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with engine_options(sort_cache=False):
+                raise RuntimeError
+        assert CONFIG.sort_cache
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError):
+            with engine_options(warp_drive=True):
+                pass  # pragma: no cover
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache("t1", maxsize=4)
+        assert cache.get_or_compute("a", lambda: 1) == 1
+        assert cache.get_or_compute("a", lambda: 2) == 1
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache("t2", maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 0)  # refresh "a"
+        cache.get_or_compute("c", lambda: 3)  # evicts "b"
+        assert cache.get_or_compute("b", lambda: 9) == 9
+
+    def test_resize_shrinks(self):
+        cache = LRUCache("t3", maxsize=8)
+        for i in range(8):
+            cache.get_or_compute(i, lambda i=i: i)
+        cache.resize(2)
+        assert cache.maxsize == 2
+        assert len(cache) <= 2
+
+
+class TestMemoization:
+    @pytest.fixture
+    def pipeline(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b1), P(b2)")
+        return mapping, target
+
+    def test_hom_set_is_memoized(self, pipeline):
+        mapping, target = pipeline
+        clear_registered_caches()
+        first = hom_set(mapping, target)
+        second = hom_set(mapping, target)
+        assert first == second
+        stats = COUNTERS.snapshot()
+        assert stats["hom_set_cache_hits"] >= 1
+
+    def test_memoization_can_be_disabled(self, pipeline):
+        mapping, target = pipeline
+        with engine_options(memoize_hom_sets=False):
+            baseline = COUNTERS.snapshot()
+            hom_set(mapping, target)
+            hom_set(mapping, target)
+            after = COUNTERS.snapshot()
+        assert after["hom_set_cache_hits"] == baseline["hom_set_cache_hits"]
+
+    def test_disabled_memoization_matches_enabled(self, pipeline):
+        mapping, target = pipeline
+        with engine_options(memoize_hom_sets=False, memoize_subsumers=False):
+            plain = hom_set(mapping, target)
+        memoized = hom_set(mapping, target)
+        assert plain == memoized
+
+
+class TestValueFastpaths:
+    def test_atom_apply_matches_validating_path(self):
+        from repro.data.atoms import Atom
+        from repro.data.terms import Constant, Null, Variable
+
+        atom = Atom("R", (Variable("x"), Constant("a"), Null("N")))
+        mapping = {Variable("x"): Constant("b"), Null("N"): Null("M")}
+        with engine_options(value_fastpaths=False):
+            slow = atom.apply(mapping)
+        fast = atom.apply(mapping)
+        assert fast == slow and hash(fast) == hash(slow)
+
+    def test_instance_apply_matches_validating_path(self):
+        from repro.logic.parser import parse_instance
+        from repro.data.terms import Constant, Null
+
+        inst = parse_instance("R(a, ?N1), S(?N1)")
+        mapping = {Null("N1"): Constant("c")}
+        with engine_options(value_fastpaths=False):
+            slow = inst.apply(mapping)
+        fast = inst.apply(mapping)
+        assert fast == slow
+
+    def test_instance_apply_still_validates_variable_ranges(self):
+        from repro.data.terms import Null, Variable
+        from repro.errors import SchemaError
+        from repro.logic.parser import parse_instance
+
+        inst = parse_instance("R(a, ?N1)")
+        with pytest.raises(SchemaError):
+            inst.apply({Null("N1"): Variable("x")})
+
+    def test_term_hashes_are_stable_across_modes(self):
+        from repro.data.terms import Constant
+
+        with engine_options(value_fastpaths=False):
+            plain = hash(Constant("a"))
+        assert hash(Constant("a")) == plain
+        assert hash(Constant("a")) == plain  # cached second call
+
+
+class TestCounters:
+    def test_reset_zeroes_everything(self):
+        COUNTERS.homomorphisms_explored += 5
+        COUNTERS.reset()
+        assert COUNTERS.homomorphisms_explored == 0
+
+    def test_snapshot_includes_cache_stats(self):
+        stats = COUNTERS.snapshot()
+        assert "homomorphisms_explored" in stats
+        assert "hom_set_cache_hits" in stats
+        assert "subsumers_cache_misses" in stats
+
+    def test_work_is_counted(self, running_example):
+        from repro.core.inverse_chase import inverse_chase
+
+        COUNTERS.reset()
+        inverse_chase(running_example.mapping, running_example.target)
+        assert COUNTERS.coverings_evaluated >= 1
+        assert COUNTERS.recoveries_emitted >= 1
+        assert COUNTERS.homomorphisms_explored > 0
+        assert COUNTERS.instances_built > 0
+
+    def test_format_counters_renders_sorted_table(self):
+        text = format_counters({"b_counter": 2, "a_counter": 1})
+        assert "engine counters" in text
+        assert text.index("a_counter") < text.index("b_counter")

@@ -1,0 +1,128 @@
+"""The executor: ordering, laziness, chunking and graceful fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    SERIAL,
+    Executor,
+    default_jobs,
+    engine_options,
+    resolve_executor,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestConstruction:
+    def test_defaults_are_serial(self):
+        assert Executor().is_serial
+        assert SERIAL.is_serial
+
+    def test_auto_with_jobs_picks_threads(self):
+        ex = Executor(jobs=4)
+        assert ex.backend == "thread"
+        assert ex.jobs == 4
+        assert not ex.is_serial
+
+    def test_serial_backend_forces_one_job(self):
+        assert Executor(jobs=8, backend="serial").jobs == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(backend="gpu")
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=-1)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestResolve:
+    def test_none_is_serial(self):
+        assert resolve_executor(None, None) is SERIAL
+
+    def test_small_job_counts_are_serial(self):
+        assert resolve_executor(jobs=0) is SERIAL
+        assert resolve_executor(jobs=1) is SERIAL
+        assert resolve_executor(1) is SERIAL
+
+    def test_integer_executor_means_jobs(self):
+        ex = resolve_executor(3)
+        assert ex.jobs == 3 and not ex.is_serial
+
+    def test_executor_passes_through(self):
+        ex = Executor(jobs=2, backend="thread")
+        assert resolve_executor(ex) is ex
+
+
+class TestMapping:
+    def test_serial_map_is_lazy(self):
+        pulled = []
+
+        def items():
+            for i in range(100):
+                pulled.append(i)
+                yield i
+
+        results = SERIAL.map(_square, items())
+        assert next(results) == 0
+        # A lazy serial map pulls exactly one item per result.
+        assert len(pulled) == 1
+
+    def test_thread_map_preserves_order(self):
+        ex = Executor(jobs=4, backend="thread")
+        assert list(ex.map(_square, range(50))) == [i * i for i in range(50)]
+
+    def test_process_map_preserves_order(self):
+        ex = Executor(jobs=2, backend="process")
+        assert list(ex.map(_square, range(20))) == [i * i for i in range(20)]
+
+    def test_chunked_map_preserves_order(self):
+        ex = Executor(jobs=3, backend="thread", chunk_size=4)
+        assert list(ex.map(_square, range(37))) == [i * i for i in range(37)]
+
+    def test_tiny_inputs_skip_the_pool(self):
+        ex = Executor(jobs=4, backend="thread")
+        with engine_options(min_parallel_items=100):
+            assert list(ex.map(_square, range(8))) == [i * i for i in range(8)]
+
+    def test_empty_input(self):
+        ex = Executor(jobs=2, backend="thread")
+        assert list(ex.map(_square, [])) == []
+
+    def test_parallel_map_consumes_windows_lazily(self):
+        pulled = []
+
+        def items():
+            for i in range(1000):
+                pulled.append(i)
+                yield i
+
+        ex = Executor(jobs=2, backend="thread", chunk_size=2)
+        results = ex.map(_square, items())
+        assert next(results) == 0
+        # Only the first window (jobs * chunk_size) was materialized.
+        assert len(pulled) <= 2 * 2
+
+    def test_unpicklable_payload_falls_back_serially(self):
+        # Lambdas cannot cross the process boundary; the executor must
+        # detect the failure and still produce complete ordered output.
+        ex = Executor(jobs=2, backend="process")
+        with engine_options(min_parallel_items=1):
+            assert list(ex.map(lambda x: x + 1, range(10))) == list(range(1, 11))
+
+
+class TestErrorPropagation:
+    def test_worker_exception_reaches_caller(self):
+        def boom(x):
+            raise RuntimeError(f"item {x}")
+
+        ex = Executor(jobs=2, backend="thread")
+        with pytest.raises(RuntimeError):
+            list(ex.map(boom, range(10)))

@@ -1,0 +1,101 @@
+"""Value objects must round-trip through pickle (process backend).
+
+Every immutable class uses ``__slots__`` with a guarded ``__setattr__``,
+so default pickling is unavailable; each defines ``__reduce__`` instead.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.hom_sets import hom_set
+from repro.core.inverse_chase import inverse_chase_candidates
+from repro.core.subsumption import minimal_subsumers
+from repro.data.atoms import Atom
+from repro.data.instances import Instance
+from repro.data.schema import RelationSymbol, Schema
+from repro.data.substitutions import Substitution
+from repro.data.terms import Constant, Null, Variable
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.queries import as_ucq
+from repro.logic.tgds import Mapping
+
+
+def roundtrip(value):
+    restored = pickle.loads(pickle.dumps(value))
+    assert restored == value
+    assert hash(restored) == hash(value)
+    return restored
+
+
+class TestTerms:
+    def test_constant(self):
+        roundtrip(Constant("a"))
+
+    def test_null(self):
+        assert pickle.loads(pickle.dumps(Null("N1"))).label == "N1"
+
+    def test_variable(self):
+        roundtrip(Variable("x"))
+
+
+class TestDataLayer:
+    def test_atom(self):
+        roundtrip(Atom("R", (Constant("a"), Variable("x"))))
+
+    def test_substitution(self):
+        roundtrip(Substitution({Variable("x"): Constant("a")}))
+
+    def test_schema(self):
+        schema = Schema([RelationSymbol("R", 2), RelationSymbol("S", 1)])
+        restored = pickle.loads(pickle.dumps(schema))
+        assert sorted(r.name for r in restored) == sorted(r.name for r in schema)
+
+    def test_instance(self):
+        instance = parse_instance("R(a, b), S(b), T(?N1, c)")
+        restored = roundtrip(instance)
+        assert restored.facts == instance.facts
+        assert restored.facts_for("R") == instance.facts_for("R")
+
+
+class TestLogicLayer:
+    def test_tgd_and_mapping(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        restored = pickle.loads(pickle.dumps(mapping))
+        assert [str(t) for t in restored] == [str(t) for t in mapping]
+
+    def test_queries(self):
+        query = parse_query("q(x) :- R(x, y)")
+        roundtrip(query)
+        roundtrip(as_ucq(query))
+
+
+class TestCoreLayer:
+    @pytest.fixture
+    def pipeline(self):
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x), P(y)"))
+        target = parse_instance("S(a), P(b1), P(b2)")
+        return mapping, target
+
+    def test_target_homomorphism(self, pipeline):
+        mapping, target = pipeline
+        for hom in hom_set(mapping, target):
+            restored = pickle.loads(pickle.dumps(hom))
+            assert restored == hom
+
+    def test_subsumption_constraint(self, pipeline):
+        mapping, _target = pipeline
+        for constraint in minimal_subsumers(mapping):
+            restored = pickle.loads(pickle.dumps(constraint))
+            assert str(restored) == str(constraint)
+
+    def test_recovery_candidate(self, pipeline):
+        mapping, target = pipeline
+        candidate = next(inverse_chase_candidates(mapping, target))
+        restored = pickle.loads(pickle.dumps(candidate))
+        assert restored.recovery == candidate.recovery
+        assert restored.covering == candidate.covering
+        assert restored.backward_instance == candidate.backward_instance
+        assert restored.forward_instance == candidate.forward_instance

@@ -162,3 +162,52 @@ class TestRepair:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestEngineFlags:
+    def test_recover_with_jobs_and_stats(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--jobs",
+                "2",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "recovery(ies):" in captured.out
+        assert "engine counters" in captured.err
+        assert "coverings_evaluated" in captured.err
+
+    def test_jobs_output_matches_serial(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        base = ["recover", "--mapping", str(mapping_path), "--target", str(target_path)]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_certain_accepts_stats(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, target_path = workspace
+        query_path = tmp_path / "q.query"
+        query_path.write_text("q(c) :- Order(c, i)\n")
+        code = main(
+            [
+                "certain",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--query",
+                str(query_path),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "engine counters" in capsys.readouterr().err
