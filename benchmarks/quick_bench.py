@@ -31,10 +31,11 @@ import time
 
 from repro.core.certain import certain_answer
 from repro.core.inverse_chase import inverse_chase
-from repro.engine import CONFIG, Executor, engine_options
+from repro.engine import CONFIG, COUNTERS, Executor, engine_options
 from repro.engine.cache import clear_registered_caches
 from repro.logic.parser import parse_instance, parse_query, parse_tgds
 from repro.logic.tgds import Mapping
+from repro.resilience import Deadline
 
 #: The engine configuration emulating the pre-engine code path.
 SEED_OPTIONS = dict(
@@ -129,9 +130,68 @@ def canonical(result):
     return [str(recovery) for recovery in result]
 
 
+def measure_deadline_overhead(repeats: int) -> dict:
+    """Cost of the cooperative checks: generous deadline vs none.
+
+    The deadline never trips (10-minute wall budget, astronomically
+    large step budget), so the measured delta is pure bookkeeping:
+    step increments in the search loops plus the periodic wall-clock
+    read.  Runs are interleaved so drift hits both sides equally.
+    """
+    mapping, target = fixture()
+
+    def run(deadline):
+        return inverse_chase(
+            mapping,
+            target,
+            verify_justification=False,
+            max_recoveries=100000,
+            deadline=deadline,
+        )
+
+    run(None)  # warmup
+    without, with_deadline = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        bare = run(None)
+        without.append(time.perf_counter() - start)
+        deadline = Deadline(wall_ms=600_000, max_steps=10**15)
+        start = time.perf_counter()
+        guarded = run(deadline)
+        with_deadline.append(time.perf_counter() - start)
+        assert bare == guarded, "a generous deadline changed the result"
+    best_without, best_with = min(without), min(with_deadline)
+    return {
+        "no_deadline_best_s": best_without,
+        "generous_deadline_best_s": best_with,
+        "overhead_pct": round((best_with / best_without - 1.0) * 100.0, 2),
+        "repeats": repeats,
+    }
+
+
+def measure_degradation() -> dict:
+    """Counters of an actually-tripping run: the ladder in action."""
+    mapping, target = fixture()
+    COUNTERS.reset()
+    result = inverse_chase(
+        mapping,
+        target,
+        deadline=Deadline(max_steps=200),
+        mode="degrade",
+    )
+    snapshot = COUNTERS.snapshot()
+    return {
+        "status": result.status,
+        "rung": result.rung,
+        "result_size": len(result),
+        "deadline_hits": snapshot["deadline_hits"],
+        "degradations": snapshot["degradations"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR1.json", help="report path")
+    parser.add_argument("--out", default="BENCH_PR2.json", help="report path")
     parser.add_argument("--jobs", type=int, default=4, help="parallel workers")
     parser.add_argument("--repeats", type=int, default=5, help="timed repeats")
     parser.add_argument(
@@ -139,6 +199,12 @@ def main(argv=None) -> int:
         type=float,
         default=1.5,
         help="fail unless parallel beats seed by this factor on every benchmark",
+    )
+    parser.add_argument(
+        "--max-deadline-overhead",
+        type=float,
+        default=5.0,
+        help="fail if a never-tripping deadline costs more than this %%",
     )
     args = parser.parse_args(argv)
 
@@ -183,15 +249,31 @@ def main(argv=None) -> int:
         if speedups["parallel_vs_seed"] < args.min_speedup:
             failures.append(name)
 
+    overhead = measure_deadline_overhead(args.repeats)
+    report["resilience"] = {
+        "deadline_overhead": overhead,
+        "degraded_run": measure_degradation(),
+    }
+    print(
+        f"deadline overhead: {overhead['overhead_pct']}%"
+        f" (no deadline {overhead['no_deadline_best_s']:.3f}s,"
+        f" generous deadline {overhead['generous_deadline_best_s']:.3f}s)"
+    )
+    degraded = report["resilience"]["degraded_run"]
+    print(
+        f"degraded run: status={degraded['status']} rung={degraded['rung']}"
+        f" deadline_hits={degraded['deadline_hits']}"
+        f" degradations={degraded['degradations']}"
+    )
+    if overhead["overhead_pct"] > args.max_deadline_overhead:
+        failures.append("deadline_overhead")
+
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.out}")
     if failures:
-        print(
-            f"FAIL: below {args.min_speedup}x parallel-vs-seed: {', '.join(failures)}",
-            file=sys.stderr,
-        )
+        print(f"FAIL: gates missed: {', '.join(failures)}", file=sys.stderr)
         return 1
     return 0
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from .chase.standard import chase
@@ -27,9 +28,16 @@ from .core.inverse_chase import inverse_chase
 from .core.repair import recover_after_alteration, uncoverable_facts
 from .core.validity import is_valid_for_recovery
 from .data.io import load_instance, load_mapping, load_query, save_instance
+from .engine.config import CONFIG, configure
 from .engine.counters import COUNTERS
-from .errors import NotRecoverableError, ReproError
-from .reporting import format_answers, format_counters
+from .errors import DeadlineExceededError, NotRecoverableError, ReproError
+from .reporting import (
+    RunReport,
+    format_answers,
+    format_counters,
+    format_run_report,
+)
+from .resilience import AnytimeResult, Deadline
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,6 +63,30 @@ def _build_parser() -> argparse.ArgumentParser:
             help="worker threads for covering/query evaluation (default serial)",
         )
 
+    def resilience(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--deadline-ms",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="wall-clock deadline for the whole computation",
+        )
+        p.add_argument(
+            "--degrade",
+            action="store_true",
+            help=(
+                "on deadline expiry, degrade to a sound-incomplete answer "
+                "instead of failing (see the resilience ladder)"
+            ),
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="retries per parallel chunk before in-process fallback",
+        )
+
     p_exchange = sub.add_parser("exchange", help="chase a source forward")
     common(p_exchange)
     p_exchange.add_argument("--source", required=True, help="source instance file")
@@ -63,6 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_recover = sub.add_parser("recover", help="compute Chase^{-1}(Sigma, J)")
     common(p_recover)
     parallel(p_recover)
+    resilience(p_recover)
     p_recover.add_argument("--target", required=True, help="target instance file")
     p_recover.add_argument(
         "--max-recoveries", type=int, default=1000, help="enumeration budget"
@@ -80,15 +113,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p_certain = sub.add_parser("certain", help="certain answers of a source query")
     common(p_certain)
     parallel(p_certain)
+    resilience(p_certain)
     p_certain.add_argument("--target", required=True)
     p_certain.add_argument("--query", required=True, help="query DSL file")
     p_certain.add_argument("--max-recoveries", type=int, default=1000)
 
     p_repair = sub.add_parser("repair", help="repair an altered target and recover")
     common(p_repair)
+    resilience(p_repair)
     p_repair.add_argument("--target", required=True)
     p_repair.add_argument("--max-removals", type=int, default=3)
     return parser
+
+
+def _deadline_from(args) -> Optional[Deadline]:
+    ms = getattr(args, "deadline_ms", None)
+    return Deadline(wall_ms=ms) if ms is not None else None
+
+
+def _mode_from(args) -> str:
+    return "degrade" if getattr(args, "degrade", False) else "raise"
+
+
+def _note_anytime(args, result: AnytimeResult) -> None:
+    """Print a degraded result's provenance and record it for --stats."""
+    args._report.update(status=result.status, rung=result.rung)
+    if result.is_exact:
+        return
+    print(f"answer status: {result.status} (ladder rung: {result.rung})")
+    if result.detail:
+        print(f"  {result.detail}")
 
 
 def _cmd_exchange(args) -> int:
@@ -107,14 +161,28 @@ def _cmd_exchange(args) -> int:
 def _cmd_recover(args) -> int:
     mapping = load_mapping(args.mapping)
     target = load_instance(args.target)
-    recoveries = inverse_chase(
-        mapping, target, max_recoveries=args.max_recoveries, jobs=args.jobs
+    result = inverse_chase(
+        mapping,
+        target,
+        max_recoveries=args.max_recoveries,
+        jobs=args.jobs,
+        deadline=_deadline_from(args),
+        mode=_mode_from(args),
     )
+    if isinstance(result, AnytimeResult):
+        _note_anytime(args, result)
+        recoveries = list(result)
+    else:
+        recoveries = result
     if not recoveries:
-        print("target is not valid for recovery; no recoveries exist")
+        if isinstance(result, AnytimeResult) and not result.is_exact:
+            print("no recoveries obtained within the deadline")
+        else:
+            print("target is not valid for recovery; no recoveries exist")
         return 1
     if args.cores:
         recoveries = core_recoveries(recoveries)
+    args._report["result_size"] = len(recoveries)
     print(f"{len(recoveries)} recovery(ies):")
     for recovery in recoveries:
         print("  ", recovery)
@@ -145,10 +213,16 @@ def _cmd_certain(args) -> int:
             target,
             max_recoveries=args.max_recoveries,
             jobs=args.jobs,
+            deadline=_deadline_from(args),
+            mode=_mode_from(args),
         )
     except NotRecoverableError:
         print("target is not valid for recovery; certain answers undefined")
         return 1
+    if isinstance(answers, AnytimeResult):
+        _note_anytime(args, answers)
+        answers = set(answers)
+    args._report["result_size"] = len(answers)
     print(format_answers(answers))
     return 0
 
@@ -157,12 +231,20 @@ def _cmd_repair(args) -> int:
     mapping = load_mapping(args.mapping)
     target = load_instance(args.target)
     repaired, recoveries = recover_after_alteration(
-        mapping, target, max_removals=args.max_removals
+        mapping,
+        target,
+        max_removals=args.max_removals,
+        deadline=_deadline_from(args),
+        mode=_mode_from(args),
     )
     if repaired is None:
         print("no repair found within the removal budget")
         return 1
+    if isinstance(recoveries, AnytimeResult):
+        _note_anytime(args, recoveries)
+        recoveries = list(recoveries)
     removed = target.facts - repaired.facts
+    args._report["result_size"] = len(recoveries)
     print(f"repair removes {len(removed)} fact(s):")
     for fact in sorted(removed):
         print("  -", fact)
@@ -182,16 +264,48 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Exit codes: 0 success, 1 empty/negative result, 2 library error,
+    3 deadline expired (without ``--degrade``).
+    """
     args = _build_parser().parse_args(argv)
     COUNTERS.reset()
+    previous_retries = CONFIG.chunk_retries
+    if getattr(args, "retries", None) is not None:
+        configure(chunk_retries=args.retries)
+    args._report = {"status": "exact", "rung": "enumeration", "result_size": 0}
+    started = time.perf_counter()
     try:
         return _COMMANDS[args.command](args)
+    except DeadlineExceededError as error:
+        print(f"error: {error}", file=sys.stderr)
+        for key, value in sorted(error.progress.items()):
+            print(f"  progress: {key} = {value}", file=sys.stderr)
+        if error.partial:
+            print(
+                f"  partial results available: {len(error.partial)}",
+                file=sys.stderr,
+            )
+        print(
+            "hint: pass --degrade for a sound (possibly incomplete) answer",
+            file=sys.stderr,
+        )
+        args._report["status"] = "deadline-exceeded"
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
+        configure(chunk_retries=previous_retries)
         if getattr(args, "stats", False):
+            report = RunReport(
+                command=args.command,
+                elapsed_ms=(time.perf_counter() - started) * 1000,
+                counters=COUNTERS.snapshot(),
+                **args._report,
+            )
+            print(format_run_report(report), file=sys.stderr)
             print(format_counters(COUNTERS.snapshot()), file=sys.stderr)
 
 

@@ -18,12 +18,14 @@ from typing import Iterable, Optional, Sequence
 
 from ..data.instances import Instance
 from ..data.terms import Term
+from ..engine.counters import COUNTERS
 from ..engine.executor import Executor, ExecutorLike, resolve_executor
-from ..errors import NotRecoverableError
+from ..errors import BudgetExceededError, DeadlineExceededError, NotRecoverableError
 from ..logic.queries import Query, UnionOfConjunctiveQueries, as_ucq
 from ..logic.tgds import Mapping
+from ..resilience import AnytimeResult, Deadline
 from .covers import CoverMode
-from .inverse_chase import inverse_chase
+from .inverse_chase import BudgetMode, ResilienceMode, inverse_chase
 from .subsumption import SubsumptionConstraint
 
 
@@ -41,6 +43,7 @@ def certain_answers(
     *,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> set[tuple[Term, ...]]:
     """The intersection of null-free answers over a set of instances.
 
@@ -51,6 +54,11 @@ def certain_answers(
     parallel.  The intersection folds results in input order and still
     exits early once it is empty — with a parallel executor at most one
     window of evaluations past the emptying instance is computed.
+
+    ``deadline`` is checked between instances; expiry raises
+    :class:`~repro.errors.DeadlineExceededError` with the number of
+    instances folded so far in ``progress``.  (A partial intersection
+    over-approximates the certain answer, so it is *not* returned.)
     """
     ucq = as_ucq(query)
     runner = resolve_executor(executor, jobs)
@@ -62,9 +70,13 @@ def certain_answers(
             jobs=runner.jobs, backend=runner.backend, chunk_size=256
         )
     result: Optional[set[tuple[Term, ...]]] = None
+    folded = 0
     answer_sets = runner.map(_evaluate_on, ((ucq, inst) for inst in instances))
     for answers in answer_sets:
+        if deadline is not None:
+            deadline.check("certain answers", {"instances_folded": folded})
         result = answers if result is None else (result & answers)
+        folded += 1
         if not result:
             return set()
     if result is None:
@@ -84,7 +96,10 @@ def certain_answer(
     verify_justification: bool = True,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
-) -> set[tuple[Term, ...]]:
+    deadline: Optional[Deadline] = None,
+    mode: ResilienceMode = "raise",
+    on_budget: BudgetMode = "raise",
+):
     """``CERT(Q, Sigma, J)`` computed through the inverse chase.
 
     ``executor`` / ``jobs`` parallelize both phases: the per-covering
@@ -94,26 +109,78 @@ def certain_answer(
     for targets known to be valid for recovery (e.g. honestly exchanged
     ones), where the Definition 2 oracle is redundant work.
 
+    Resource governance: ``deadline`` bounds both phases under one
+    budget.  With ``mode="raise"`` (default) expiry raises
+    :class:`~repro.errors.DeadlineExceededError`.  With
+    ``mode="degrade"`` the call returns an
+    :class:`~repro.resilience.AnytimeResult` instead: ``exact`` when
+    the full pipeline finished, otherwise the answers of the query on
+    Theorem 7's sound source instance (computable in PTIME), tagged
+    ``sound-incomplete`` — every returned tuple is a certain answer,
+    but some certain answers may be missing.  Note the degraded
+    direction is deliberately *not* the intersection over the partial
+    recovery set: intersecting over a subset of the recoveries
+    over-approximates, which would be unsound.
+
     :raises NotRecoverableError: when ``J`` is not valid for recovery
         under ``Sigma`` (the recovery set is empty and the certain
         answer undefined).
     """
+    if mode not in ("raise", "degrade"):
+        raise ValueError(f"unknown resilience mode {mode!r}")
     runner = resolve_executor(executor, jobs)
-    recoveries = inverse_chase(
-        mapping,
-        target,
-        cover_mode=cover_mode,
-        subsumption=subsumption,
-        max_covers=max_covers,
-        max_recoveries=max_recoveries,
-        verify_justification=verify_justification,
-        executor=runner,
-    )
-    if not recoveries:
-        raise NotRecoverableError(
-            "target instance is not valid for recovery under the mapping"
+
+    def full_pipeline() -> set[tuple[Term, ...]]:
+        recoveries = inverse_chase(
+            mapping,
+            target,
+            cover_mode=cover_mode,
+            subsumption=subsumption,
+            max_covers=max_covers,
+            max_recoveries=max_recoveries,
+            verify_justification=verify_justification,
+            executor=runner,
+            deadline=deadline,
+            on_budget=on_budget,
         )
-    return certain_answers(query, recoveries, executor=runner)
+        if not recoveries:
+            raise NotRecoverableError(
+                "target instance is not valid for recovery under the mapping"
+            )
+        return certain_answers(
+            query, recoveries, executor=runner, deadline=deadline
+        )
+
+    if mode == "raise":
+        return full_pipeline()
+    try:
+        return AnytimeResult(
+            full_pipeline(),
+            "exact",
+            "enumeration",
+            detail="full certainty pipeline completed in budget",
+        )
+    except (BudgetExceededError, DeadlineExceededError) as error:
+        COUNTERS.degradations += 1
+        # Theorem 7: UCQ answers on the sound source instance are
+        # certain; computing it is polynomial, so no deadline needed.
+        from .tractable import sound_ucq_instance
+
+        sound = sound_ucq_instance(mapping, target)
+        answers = as_ucq(query).certain_evaluate(sound)
+        progress = dict(getattr(error, "progress", {}))
+        progress["degraded_because"] = str(error)
+        return AnytimeResult(
+            answers,
+            "sound-incomplete",
+            "tractable",
+            detail=(
+                "pipeline expired; answers evaluated on Theorem 7's "
+                "sound source instance — every tuple is certain, some "
+                "certain tuples may be missing"
+            ),
+            progress=progress,
+        )
 
 
 def certain_boolean(

@@ -30,6 +30,7 @@ from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..engine.counters import COUNTERS
 from ..errors import BudgetExceededError
+from ..resilience import Deadline
 from .hom_sets import TargetHomomorphism, covered_by
 
 CoverMode = Literal["minimal", "all"]
@@ -56,6 +57,7 @@ def _minimal_covers_indexes(
     homs: Sequence[TargetHomomorphism],
     target: Instance,
     limit: Optional[int],
+    deadline: Optional[Deadline] = None,
 ) -> Iterator[frozenset[int]]:
     index = coverage_index(homs, target)
     if any(not entry for entry in index.values()):
@@ -63,14 +65,26 @@ def _minimal_covers_indexes(
 
     emitted: set[frozenset[int]] = set()
 
+    def progress() -> dict:
+        return {"covers_seen": len(emitted)}
+
     def branch(chosen: frozenset[int], uncovered: set[Atom]) -> Iterator[frozenset[int]]:
+        if deadline is not None:
+            deadline.step(1, "covering enumeration", progress())
         if not uncovered:
             if any(previous <= chosen for previous in emitted):
                 return
             if _is_minimal(chosen, homs, target):
                 emitted.add(chosen)
                 if limit is not None and len(emitted) > limit:
-                    raise BudgetExceededError("covering enumeration", limit)
+                    raise BudgetExceededError(
+                        "covering enumeration",
+                        limit,
+                        partial=[
+                            tuple(homs[i] for i in sorted(cover))
+                            for cover in emitted
+                        ],
+                    )
                 yield chosen
             return
         pivot = min(uncovered, key=lambda fact: len(index[fact]))
@@ -101,24 +115,28 @@ def enumerate_covers(
     target: Instance,
     mode: CoverMode = "minimal",
     limit: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Iterator[tuple[TargetHomomorphism, ...]]:
     """Yield the coverings of ``target`` built from ``homs``.
 
     Coverings are yielded as tuples in the order of ``homs`` and are
     pairwise distinct.  ``limit`` bounds the number of coverings
     produced; exceeding it raises
-    :class:`~repro.errors.BudgetExceededError` (the enumeration is
-    worst-case exponential).
+    :class:`~repro.errors.BudgetExceededError` carrying the coverings
+    enumerated so far in ``partial`` (the enumeration is worst-case
+    exponential).  ``deadline`` bounds the search cooperatively — one
+    step per branch node — raising
+    :class:`~repro.errors.DeadlineExceededError` on expiry.
     """
     if mode == "minimal":
-        for chosen in _minimal_covers_indexes(homs, target, limit):
+        for chosen in _minimal_covers_indexes(homs, target, limit, deadline):
             COUNTERS.covers_enumerated += 1
             yield tuple(homs[i] for i in sorted(chosen))
         return
     if mode != "all":
         raise ValueError(f"unknown covering mode {mode!r}")
 
-    minimal = list(_minimal_covers_indexes(homs, target, limit))
+    minimal = list(_minimal_covers_indexes(homs, target, limit, deadline))
     if not minimal:
         return
     # Every covering is a superset of some minimal covering; enumerate
@@ -130,13 +148,24 @@ def enumerate_covers(
         spare = [i for i in universe if i not in seed]
         for extra_size in range(len(spare) + 1):
             for extra in combinations(spare, extra_size):
+                if deadline is not None:
+                    deadline.step(
+                        1, "covering enumeration", {"covers_seen": count}
+                    )
                 candidate = seed | frozenset(extra)
                 if candidate in seen:
                     continue
                 seen.add(candidate)
                 count += 1
                 if limit is not None and count > limit:
-                    raise BudgetExceededError("covering enumeration", limit)
+                    raise BudgetExceededError(
+                        "covering enumeration",
+                        limit,
+                        partial=[
+                            tuple(homs[i] for i in sorted(cover))
+                            for cover in seen
+                        ],
+                    )
                 COUNTERS.covers_enumerated += 1
                 yield tuple(homs[i] for i in sorted(candidate))
 

@@ -13,7 +13,7 @@ pairing explicit in :class:`TargetHomomorphism`.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 from ..data.atoms import Atom
 from ..data.instances import Instance
@@ -23,6 +23,7 @@ from ..engine.cache import LRUCache
 from ..engine.config import CONFIG
 from ..logic.homomorphisms import homomorphisms
 from ..logic.tgds import TGD, Mapping
+from ..resilience import Deadline
 
 
 class TargetHomomorphism:
@@ -86,11 +87,18 @@ class TargetHomomorphism:
         raise AttributeError("TargetHomomorphism is immutable")
 
 
-def tgd_homomorphisms(tgd: TGD, target: Instance) -> Iterator[TargetHomomorphism]:
-    """``HOM(xi, J)``: all head-into-target homomorphisms of one tgd."""
+def tgd_homomorphisms(
+    tgd: TGD, target: Instance, deadline: Optional[Deadline] = None
+) -> Iterator[TargetHomomorphism]:
+    """``HOM(xi, J)``: all head-into-target homomorphisms of one tgd.
+
+    ``deadline`` bounds the underlying backtracking search
+    cooperatively; expiry raises
+    :class:`~repro.errors.DeadlineExceededError`.
+    """
     head_vars = sorted(tgd.head_variables)
     seen: set[tuple[Term, ...]] = set()
-    for hom in homomorphisms(tgd.head, target):
+    for hom in homomorphisms(tgd.head, target, deadline=deadline):
         restricted = hom.restrict(tgd.head_variables)
         key = tuple(restricted.image(v) for v in head_vars)
         if key in seen:
@@ -106,13 +114,20 @@ def tgd_homomorphisms(tgd: TGD, target: Instance) -> Iterator[TargetHomomorphism
 _HOM_SET_CACHE = LRUCache("hom_set", maxsize=CONFIG.hom_set_cache_size)
 
 
-def hom_set(mapping: Mapping, target: Instance) -> list[TargetHomomorphism]:
-    """``HOM(Sigma, J)``: the union over all tgds, deterministically ordered."""
+def hom_set(
+    mapping: Mapping, target: Instance, deadline: Optional[Deadline] = None
+) -> list[TargetHomomorphism]:
+    """``HOM(Sigma, J)``: the union over all tgds, deterministically ordered.
+
+    ``deadline`` bounds the computation; an interrupted computation is
+    never cached, and a cached hit returns instantly regardless of the
+    deadline (the result does not depend on it).
+    """
 
     def compute() -> tuple[TargetHomomorphism, ...]:
         homs: list[TargetHomomorphism] = []
         for tgd in mapping:
-            homs.extend(tgd_homomorphisms(tgd, target))
+            homs.extend(tgd_homomorphisms(tgd, target, deadline))
         return tuple(sorted(homs))
 
     if not CONFIG.memoize_hom_sets:

@@ -40,9 +40,10 @@ from ..data.instances import Instance
 from ..data.terms import NullFactory, Term
 from ..engine.counters import COUNTERS
 from ..engine.executor import Executor, ExecutorLike, resolve_executor
-from ..errors import BudgetExceededError
+from ..errors import BudgetExceededError, DeadlineExceededError, NotRecoverableError
 from ..logic.homomorphisms import instance_homomorphisms
 from ..logic.tgds import Mapping
+from ..resilience import AnytimeResult, Deadline
 from ..chase.standard import chase, chase_restricted
 from .covers import CoverMode, enumerate_covers
 from .hom_sets import TargetHomomorphism, hom_set
@@ -51,6 +52,8 @@ from .subsumption import SubsumptionConstraint, minimal_subsumers, models_all
 
 
 SubsumptionMode = Literal["auto", "strict", "refute", "off"]
+BudgetMode = Literal["raise", "truncate"]
+ResilienceMode = Literal["raise", "degrade"]
 
 
 class RecoveryCandidate:
@@ -118,6 +121,7 @@ def _evaluate_covering(
         tuple[TargetHomomorphism, ...],
         bool,
         dict[Instance, bool],
+        Optional[Deadline],
     ],
 ) -> tuple[list[RecoveryCandidate], dict[Instance, bool]]:
     """Steps 4-6 of Definition 9 for one covering (the parallel unit).
@@ -131,8 +135,13 @@ def _evaluate_covering(
     are safe while the parent merges concurrently); fresh verdicts are
     returned alongside the candidates so the parent can share them with
     later coverings even across a process boundary.
+
+    ``deadline`` crosses the pickle boundary with its absolute expiry,
+    so workers abandon their covering at the same wall-clock moment
+    the parent would; the resulting :class:`DeadlineExceededError` is
+    an application error and propagates faithfully to the caller.
     """
-    mapping, target, target_domain, covering, verify, known = task
+    mapping, target, target_domain, covering, verify, known, deadline = task
     factory = NullFactory()
     factory.avoid(target_domain)
     backward = chase_restricted(
@@ -141,7 +150,9 @@ def _evaluate_covering(
     forward = chase(mapping, backward, factory).result
     candidates: list[RecoveryCandidate] = []
     verdicts: dict[Instance, bool] = {}
-    for g in instance_homomorphisms(forward, target, identity_on=target_domain):
+    for g in instance_homomorphisms(
+        forward, target, identity_on=target_domain, deadline=deadline
+    ):
         recovery = backward.apply(g)
         if verify:
             verdict = known.get(recovery)
@@ -175,6 +186,8 @@ def inverse_chase_candidates(
     verify_justification: bool = True,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
+    on_budget: BudgetMode = "raise",
 ) -> Iterator[RecoveryCandidate]:
     """Yield recovery candidates with provenance (lazy Definition 9).
 
@@ -209,8 +222,18 @@ def inverse_chase_candidates(
         parallel and serial runs yield identical sequences.
     :param jobs: shorthand for ``executor`` when only a worker count is
         needed; ``None``/``0``/``1`` stay serial (and fully lazy).
+    :param deadline: a cooperative :class:`~repro.resilience.Deadline`
+        checked inside the covering enumeration, the per-covering
+        pipelines and the final homomorphism search.  Expiry raises
+        :class:`~repro.errors.DeadlineExceededError` whose ``progress``
+        records coverings seen and recoveries emitted so far.
+    :param on_budget: what hitting ``max_covers``/``max_recoveries``
+        does — ``"raise"`` (the default, a
+        :class:`~repro.errors.BudgetExceededError` with the partial
+        items attached) or ``"truncate"`` (end the iteration quietly
+        with what was produced in budget).
     """
-    homs = hom_set(mapping, target)
+    homs = hom_set(mapping, target, deadline)
     if subsumption_mode == "auto":
         subsumption_mode = "refute" if cover_mode == "minimal" else "strict"
     constraints: Sequence[SubsumptionConstraint] = ()
@@ -220,6 +243,7 @@ def inverse_chase_candidates(
         )
     target_domain = target.domain()
     emitted = 0
+    covers_seen = 0
     conclusion_pool = homs if subsumption_mode == "refute" else None
     # Distinct (covering, g) pairs frequently produce the same recovery
     # (homomorphisms differing only on forward-chase nulls); cache the
@@ -229,71 +253,118 @@ def inverse_chase_candidates(
     justified_cache: dict[Instance, bool] = {}
     runner = resolve_executor(executor, jobs)
 
+    def progress() -> dict:
+        return {"covers_seen": covers_seen, "recoveries_emitted": emitted}
+
+    def enrich(error) -> None:
+        """Stamp the running totals onto an escaping resource error."""
+        error.progress.setdefault("covers_seen", covers_seen)
+        error.progress.setdefault("recoveries_emitted", emitted)
+
+    def over_budget() -> Optional[BudgetExceededError]:
+        if max_recoveries is not None and emitted > max_recoveries:
+            return BudgetExceededError(
+                "inverse chase recoveries", max_recoveries
+            )
+        return None
+
     def surviving_coverings() -> Iterator[tuple[TargetHomomorphism, ...]]:
-        for covering in enumerate_covers(
-            homs, target, mode=cover_mode, limit=max_covers
-        ):
+        nonlocal covers_seen
+        coverings = enumerate_covers(
+            homs, target, mode=cover_mode, limit=max_covers, deadline=deadline
+        )
+        while True:
+            try:
+                covering = next(coverings)
+            except StopIteration:
+                return
+            except BudgetExceededError:
+                if on_budget == "truncate":
+                    return
+                raise
+            covers_seen += 1
             if subsumption_mode != "off" and not models_all(
                 covering, constraints, conclusion_pool
             ):
                 continue
             yield covering
 
-    if runner.is_serial:
-        # The serial path stays lazy per homomorphism g: callers like
-        # is_valid_for_recovery pull a single candidate and stop.
-        for covering in surviving_coverings():
+    try:
+        if runner.is_serial:
+            # The serial path stays lazy per homomorphism g: callers like
+            # is_valid_for_recovery pull a single candidate and stop.
+            for covering in surviving_coverings():
+                COUNTERS.coverings_evaluated += 1
+                if deadline is not None:
+                    deadline.check("inverse chase", progress())
+                factory = NullFactory()
+                factory.avoid(target_domain)
+                backward = chase_restricted(
+                    [hom.reverse_trigger for hom in covering], target, factory
+                ).result
+                forward = chase(mapping, backward, factory).result
+                for g in instance_homomorphisms(
+                    forward, target, identity_on=target_domain, deadline=deadline
+                ):
+                    recovery = backward.apply(g)
+                    if verify_justification:
+                        verdict = justified_cache.get(recovery)
+                        if verdict is None:
+                            COUNTERS.justification_misses += 1
+                            verdict = is_justified(mapping, recovery, target)
+                            justified_cache[recovery] = verdict
+                        else:
+                            COUNTERS.justification_hits += 1
+                        if not verdict:
+                            continue
+                    emitted += 1
+                    COUNTERS.recoveries_emitted += 1
+                    error = over_budget()
+                    if error is not None:
+                        if on_budget == "truncate":
+                            return
+                        raise error
+                    yield RecoveryCandidate(
+                        covering, backward, forward, g, recovery
+                    )
+            return
+
+        if runner.chunk_size is None:
+            # One covering's pipeline usually runs well under a
+            # millisecond, comparable to a single submission's
+            # overhead.  Batch them.
+            runner = Executor(
+                jobs=runner.jobs, backend=runner.backend, chunk_size=8
+            )
+        tasks = (
+            (
+                mapping,
+                target,
+                target_domain,
+                covering,
+                verify_justification,
+                justified_cache,
+                deadline,
+            )
+            for covering in surviving_coverings()
+        )
+        for candidates, verdicts in runner.map(_evaluate_covering, tasks):
             COUNTERS.coverings_evaluated += 1
-            factory = NullFactory()
-            factory.avoid(target_domain)
-            backward = chase_restricted(
-                [hom.reverse_trigger for hom in covering], target, factory
-            ).result
-            forward = chase(mapping, backward, factory).result
-            for g in instance_homomorphisms(
-                forward, target, identity_on=target_domain
-            ):
-                recovery = backward.apply(g)
-                if verify_justification:
-                    verdict = justified_cache.get(recovery)
-                    if verdict is None:
-                        COUNTERS.justification_misses += 1
-                        verdict = is_justified(mapping, recovery, target)
-                        justified_cache[recovery] = verdict
-                    else:
-                        COUNTERS.justification_hits += 1
-                    if not verdict:
-                        continue
+            if deadline is not None:
+                deadline.check("inverse chase", progress())
+            justified_cache.update(verdicts)
+            for candidate in candidates:
                 emitted += 1
                 COUNTERS.recoveries_emitted += 1
-                if max_recoveries is not None and emitted > max_recoveries:
-                    raise BudgetExceededError(
-                        "inverse chase recoveries", max_recoveries
-                    )
-                yield RecoveryCandidate(covering, backward, forward, g, recovery)
-        return
-
-    if runner.chunk_size is None:
-        # One covering's pipeline usually runs well under a millisecond,
-        # comparable to a single submission's overhead.  Batch them.
-        runner = Executor(
-            jobs=runner.jobs, backend=runner.backend, chunk_size=8
-        )
-    tasks = (
-        (mapping, target, target_domain, covering, verify_justification, justified_cache)
-        for covering in surviving_coverings()
-    )
-    for candidates, verdicts in runner.map(_evaluate_covering, tasks):
-        COUNTERS.coverings_evaluated += 1
-        justified_cache.update(verdicts)
-        for candidate in candidates:
-            emitted += 1
-            COUNTERS.recoveries_emitted += 1
-            if max_recoveries is not None and emitted > max_recoveries:
-                raise BudgetExceededError(
-                    "inverse chase recoveries", max_recoveries
-                )
-            yield candidate
+                error = over_budget()
+                if error is not None:
+                    if on_budget == "truncate":
+                        return
+                    raise error
+                yield candidate
+    except (BudgetExceededError, DeadlineExceededError) as error:
+        enrich(error)
+        raise
 
 
 def inverse_chase(
@@ -308,19 +379,49 @@ def inverse_chase(
     verify_justification: bool = True,
     executor: ExecutorLike = None,
     jobs: Optional[int] = None,
-) -> list[Instance]:
+    deadline: Optional[Deadline] = None,
+    mode: ResilienceMode = "raise",
+    on_budget: BudgetMode = "raise",
+):
     """``Chase^{-1}(Sigma, J)``: the deduplicated set of recoveries.
 
     Returns the empty list exactly when ``J`` is not valid for recovery
     under ``Sigma`` (Theorem 3's characterization).  ``executor`` /
     ``jobs`` parallelize per covering, preserving the serial order.
+
+    Resource governance (see :mod:`repro.resilience`):
+
+    * ``deadline`` bounds the run cooperatively.  With the default
+      ``mode="raise"``, expiry raises
+      :class:`~repro.errors.DeadlineExceededError` whose ``partial``
+      holds the deduplicated recoveries already produced and whose
+      ``progress`` counts coverings seen / recoveries emitted.
+    * ``mode="degrade"`` never raises on expiry; it walks the
+      escalation ladder instead and returns an
+      :class:`~repro.resilience.AnytimeResult` (which iterates like
+      the plain list) tagged with what the answer is:
+
+      1. the requested enumeration finished → ``exact``;
+      2. ``cover_mode="all"`` expired → retry with minimal covers
+         (UCQ-equivalent) under a restarted budget → ``exact``;
+      3. recoveries were emitted before expiry → those —
+         each passed the Definition 2 justification gate (when
+         ``verify_justification`` is on), so every member is a genuine
+         recovery — tagged ``sound-incomplete``;
+      4. nothing emitted → the PTIME Section 6.1 constructions:
+         Theorem 5's unique recovery when its preconditions hold
+         (``exact`` for UCQ purposes), else Theorem 7's sound source
+         instance from the maximal uniquely-covered subset
+         (``sound-incomplete``).
+
+    * ``on_budget="truncate"`` turns ``max_covers``/``max_recoveries``
+      overruns into quiet truncation instead of
+      :class:`~repro.errors.BudgetExceededError` (which, when raised,
+      carries the partial recovery list too).
     """
-    seen: set[Instance] = set()
-    result: list[Instance] = []
-    for candidate in inverse_chase_candidates(
-        mapping,
-        target,
-        cover_mode=cover_mode,
+    if mode not in ("raise", "degrade"):
+        raise ValueError(f"unknown resilience mode {mode!r}")
+    options = dict(
         subsumption_mode=subsumption_mode,
         subsumption=subsumption,
         max_covers=max_covers,
@@ -328,8 +429,153 @@ def inverse_chase(
         verify_justification=verify_justification,
         executor=executor,
         jobs=jobs,
+        on_budget=on_budget,
+    )
+    if mode == "degrade":
+        return _degraded_inverse_chase(
+            mapping, target, cover_mode=cover_mode, deadline=deadline, **options
+        )
+    result: list[Instance] = []
+    try:
+        _collect_recoveries(
+            mapping, target, result, cover_mode=cover_mode, deadline=deadline, **options
+        )
+    except (BudgetExceededError, DeadlineExceededError) as error:
+        # Hand the caller what was already produced: every entry passed
+        # the justification gate, so the partial list is sound.
+        error.partial = list(result)
+        error.progress.setdefault("recoveries_emitted", len(result))
+        raise
+    return result
+
+
+def _collect_recoveries(
+    mapping: Mapping,
+    target: Instance,
+    into: list[Instance],
+    *,
+    cover_mode: CoverMode,
+    deadline: Optional[Deadline],
+    **options,
+) -> list[Instance]:
+    """Drain the candidate stream into ``into``, deduplicating.
+
+    Appending into a caller-owned list (instead of returning one) is
+    what lets the degradation ladder salvage partial progress when an
+    exception interrupts the drain.
+    """
+    seen: set[Instance] = set(into)
+    for candidate in inverse_chase_candidates(
+        mapping, target, cover_mode=cover_mode, deadline=deadline, **options
     ):
         if candidate.recovery not in seen:
             seen.add(candidate.recovery)
-            result.append(candidate.recovery)
-    return result
+            into.append(candidate.recovery)
+    return into
+
+
+def _degraded_inverse_chase(
+    mapping: Mapping,
+    target: Instance,
+    *,
+    cover_mode: CoverMode,
+    deadline: Optional[Deadline],
+    **options,
+) -> AnytimeResult:
+    """The escalation ladder behind ``inverse_chase(mode="degrade")``."""
+    partial: list[Instance] = []
+    first_error: Optional[Exception] = None
+    try:
+        value = _collect_recoveries(
+            mapping, target, partial, cover_mode=cover_mode, deadline=deadline, **options
+        )
+        return AnytimeResult(
+            list(value),
+            "exact",
+            "enumeration",
+            detail=f"{cover_mode}-cover enumeration completed in budget",
+        )
+    except (BudgetExceededError, DeadlineExceededError) as error:
+        first_error = error
+        COUNTERS.degradations += 1
+
+    progress = dict(getattr(first_error, "progress", {}))
+    progress["degraded_because"] = str(first_error)
+
+    # Rung 2: the literal Definition 9 expired; minimal covers are
+    # UCQ-equivalent (see repro.core.covers) and exponentially fewer.
+    # The rung receives a restarted budget of the same size.
+    if cover_mode != "minimal":
+        try:
+            value = _collect_recoveries(
+                mapping,
+                target,
+                partial,
+                cover_mode="minimal",
+                deadline=deadline.restarted() if deadline is not None else None,
+                **options,
+            )
+            return AnytimeResult(
+                list(value),
+                "exact",
+                "minimal-covers",
+                detail=(
+                    "full enumeration expired; minimal-cover enumeration "
+                    "(UCQ-equivalent) completed under a restarted budget"
+                ),
+                progress=progress,
+            )
+        except (BudgetExceededError, DeadlineExceededError):
+            COUNTERS.degradations += 1
+
+    # Rung 3: answer from the recoveries emitted before expiry.  With
+    # verify_justification on (the default) each passed the
+    # Definition 2 gate, so the set is sound — merely incomplete.
+    if partial:
+        return AnytimeResult(
+            list(partial),
+            "sound-incomplete",
+            "partial-enumeration",
+            detail=(
+                f"enumeration expired after {len(partial)} verified "
+                "recovery(ies); the set may be incomplete"
+            ),
+            progress=progress,
+        )
+
+    # Rung 4: nothing in budget — fall back to the polynomial
+    # constructions of Section 6.1 on the maximal uniquely-covered
+    # subset.  Imported here: tractable.py imports covers/hom_sets too,
+    # and a module-level import would be cyclic.
+    from .tractable import complete_ucq_recovery, sound_ucq_instance
+
+    try:
+        recovery = complete_ucq_recovery(
+            mapping, target, subsumption=options.get("subsumption")
+        )
+        return AnytimeResult(
+            [recovery],
+            "exact",
+            "tractable",
+            detail=(
+                "enumeration expired; Theorem 5 applies (quasi-guarded "
+                "safe, unique covering) — the single recovery is "
+                "UCQ-complete"
+            ),
+            progress=progress,
+        )
+    except (ValueError, NotRecoverableError):
+        pass
+    sound = sound_ucq_instance(mapping, target)
+    value = [] if sound.is_empty else [sound]
+    return AnytimeResult(
+        value,
+        "sound-incomplete",
+        "tractable",
+        detail=(
+            "enumeration expired; Theorem 7's sound source instance "
+            "from the maximal uniquely-covered subset (UCQ answers on "
+            "it are certain, but it need not witness every target fact)"
+        ),
+        progress=progress,
+    )

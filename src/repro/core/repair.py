@@ -30,11 +30,12 @@ from typing import Iterator, Optional
 
 from ..data.atoms import Atom
 from ..data.instances import Instance
-from ..errors import BudgetExceededError
+from ..errors import BudgetExceededError, DeadlineExceededError
 from ..logic.tgds import Mapping
+from ..resilience import Deadline
 from .covers import coverage_index
 from .hom_sets import hom_set
-from .inverse_chase import inverse_chase
+from .inverse_chase import ResilienceMode, inverse_chase
 from .validity import is_valid_for_recovery
 
 
@@ -57,6 +58,7 @@ def repairs(
     max_removals: int = 4,
     max_candidates: int = 10000,
     max_covers: Optional[int] = 2000,
+    deadline: Optional[Deadline] = None,
 ) -> Iterator[Instance]:
     """Yield the subset-maximal valid-for-recovery subsets of ``J``.
 
@@ -66,24 +68,50 @@ def repairs(
     invalid.  Yields nothing when even removing ``max_removals`` facts
     does not restore validity.
 
-    :raises BudgetExceededError: after ``max_candidates`` removal sets.
+    ``deadline`` bounds the search cooperatively (it is also threaded
+    into each per-candidate validity check); on expiry the raised
+    :class:`~repro.errors.DeadlineExceededError` carries the repairs
+    already yielded in ``partial``.
+
+    :raises BudgetExceededError: after ``max_candidates`` removal sets
+        (with the repairs found so far in ``partial``).
     """
     forced = uncoverable_facts(mapping, target)
     base = target.without_facts(forced)
     candidates_tried = 0
     yielded: list[frozenset[Atom]] = []
-    for size in range(0, max_removals + 1):
-        for removal in combinations(sorted(base.facts), size):
-            removal_set = frozenset(removal)
-            if any(previous <= removal_set for previous in yielded):
-                continue  # a superset of this candidate already repaired
-            candidates_tried += 1
-            if candidates_tried > max_candidates:
-                raise BudgetExceededError("repair candidates", max_candidates)
-            candidate = base.without_facts(removal_set)
-            if is_valid_for_recovery(mapping, candidate, max_covers=max_covers):
-                yielded.append(removal_set)
-                yield candidate
+    found: list[Instance] = []
+    try:
+        for size in range(0, max_removals + 1):
+            for removal in combinations(sorted(base.facts), size):
+                removal_set = frozenset(removal)
+                if any(previous <= removal_set for previous in yielded):
+                    continue  # a superset of this candidate already repaired
+                if deadline is not None:
+                    deadline.check(
+                        "repair search",
+                        {
+                            "candidates_tried": candidates_tried,
+                            "repairs_found": len(found),
+                        },
+                    )
+                candidates_tried += 1
+                if candidates_tried > max_candidates:
+                    raise BudgetExceededError(
+                        "repair candidates", max_candidates, partial=found
+                    )
+                candidate = base.without_facts(removal_set)
+                if is_valid_for_recovery(
+                    mapping, candidate, max_covers=max_covers, deadline=deadline
+                ):
+                    yielded.append(removal_set)
+                    found.append(candidate)
+                    yield candidate
+    except DeadlineExceededError as error:
+        error.partial = list(found)
+        error.progress.setdefault("candidates_tried", candidates_tried)
+        error.progress.setdefault("repairs_found", len(found))
+        raise
 
 
 def repair_target(
@@ -93,7 +121,10 @@ def repair_target(
 ) -> Optional[Instance]:
     """One subset-maximal repair of ``J`` (or ``J`` itself when valid)."""
     if is_valid_for_recovery(
-        mapping, target, max_covers=options.get("max_covers", 2000)
+        mapping,
+        target,
+        max_covers=options.get("max_covers", 2000),
+        deadline=options.get("deadline"),
     ):
         return target
     for repaired in repairs(mapping, target, **options):
@@ -106,16 +137,25 @@ def recover_after_alteration(
     target: Instance,
     *,
     max_recoveries: Optional[int] = 1000,
+    deadline: Optional[Deadline] = None,
+    mode: ResilienceMode = "raise",
     **options,
 ) -> tuple[Optional[Instance], list[Instance]]:
     """Repair an altered target, then recover from the repair.
 
     Returns ``(repair, recoveries)``; ``(None, [])`` when no repair is
-    found within the budgets.
+    found within the budgets.  ``deadline`` governs both phases under
+    one budget; with ``mode="degrade"`` the recovery phase returns an
+    :class:`~repro.resilience.AnytimeResult` (the repair search itself
+    is a yes/no question per candidate and still raises on expiry).
     """
-    repaired = repair_target(mapping, target, **options)
+    repaired = repair_target(mapping, target, deadline=deadline, **options)
     if repaired is None:
         return None, []
     return repaired, inverse_chase(
-        mapping, repaired, max_recoveries=max_recoveries
+        mapping,
+        repaired,
+        max_recoveries=max_recoveries,
+        deadline=deadline,
+        mode=mode,
     )

@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from ..data.instances import Instance
 from ..logic.tgds import Mapping
+from ..resilience import Deadline
 from .covers import CoverMode, is_coverable
 from .hom_sets import hom_set
 from .inverse_chase import inverse_chase_candidates
@@ -27,6 +28,7 @@ def is_valid_for_recovery(
     cover_mode: CoverMode = "minimal",
     subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
     max_covers: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> bool:
     """Decide whether ``J`` is valid for recovery under ``Sigma``.
 
@@ -34,12 +36,17 @@ def is_valid_for_recovery(
     covering exists and the answer is immediately negative.  Otherwise
     the inverse chase is run lazily and stopped at the first emitted
     recovery.
+
+    ``deadline`` bounds the search cooperatively; J-validity is
+    NP-complete (Theorem 3), and expiry raises
+    :class:`~repro.errors.DeadlineExceededError` — the question stays
+    genuinely undecided, so there is no sound degraded answer to give.
     """
     if target.is_empty:
         # The empty target is justified by the empty source: there are
         # no triggers and the empty instance is its own minimal solution.
         return True
-    if not is_coverable(hom_set(mapping, target), target):
+    if not is_coverable(hom_set(mapping, target, deadline), target):
         return False
     for _ in inverse_chase_candidates(
         mapping,
@@ -47,6 +54,7 @@ def is_valid_for_recovery(
         cover_mode=cover_mode,
         subsumption=subsumption,
         max_covers=max_covers,
+        deadline=deadline,
     ):
         return True
     return False
@@ -59,6 +67,7 @@ def find_recovery(
     cover_mode: CoverMode = "minimal",
     subsumption: Optional[Sequence[SubsumptionConstraint]] = None,
     max_covers: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Optional[Instance]:
     """A witness recovery for ``J``, or ``None`` when ``J`` is invalid."""
     for candidate in inverse_chase_candidates(
@@ -67,6 +76,7 @@ def find_recovery(
         cover_mode=cover_mode,
         subsumption=subsumption,
         max_covers=max_covers,
+        deadline=deadline,
     ):
         return candidate.recovery
     return None

@@ -28,6 +28,15 @@ Knobs:
   range).  These paths dominate the inner loops of the homomorphism
   engine and the inverse chase.
 
+Fault-tolerance knobs for the parallel executor:
+
+* ``chunk_timeout_s`` / ``chunk_retries`` / ``retry_backoff_s`` —
+  per-chunk wall-clock timeout with bounded, backed-off retry before
+  the chunk is recomputed in-process.
+* ``inject_faults`` — a test-only hook run in the worker before each
+  chunk; used by the fault-injection suite to kill workers, delay
+  chunks and poison pickles.
+
 Use :func:`configure` for permanent changes and :func:`engine_options`
 as a context manager for scoped ones (the benchmark harness does the
 latter).  This module must not import the rest of ``repro``.
@@ -52,6 +61,10 @@ class EngineConfig:
         "hom_set_cache_size",
         "subsumers_cache_size",
         "min_parallel_items",
+        "chunk_timeout_s",
+        "chunk_retries",
+        "retry_backoff_s",
+        "inject_faults",
     )
 
     def __init__(self) -> None:
@@ -66,6 +79,23 @@ class EngineConfig:
         #: Below this many work items the executor stays serial: the
         #: fan-out overhead dwarfs the work on tiny instances.
         self.min_parallel_items = 4
+        #: Per-chunk wall-clock timeout for parallel execution, in
+        #: seconds.  ``None`` (the default) waits indefinitely.  A
+        #: timed-out chunk is retried (below) and finally recomputed
+        #: in-process, so results stay complete either way.
+        self.chunk_timeout_s = None
+        #: How many times a timed-out or infrastructure-failed chunk is
+        #: resubmitted before falling back to in-process evaluation.
+        self.chunk_retries = 2
+        #: Base backoff between chunk retries, in seconds; attempt ``k``
+        #: sleeps ``k * retry_backoff_s``.
+        self.retry_backoff_s = 0.05
+        #: Fault-injection hook for tests: a picklable callable invoked
+        #: in the worker as ``hook(chunk)`` before the chunk is
+        #: evaluated.  It may sleep (delaying the chunk past a
+        #: timeout), raise, or kill the worker outright; ``None``
+        #: disables injection.
+        self.inject_faults = None
 
     def as_dict(self) -> dict[str, object]:
         return {name: getattr(self, name) for name in self.__slots__}

@@ -35,6 +35,11 @@ class EngineCounters:
         "justification_misses",
         "parallel_chunks",
         "parallel_fallbacks",
+        "chunk_retries",
+        "chunk_timeouts",
+        "pool_restarts",
+        "deadline_hits",
+        "degradations",
     )
 
     def __init__(self) -> None:

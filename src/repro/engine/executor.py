@@ -20,11 +20,32 @@ Three backends:
   library's value objects define ``__reduce__`` so they cross the
   pickle boundary.
 
-Worker failure is handled gracefully: if a pool breaks or a payload
-refuses to pickle, the affected chunk — and everything after it — is
-recomputed serially in the parent, so callers always get a complete,
-correctly-ordered result (``COUNTERS.parallel_fallbacks`` records the
-event).
+Fault model — two failure classes with opposite handling:
+
+* **Application errors** (``fn`` itself raised): captured *inside* the
+  worker and shipped back as a value, then re-raised in the caller
+  unchanged.  They are never retried and never silently recomputed —
+  a deterministic ``fn`` would just raise again, and a flaky one
+  should not have its failures papered over.
+* **Infrastructure failures** (a worker died, the pool broke, a
+  payload refused to pickle, a chunk timed out): retried up to
+  ``CONFIG.chunk_retries`` times with linear backoff — a broken
+  process pool is replaced by a fresh one first
+  (``COUNTERS.pool_restarts``) — and on exhaustion the chunk is
+  recomputed in-process (``COUNTERS.parallel_fallbacks``), so callers
+  always get a complete, correctly-ordered result.
+
+Per-chunk timeouts (``CONFIG.chunk_timeout_s``) count as
+infrastructure failures (``COUNTERS.chunk_timeouts``).  The
+fault-injection hook ``CONFIG.inject_faults`` — a picklable callable
+run in the worker before each chunk — lets tests kill workers, delay
+chunks and poison pickles to exercise all of the above.
+
+Pool shutdown is deterministic: the pool is torn down with
+``wait=True`` in the generator's ``finally``, so no worker process
+survives the iterator — whether it was exhausted, abandoned
+mid-stream (``close()`` / garbage collection) or exited via an
+exception.
 
 Inputs are consumed lazily in windows of ``jobs × chunk_size`` items,
 so budgeted enumerations (e.g. ``max_covers``) keep their exception
@@ -34,12 +55,15 @@ semantics and unbounded generators never materialize fully.
 from __future__ import annotations
 
 import os
+import pickle
+import time
 from concurrent.futures import (
     BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from itertools import islice
 from typing import Callable, Iterable, Iterator, Literal, Optional, Sequence, TypeVar, Union
 
@@ -55,6 +79,53 @@ Backend = Literal["auto", "serial", "thread", "process"]
 def default_jobs() -> int:
     """A sensible worker count: the CPU count, capped at 8."""
     return min(os.cpu_count() or 1, 8)
+
+
+class _WorkerError:
+    """An application exception captured inside a worker.
+
+    Wrapping (instead of letting the exception propagate through the
+    future) is what lets the parent tell *application* errors apart
+    from *infrastructure* ones: with the wrapper in place, any
+    exception surfacing from ``future.result()`` is by construction
+    the pool's — a dead worker, a pickling failure, a timeout — while
+    ``fn``'s own errors arrive as values and are re-raised faithfully.
+    """
+
+    __slots__ = ("exception",)
+
+    def __init__(self, exception: BaseException):
+        self.exception = exception
+
+
+def _run_chunk(
+    fn: Callable[[T], R], chunk: Sequence[T], fault: Optional[Callable] = None
+) -> Union[list[R], _WorkerError]:
+    """Worker entry point: evaluate one chunk, preserving order."""
+    if fault is not None:
+        fault(chunk)
+    try:
+        return [fn(item) for item in chunk]
+    except Exception as exc:
+        return _WorkerError(exc)
+
+
+#: Exceptions from ``future.result()`` treated as *transient*
+#: infrastructure failures, worth retrying: a worker died, the pool
+#: broke, the OS hiccuped.  Application errors never appear here (see
+#: :class:`_WorkerError`).
+_TRANSIENT_ERRORS = (BrokenExecutor, OSError)
+
+#: Exceptions from ``future.result()`` treated as *deterministic*
+#: infrastructure failures: the pickling machinery's complaints
+#: (``PickleError`` plus the ``TypeError`` / ``AttributeError`` /
+#: ``ImportError`` family raised for unpicklable lambdas, closures and
+#: lost module globals).  Retrying cannot help; the executor degrades
+#: to in-process evaluation instead.
+_PERMANENT_ERRORS = (pickle.PickleError, TypeError, AttributeError, ImportError)
+
+#: Sentinel returned by ``_await_chunk`` for deterministic failures.
+_PERMANENT = object()
 
 
 class Executor:
@@ -114,14 +185,17 @@ class Executor:
         iterator = iter(items)
         chunk_size = self.chunk_size or 1
         window = max(self.jobs * chunk_size, chunk_size)
-        pool = self._make_pool()
-        broken = False
+        fault = CONFIG.inject_faults
+        # The pool lives in a one-slot holder so retry logic can swap a
+        # broken pool for a fresh one mid-stream.
+        holder: list = [self._make_pool()]
+        degraded = False
         try:
             while True:
                 batch = list(islice(iterator, window))
                 if not batch:
                     return
-                if len(batch) < CONFIG.min_parallel_items or broken:
+                if len(batch) < CONFIG.min_parallel_items or degraded:
                     for item in batch:
                         yield fn(item)
                     continue
@@ -132,29 +206,89 @@ class Executor:
                 futures: list[Optional[Future]] = []
                 for chunk in chunks:
                     try:
-                        futures.append(pool.submit(_run_chunk, fn, chunk))
+                        futures.append(
+                            holder[0].submit(_run_chunk, fn, chunk, fault)
+                        )
                     except Exception:
-                        # Pool already broken or payload unpicklable.
+                        # Submission itself failed (pool shut down or
+                        # broken beyond the per-chunk recovery below):
+                        # stop handing work to pools entirely.
                         futures.append(None)
-                        broken = True
+                        degraded = True
                 COUNTERS.parallel_chunks += len(chunks)
                 for chunk, future in zip(chunks, futures):
-                    results: Optional[Sequence[R]] = None
+                    outcome = None
                     if future is not None:
-                        try:
-                            results = future.result()
-                        except (BrokenExecutor, OSError, TypeError, ValueError, AttributeError, ImportError):
-                            # A dead worker or a pickling failure; fall
-                            # back to in-process evaluation and stop
-                            # handing work to this pool.
-                            broken = True
-                            results = None
-                    if results is None:
+                        outcome = self._await_chunk(holder, fn, chunk, future, fault)
+                    if isinstance(outcome, _WorkerError):
+                        # An application error: re-raise it unchanged.
+                        # No retry, no serial recomputation.
+                        raise outcome.exception
+                    if outcome is _PERMANENT:
+                        # Unpicklable payloads fail deterministically:
+                        # stop handing work to the pool for good.
+                        degraded = True
+                        outcome = None
+                    if outcome is None:
                         COUNTERS.parallel_fallbacks += 1
-                        results = [fn(item) for item in chunk]
-                    yield from results
+                        outcome = [fn(item) for item in chunk]
+                    yield from outcome
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Deterministic teardown: block until every worker is
+            # reaped, even when the consumer abandons the iterator
+            # mid-stream (close() runs this via GeneratorExit).
+            holder[0].shutdown(wait=True, cancel_futures=True)
+
+    def _await_chunk(
+        self,
+        holder: list,
+        fn: Callable[[T], R],
+        chunk: Sequence[T],
+        future: Future,
+        fault: Optional[Callable],
+    ) -> Union[list[R], "_WorkerError", None]:
+        """Wait for one chunk, with timeout + bounded retry.
+
+        Returns the chunk's results, a :class:`_WorkerError` for an
+        application exception, ``_PERMANENT`` for a deterministic
+        serialization failure, or ``None`` when every attempt failed on
+        transient infrastructure (the caller then recomputes
+        in-process).
+        """
+        timeout = CONFIG.chunk_timeout_s
+        max_retries = max(CONFIG.chunk_retries or 0, 0)
+        backoff = CONFIG.retry_backoff_s or 0
+        attempt = 0
+        while True:
+            try:
+                return future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                COUNTERS.chunk_timeouts += 1
+                future.cancel()
+            except _TRANSIENT_ERRORS:
+                if isinstance(holder[0], ProcessPoolExecutor):
+                    # A broken process pool poisons every later submit;
+                    # replace it before retrying.  (Thread pools stay
+                    # healthy across worker exceptions.)
+                    try:
+                        if getattr(holder[0], "_broken", False):
+                            holder[0].shutdown(wait=False, cancel_futures=True)
+                            holder[0] = self._make_pool()
+                            COUNTERS.pool_restarts += 1
+                    except Exception:
+                        return None
+            except _PERMANENT_ERRORS:
+                return _PERMANENT
+            if attempt >= max_retries:
+                return None
+            attempt += 1
+            COUNTERS.chunk_retries += 1
+            if backoff:
+                time.sleep(backoff * attempt)
+            try:
+                future = holder[0].submit(_run_chunk, fn, chunk, fault)
+            except Exception:
+                return None
 
     def _make_pool(self):
         if self.backend == "process":
@@ -162,11 +296,6 @@ class Executor:
         return ThreadPoolExecutor(
             max_workers=self.jobs, thread_name_prefix="repro-engine"
         )
-
-
-def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
-    """Worker entry point: evaluate one chunk, preserving order."""
-    return [fn(item) for item in chunk]
 
 
 #: The default executor: serial, lazy, zero overhead.

@@ -7,6 +7,8 @@ while still distinguishing the individual failure modes.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 
 class ReproError(Exception):
     """Base class for every error raised by the :mod:`repro` library."""
@@ -60,9 +62,54 @@ class BudgetExceededError(ReproError):
     The inverse chase and covering enumeration are worst-case
     exponential; callers can bound them, and this error signals the
     bound was hit rather than silently truncating the result.
+
+    ``partial`` carries the items enumerated before the budget tripped
+    (covers, recoveries, ...), so a caller that chose ``"raise"``
+    semantics can still inspect — or salvage — the work already done.
     """
 
-    def __init__(self, what: str, limit: int):
+    def __init__(self, what: str, limit: int, partial: Optional[Sequence] = None):
         self.what = what
         self.limit = limit
+        self.partial: list = list(partial) if partial is not None else []
+        self.progress: dict = {}
         super().__init__(f"{what} exceeded configured limit of {limit}")
+
+
+class DeadlineExceededError(ReproError):
+    """A cooperative resource deadline expired mid-computation.
+
+    Raised by :class:`repro.resilience.Deadline` checks threaded
+    through the NP-hard paths (covering enumeration, homomorphism
+    search, the inverse chase, certainty, repair).  Unlike
+    :class:`BudgetExceededError` — which counts *results* — a deadline
+    bounds *resources*: wall-clock time, cooperative steps, or an
+    estimate of retained memory.
+
+    Attributes:
+
+    * ``what``    — the computation that was interrupted;
+    * ``limit``   — a human-readable description of the tripped limit;
+    * ``progress``— counters accumulated before expiry (e.g.
+      ``covers_seen``, ``recoveries_emitted``), enriched by each layer
+      the error propagates through;
+    * ``partial`` — the items produced before expiry, when the raising
+      layer had them at hand (e.g. the recoveries already emitted and
+      verified by :func:`~repro.core.inverse_chase.inverse_chase`).
+    """
+
+    def __init__(
+        self,
+        what: str,
+        limit: str = "",
+        progress: Optional[dict] = None,
+        partial: Optional[Sequence] = None,
+    ):
+        self.what = what
+        self.limit = limit
+        self.progress: dict = dict(progress) if progress else {}
+        self.partial: list = list(partial) if partial is not None else []
+        message = f"{what} exceeded deadline"
+        if limit:
+            message = f"{message} ({limit})"
+        super().__init__(message)

@@ -21,7 +21,7 @@ so patterns with constants or shared variables prune aggressively.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..data.atoms import Atom
 from ..data.instances import Instance
@@ -29,6 +29,9 @@ from ..data.substitutions import Substitution
 from ..data.terms import Constant, Null, Term, Variable
 from ..engine.config import CONFIG
 from ..engine.counters import COUNTERS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..resilience import Deadline
 
 
 def _mappable(term: Term, frozen: frozenset[Term]) -> bool:
@@ -95,6 +98,7 @@ def _search(
     target: Instance,
     binding: dict[Term, Term],
     frozen: frozenset[Term],
+    deadline: Optional["Deadline"] = None,
 ) -> Iterator[dict[Term, Term]]:
     """Iterative backtracking over the pattern atoms.
 
@@ -134,7 +138,19 @@ def _search(
         return [pattern, rest, iter(ordered(candidates)), []]
 
     stack = [make_frame(remaining)]
+    pending_steps = 0
     while stack:
+        if deadline is not None:
+            # The matcher is the innermost loop of every NP-hard path,
+            # so this is where cooperative cancellation gains its
+            # responsiveness — but a Python call per frame visit costs
+            # more than the visit itself.  Batch: charge 32 steps every
+            # 32 frames, keeping the overhead of a never-tripping
+            # deadline to a local integer increment per node.
+            pending_steps += 1
+            if pending_steps >= 32:
+                deadline.step(pending_steps, "homomorphism search")
+                pending_steps = 0
         frame = stack[-1]
         pattern, rest, candidates, undo = frame
         for term in undo:
@@ -168,6 +184,7 @@ def homomorphisms(
     *,
     base: Optional[Mapping[Term, Term]] = None,
     frozen: Iterable[Term] = (),
+    deadline: Optional["Deadline"] = None,
 ) -> Iterator[Substitution]:
     """All homomorphisms from ``pattern`` into ``target``.
 
@@ -179,11 +196,15 @@ def homomorphisms(
         must extend (e.g. the frontier bindings during a chase step).
     :param frozen: nulls to treat as rigid, i.e. the homomorphism is
         the identity on them.
+    :param deadline: a cooperative :class:`~repro.resilience.Deadline`
+        checked once per backtracking frame; expiry raises
+        :class:`~repro.errors.DeadlineExceededError` out of the
+        iteration.
     """
     frozen_set = frozenset(frozen)
     binding: dict[Term, Term] = dict(base) if base else {}
     seen: set[Substitution] = set()
-    for raw in _search(list(pattern), target, binding, frozen_set):
+    for raw in _search(list(pattern), target, binding, frozen_set, deadline):
         sub = Substitution(raw)
         if sub not in seen:
             seen.add(sub)
@@ -196,9 +217,12 @@ def find_homomorphism(
     *,
     base: Optional[Mapping[Term, Term]] = None,
     frozen: Iterable[Term] = (),
+    deadline: Optional["Deadline"] = None,
 ) -> Optional[Substitution]:
     """The first homomorphism from ``pattern`` into ``target``, or ``None``."""
-    for sub in homomorphisms(pattern, target, base=base, frozen=frozen):
+    for sub in homomorphisms(
+        pattern, target, base=base, frozen=frozen, deadline=deadline
+    ):
         return sub
     return None
 
@@ -209,9 +233,15 @@ def has_homomorphism(
     *,
     base: Optional[Mapping[Term, Term]] = None,
     frozen: Iterable[Term] = (),
+    deadline: Optional["Deadline"] = None,
 ) -> bool:
     """Whether any homomorphism from ``pattern`` into ``target`` exists."""
-    return find_homomorphism(pattern, target, base=base, frozen=frozen) is not None
+    return (
+        find_homomorphism(
+            pattern, target, base=base, frozen=frozen, deadline=deadline
+        )
+        is not None
+    )
 
 
 # -- instance-level helpers -------------------------------------------------------
@@ -222,14 +252,19 @@ def instance_homomorphisms(
     target: Instance,
     *,
     identity_on: Iterable[Term] = (),
+    deadline: Optional["Deadline"] = None,
 ) -> Iterator[Substitution]:
     """All homomorphisms ``source -> target``.
 
     Constants are always rigid; nulls listed in ``identity_on`` are
     rigid as well (the paper writes "identity on dom(J)").  The yielded
     substitutions are defined on the remaining nulls of ``source``.
+    ``deadline`` bounds the search cooperatively (see
+    :func:`homomorphisms`).
     """
-    yield from homomorphisms(list(source.facts), target, frozen=identity_on)
+    yield from homomorphisms(
+        list(source.facts), target, frozen=identity_on, deadline=deadline
+    )
 
 
 def maps_into(source: Instance, target: Instance) -> bool:

@@ -1,13 +1,17 @@
-"""Plain-text tables for the benchmark harness.
+"""Plain-text tables and run reports for the CLI and benchmarks.
 
 Every benchmark prints a table comparing the paper's stated artifact
 (an instance, an answer set, a count) with the measured one, using the
 helpers below, so ``pytest benchmarks/ --benchmark-only -s`` doubles as
-the reproduction report.
+the reproduction report.  :class:`RunReport` is the structured summary
+the CLI emits under ``--stats``: what ran, whether the answer is exact
+or degraded, how long it took, and the engine counters accumulated on
+the way.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from .data.instances import Instance
@@ -69,3 +73,55 @@ def format_counters(snapshot: dict) -> str:
     """
     rows = [(name, snapshot[name]) for name in sorted(snapshot)]
     return format_table(("counter", "value"), rows, title="engine counters")
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Structured summary of one CLI invocation (or library run).
+
+    ``status``/``rung`` mirror :class:`repro.resilience.AnytimeResult`
+    when resilience was in play: ``exact`` for a complete answer,
+    ``sound-incomplete`` for a degraded one, and the ladder rung that
+    produced it.  For a plain run without a deadline they are
+    ``"exact"`` / ``"enumeration"``.  ``counters`` is a snapshot of
+    :data:`repro.engine.counters.COUNTERS`, so deadline hits, chunk
+    retries and degradations taken during the run are all recorded.
+    """
+
+    command: str
+    status: str = "exact"
+    rung: str = "enumeration"
+    detail: str = ""
+    elapsed_ms: float = 0.0
+    result_size: int = 0
+    counters: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view (counters copied, not shared)."""
+        return {
+            "command": self.command,
+            "status": self.status,
+            "rung": self.rung,
+            "detail": self.detail,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "result_size": self.result_size,
+            "counters": dict(self.counters),
+        }
+
+
+def format_run_report(report: RunReport) -> str:
+    """Render a :class:`RunReport` as an aligned two-column table."""
+    rows: list[tuple[str, object]] = [
+        ("command", report.command),
+        ("status", report.status),
+        ("rung", report.rung),
+        ("elapsed_ms", f"{report.elapsed_ms:.1f}"),
+        ("result_size", report.result_size),
+    ]
+    if report.detail:
+        rows.append(("detail", report.detail))
+    for name in sorted(report.counters):
+        value = report.counters[name]
+        if value:  # only counters that moved; zeros are noise here
+            rows.append((name, value))
+    return format_table(("field", "value"), rows, title="run report")

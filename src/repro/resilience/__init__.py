@@ -1,0 +1,30 @@
+"""Resource governance & fault tolerance for the intractable paths.
+
+The paper's Section 5 lower bounds (J-validity NP-complete, Q-certainty
+coNP-complete) mean every top-level operation of this library can blow
+up on adversarial inputs.  This package is the answer:
+
+* :class:`~repro.resilience.deadline.Deadline` — composable, picklable
+  wall-clock / step / memory budgets, checked cooperatively inside the
+  covering enumeration, the homomorphism engine, the inverse chase,
+  certainty and repair;
+* :class:`~repro.errors.DeadlineExceededError` — expiry with partial
+  progress attached (covers seen, recoveries emitted so far);
+* :class:`~repro.resilience.anytime.AnytimeResult` — the tagged output
+  of ``mode="degrade"`` runs, which escalate down a ladder of cheaper
+  semantics (full enumeration → minimal covers → the PTIME Section 6.1
+  constructions) instead of failing.
+
+The executor-level fault tolerance (per-chunk timeouts, bounded retry,
+worker-fault recovery, fault injection) lives with the executor in
+:mod:`repro.engine.executor`; this package holds the algorithmic side.
+
+This package deliberately imports only :mod:`repro.errors` and
+:mod:`repro.engine` so that :mod:`repro.core` and :mod:`repro.logic`
+can depend on it without cycles.
+"""
+
+from .anytime import AnytimeResult, Rung, Status
+from .deadline import Deadline
+
+__all__ = ["AnytimeResult", "Deadline", "Rung", "Status"]

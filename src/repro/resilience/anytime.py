@@ -1,0 +1,125 @@
+"""Anytime results: tagged outputs of the degradation ladder.
+
+When an NP-hard entry point runs in ``mode="degrade"``, it no longer
+promises the exact answer — it promises *an* answer, tagged with what
+it is and which rung of the escalation ladder produced it:
+
+1. ``"enumeration"``         — the requested enumeration finished in
+   budget; the result is exact.
+2. ``"minimal-covers"``      — the full (``cover_mode="all"``)
+   enumeration expired and the minimal-cover enumeration (UCQ-
+   equivalent, see :mod:`repro.core.covers`) finished under a
+   restarted budget; exact for UCQ purposes.
+3. ``"partial-enumeration"`` — the enumeration expired mid-stream; the
+   result is the recoveries already emitted.  Each one passed the
+   Definition 2 justification gate, so every member is a genuine
+   recovery — the *set* is merely incomplete (sound, not complete).
+4. ``"tractable"``           — nothing was emitted in budget; fall
+   back to the PTIME constructions of Section 6.1 (Theorems 5-7) on
+   the maximal uniquely-covered subset.  Exact when Theorem 5's
+   preconditions hold, otherwise sound-incomplete.
+
+The ``status`` tag is the contract: ``"exact"`` results equal what the
+un-degraded call would have returned (up to UCQ equivalence for rungs
+2 and 4/Theorem 5); ``"sound-incomplete"`` results are a subset of it
+with the soundness guarantee stated above.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Literal, Optional
+
+Status = Literal["exact", "sound-incomplete"]
+Rung = Literal["enumeration", "minimal-covers", "partial-enumeration", "tractable"]
+
+
+class AnytimeResult:
+    """A value plus the provenance of which ladder rung produced it.
+
+    Behaves like its ``value`` for iteration, length and truthiness,
+    so ``for recovery in result`` and ``if result`` read naturally;
+    code that needs the guarantee level consults ``status`` / ``rung``.
+    """
+
+    __slots__ = ("_value", "_status", "_rung", "_detail", "_progress")
+
+    def __init__(
+        self,
+        value,
+        status: Status,
+        rung: Rung,
+        detail: str = "",
+        progress: Optional[dict] = None,
+    ):
+        if status not in ("exact", "sound-incomplete"):
+            raise ValueError(f"unknown anytime status {status!r}")
+        object.__setattr__(self, "_value", value)
+        object.__setattr__(self, "_status", status)
+        object.__setattr__(self, "_rung", rung)
+        object.__setattr__(self, "_detail", detail)
+        object.__setattr__(self, "_progress", dict(progress) if progress else {})
+
+    @property
+    def value(self):
+        """The payload: a recovery list, an answer set, ..."""
+        return self._value
+
+    @property
+    def status(self) -> Status:
+        """``"exact"`` or ``"sound-incomplete"`` (see module docs)."""
+        return self._status
+
+    @property
+    def rung(self) -> Rung:
+        """Which escalation rung answered."""
+        return self._rung
+
+    @property
+    def detail(self) -> str:
+        """Human-readable provenance (which theorem / why degraded)."""
+        return self._detail
+
+    @property
+    def progress(self) -> dict:
+        """Counters accumulated before degradation (covers seen, ...)."""
+        return dict(self._progress)
+
+    @property
+    def is_exact(self) -> bool:
+        return self._status == "exact"
+
+    def __iter__(self) -> Iterator:
+        return iter(self._value)
+
+    def __len__(self) -> int:
+        return len(self._value)
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __contains__(self, item) -> bool:
+        return item in self._value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnytimeResult):
+            return NotImplemented
+        return (
+            self._value == other._value
+            and self._status == other._status
+            and self._rung == other._rung
+        )
+
+    def __reduce__(self):
+        return (
+            AnytimeResult,
+            (self._value, self._status, self._rung, self._detail, self._progress),
+        )
+
+    def __repr__(self) -> str:
+        size = len(self._value) if hasattr(self._value, "__len__") else "?"
+        return (
+            f"AnytimeResult({self._status}, rung={self._rung!r}, size={size})"
+        )
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("AnytimeResult is immutable")

@@ -1,12 +1,64 @@
-"""Shared fixtures: the paper's scenarios and small helper builders."""
+"""Shared fixtures: the paper's scenarios and small helper builders.
+
+Also a fallback for the ``timeout`` ini option: pytest-timeout is the
+preferred enforcer (declared in the ``test`` extra), but this
+container-friendly shim keeps the per-test cap working when the plugin
+is absent, using ``SIGALRM`` — good enough to fail a wedged
+enumeration instead of hanging the suite.
+"""
 
 from __future__ import annotations
+
+import importlib.util
+import signal
 
 import pytest
 
 from repro.logic.parser import parse_instance, parse_tgds
 from repro.logic.tgds import Mapping
 from repro.workloads import scenario
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        # Claim the ini option pytest-timeout would own, so the
+        # ``timeout = ...`` setting in pyproject.toml stays valid.
+        parser.addini("timeout", "per-test timeout in seconds (shim)", default="0")
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PYTEST_TIMEOUT or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    try:
+        seconds = float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        seconds = 0.0
+    marker = item.get_closest_marker("timeout")
+    if marker and marker.args:
+        seconds = float(marker.args[0])
+    if seconds <= 0:
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"test exceeded the {seconds:g}s timeout (shim)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def pytest_configure(config):
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers", "timeout(seconds): per-test timeout (shim fallback)"
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,184 @@
+"""Fault injection for the executor: crashes, timeouts, retries, leaks.
+
+The hooks below are module-level classes so the process backend can
+pickle them; "once" semantics across worker processes use an exclusive
+flag-file create, which is atomic and inherited-environment-free.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.engine.config import engine_options
+from repro.engine.counters import COUNTERS
+from repro.engine.executor import Executor
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x):
+    time.sleep(0.02)
+    return x * x
+
+
+def _boom(x):
+    if x == 7:
+        raise ValueError("boom 7")
+    return x * x
+
+
+class _OneShot:
+    """Base for fault hooks that fire exactly once per test run."""
+
+    def __init__(self, flag_path):
+        self.flag_path = str(flag_path)
+
+    def _claim(self):
+        try:
+            fd = os.open(self.flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+
+class _KillWorkerOnce(_OneShot):
+    """Kill the hosting worker process mid-window, once."""
+
+    def __call__(self, chunk):
+        if self._claim():
+            os._exit(1)
+
+
+class _DelayOnce(_OneShot):
+    """Delay one chunk past the configured timeout, once."""
+
+    def __init__(self, flag_path, seconds):
+        super().__init__(flag_path)
+        self.seconds = seconds
+
+    def __call__(self, chunk):
+        if self._claim():
+            time.sleep(self.seconds)
+
+
+class _DelayAlways:
+    """Delay every chunk past the timeout: retries must exhaust."""
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+
+    def __call__(self, chunk):
+        time.sleep(self.seconds)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    COUNTERS.reset()
+    yield
+
+
+class TestWorkerCrash:
+    def test_crash_is_retried_and_results_complete(self, tmp_path):
+        items = list(range(24))
+        expected = [_square(i) for i in items]
+        hook = _KillWorkerOnce(tmp_path / "killed")
+        executor = Executor(jobs=2, backend="process", chunk_size=2)
+        with engine_options(inject_faults=hook, chunk_retries=3):
+            assert list(executor.map(_square, items)) == expected
+        assert os.path.exists(hook.flag_path)  # the fault really fired
+        snapshot = COUNTERS.snapshot()
+        assert snapshot["chunk_retries"] + snapshot["parallel_fallbacks"] >= 1
+        assert snapshot["pool_restarts"] >= 1
+
+    def test_parallel_matches_serial_under_faults(self, tmp_path):
+        items = list(range(30))
+        hook = _KillWorkerOnce(tmp_path / "killed")
+        executor = Executor(jobs=2, backend="process", chunk_size=3)
+        with engine_options(inject_faults=hook, chunk_retries=3):
+            faulty = list(executor.map(_square, items))
+        assert faulty == [_square(i) for i in items]
+
+
+class TestTimeouts:
+    def test_timeout_then_retry_succeeds(self, tmp_path):
+        items = list(range(16))
+        expected = [_square(i) for i in items]
+        hook = _DelayOnce(tmp_path / "delayed", seconds=1.0)
+        executor = Executor(jobs=2, backend="process", chunk_size=4)
+        with engine_options(
+            inject_faults=hook,
+            chunk_timeout_s=0.25,
+            chunk_retries=3,
+            retry_backoff_s=0.01,
+        ):
+            assert list(executor.map(_square, items)) == expected
+        snapshot = COUNTERS.snapshot()
+        assert snapshot["chunk_timeouts"] >= 1
+        assert snapshot["chunk_retries"] >= 1
+
+    def test_retry_exhaustion_falls_back_in_process(self):
+        items = list(range(4))
+        expected = [_square(i) for i in items]
+        executor = Executor(jobs=2, backend="thread", chunk_size=2)
+        with engine_options(
+            inject_faults=_DelayAlways(0.3),
+            chunk_timeout_s=0.05,
+            chunk_retries=1,
+            retry_backoff_s=0.0,
+        ):
+            assert list(executor.map(_square, items)) == expected
+        snapshot = COUNTERS.snapshot()
+        # Both chunks exhausted their single retry and were recomputed
+        # in-process, which ignores the injection hook entirely.
+        assert snapshot["parallel_fallbacks"] >= 1
+        assert snapshot["chunk_timeouts"] >= 2
+
+
+class TestApplicationErrors:
+    def test_worker_exception_propagates_unchanged_process(self):
+        executor = Executor(jobs=2, backend="process", chunk_size=2)
+        with pytest.raises(ValueError, match="boom 7"):
+            list(executor.map(_boom, range(16)))
+        snapshot = COUNTERS.snapshot()
+        # An application error is not an infrastructure failure: it is
+        # never retried and never silently recomputed in-process.
+        assert snapshot["parallel_fallbacks"] == 0
+        assert snapshot["chunk_retries"] == 0
+
+    def test_worker_exception_propagates_unchanged_thread(self):
+        executor = Executor(jobs=2, backend="thread", chunk_size=2)
+        with pytest.raises(ValueError, match="boom 7"):
+            list(executor.map(_boom, range(16)))
+        assert COUNTERS.snapshot()["parallel_fallbacks"] == 0
+
+    def test_app_error_even_with_retries_configured(self):
+        executor = Executor(jobs=2, backend="process", chunk_size=2)
+        with engine_options(chunk_retries=5, chunk_timeout_s=5.0):
+            with pytest.raises(ValueError, match="boom 7"):
+                list(executor.map(_boom, range(16)))
+        assert COUNTERS.snapshot()["chunk_retries"] == 0
+
+
+class TestPoolHygiene:
+    def test_abandoned_iterator_leaks_no_processes(self):
+        before = {child.pid for child in multiprocessing.active_children()}
+        executor = Executor(jobs=2, backend="process", chunk_size=2)
+        stream = executor.map(_slow_square, range(64))
+        assert next(stream) == 0  # pool is live mid-window here
+        stream.close()  # abandon: finally must reap the workers
+        after = {child.pid for child in multiprocessing.active_children()}
+        assert after <= before
+
+    def test_exhausted_iterator_leaks_no_processes(self):
+        before = {child.pid for child in multiprocessing.active_children()}
+        executor = Executor(jobs=2, backend="process", chunk_size=2)
+        assert list(executor.map(_square, range(16))) == [
+            _square(i) for i in range(16)
+        ]
+        after = {child.pid for child in multiprocessing.active_children()}
+        assert after <= before

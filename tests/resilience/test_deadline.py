@@ -1,0 +1,158 @@
+"""Unit tests for the cooperative Deadline budget."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.resilience import AnytimeResult, Deadline
+
+
+class TestLimits:
+    def test_unbounded_deadline_never_expires(self):
+        deadline = Deadline()
+        assert deadline.expired() is None
+        assert deadline.remaining_ms() is None
+        deadline.step(10_000)
+        deadline.check()
+
+    def test_step_budget_is_exact(self):
+        deadline = Deadline(max_steps=5)
+        for _ in range(4):
+            deadline.step()
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.step()
+        assert "step budget 5" in str(excinfo.value)
+        assert deadline.steps == 5
+
+    def test_bulk_steps_count(self):
+        deadline = Deadline(max_steps=10)
+        deadline.step(9)
+        with pytest.raises(DeadlineExceededError):
+            deadline.step(3)
+
+    def test_wall_clock_expiry(self):
+        deadline = Deadline(wall_ms=1)
+        time.sleep(0.01)
+        assert deadline.expired() is not None
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("the test")
+        assert "the test" in str(excinfo.value)
+
+    def test_generous_wall_clock_stays_alive(self):
+        deadline = Deadline(wall_ms=60_000)
+        deadline.check()
+        remaining = deadline.remaining_ms()
+        assert remaining is not None and remaining > 30_000
+
+    def test_memory_estimate(self):
+        deadline = Deadline(max_memory_mb=1)
+        deadline.charge_memory(512 * 1024)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.charge_memory(600 * 1024)
+        assert "memory estimate" in str(excinfo.value)
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(wall_ms=-1)
+        with pytest.raises(ValueError):
+            Deadline(max_steps=-1)
+        with pytest.raises(ValueError):
+            Deadline(max_memory_mb=-1)
+
+    def test_progress_travels_on_the_error(self):
+        deadline = Deadline(max_steps=1)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.step(1, "enumeration", {"covers_seen": 7})
+        assert excinfo.value.progress == {"covers_seen": 7}
+        assert excinfo.value.partial == []
+
+
+class TestComposition:
+    def test_combined_trips_on_either(self):
+        outer = Deadline(max_steps=100)
+        inner = Deadline(max_steps=3)
+        combined = outer & inner
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            for _ in range(10):
+                combined.step()
+        assert "step budget 3" in str(excinfo.value)
+
+    def test_work_accrues_to_parents(self):
+        outer = Deadline(max_steps=100)
+        combined = outer.combined_with(Deadline())
+        combined.step(40)
+        assert outer.steps == 40
+        # A second combination over the same outer deadline keeps
+        # charging it: the global budget sees all the work.
+        second = outer.combined_with(Deadline())
+        with pytest.raises(DeadlineExceededError):
+            second.step(70)
+
+    def test_remaining_ms_is_tightest_parent(self):
+        loose = Deadline(wall_ms=60_000)
+        tight = Deadline(wall_ms=1_000)
+        combined = loose & tight
+        remaining = combined.remaining_ms()
+        assert remaining is not None and remaining <= 1_000
+
+
+class TestLifecycle:
+    def test_restarted_gets_a_fresh_budget(self):
+        deadline = Deadline(max_steps=2)
+        with pytest.raises(DeadlineExceededError):
+            deadline.step(5)
+        fresh = deadline.restarted()
+        assert fresh.max_steps == 2
+        assert fresh.steps == 0
+        fresh.step()  # alive again
+
+    def test_pickle_preserves_absolute_expiry(self):
+        deadline = Deadline(wall_ms=60_000, max_steps=50)
+        deadline.step(10)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert clone.max_steps == 50
+        assert clone.steps == 10
+        # The wall anchor is absolute: the clone's remaining time is the
+        # parent's, not a fresh 60 s window.
+        original = deadline.remaining_ms()
+        assert abs(clone.remaining_ms() - original) < 1_000
+
+    def test_pickled_expired_deadline_stays_expired(self):
+        deadline = Deadline(wall_ms=1)
+        time.sleep(0.01)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert clone.expired() is not None
+
+    def test_repr_names_the_limits(self):
+        assert "max_steps=7" in repr(Deadline(max_steps=7))
+        assert "unbounded" in repr(Deadline())
+
+
+class TestAnytimeResult:
+    def test_behaves_like_its_value(self):
+        result = AnytimeResult([1, 2, 3], "exact", "enumeration")
+        assert list(result) == [1, 2, 3]
+        assert len(result) == 3
+        assert 2 in result
+        assert result
+        assert result.is_exact
+
+    def test_rejects_unknown_status(self):
+        with pytest.raises(ValueError):
+            AnytimeResult([], "approximate", "enumeration")
+
+    def test_immutable(self):
+        result = AnytimeResult([], "exact", "enumeration")
+        with pytest.raises(AttributeError):
+            result.status = "sound-incomplete"
+
+    def test_pickle_round_trip(self):
+        result = AnytimeResult(
+            [1], "sound-incomplete", "tractable", detail="d", progress={"a": 1}
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.detail == "d"
+        assert clone.progress == {"a": 1}
