@@ -23,8 +23,10 @@ from repro import (
     parse_tgds,
     recover_after_alteration,
 )
+from conftest import small_exchange
+
 from repro.reporting import format_table
-from repro.workloads import corrupted_target, exchange_workload, running_example
+from repro.workloads import corrupted_target, running_example
 
 
 def test_e16_core_presentation(benchmark, report):
@@ -96,9 +98,7 @@ def test_e17_repair_scaling(benchmark, report, extra):
 
 
 def test_e17_random_corruption(benchmark, report):
-    mapping, _, target = exchange_workload(
-        3, tgds=2, source_facts=4, domain_size=3, max_arity=2, max_body_atoms=1
-    )
+    mapping, _, target = small_exchange(3, 4)
     corrupted = corrupted_target(3, mapping, target, extra_facts=1)
 
     def run():

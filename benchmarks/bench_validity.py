@@ -12,22 +12,16 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import small_exchange
+
 from repro import is_valid_for_recovery
 from repro.errors import BudgetExceededError
 from repro.reporting import format_table
-from repro.workloads import corrupted_target, exchange_workload
+from repro.workloads import corrupted_target
 
 
 def _workload(seed: int, source_facts: int):
-    return exchange_workload(
-        seed,
-        tgds=2,
-        source_facts=source_facts,
-        domain_size=max(3, source_facts // 2),
-        max_arity=2,
-        max_body_atoms=1,
-        existential_probability=0.2,
-    )
+    return small_exchange(seed, source_facts, existential_probability=0.2)
 
 
 @pytest.mark.parametrize("source_facts", [4, 8, 16, 32])

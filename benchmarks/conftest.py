@@ -4,6 +4,14 @@ Run with ``pytest benchmarks/ --benchmark-only -s`` to get both the
 timing tables from pytest-benchmark and the reproduction tables
 (paper-stated artifact vs. measured artifact) printed by each
 experiment.
+
+Besides the pytest fixtures this module holds the fixture *builders*
+shared across benchmark files (and by ``quick_bench.py``, which runs
+as a plain script): the asymmetric Lemma-1-remark family and the
+small random-exchange shape.  Benchmark modules import them with
+``from conftest import ...`` — the benchmarks directory is on
+``sys.path`` both under pytest (no ``__init__.py`` here) and when the
+harness runs as a script.
 """
 
 from __future__ import annotations
@@ -11,6 +19,10 @@ from __future__ import annotations
 import sys
 
 import pytest
+
+from repro.logic.parser import parse_instance, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.workloads import exchange_workload
 
 
 def emit(text: str) -> None:
@@ -21,3 +33,36 @@ def emit(text: str) -> None:
 @pytest.fixture(scope="session")
 def report():
     return emit
+
+
+def lemma1_fixture(n_s: int = 3, n_t: int = 4):
+    """The recovery-set blow-up workload (E6/E7's family, scaled).
+
+    Asymmetric by default (3 S-facts, 4 T-facts → |Chase^-1| = 1398):
+    big enough that a run takes a few hundred milliseconds — timer
+    noise stays well below the gate margins — while a full mode sweep
+    finishes in about a minute.
+    """
+    mapping = Mapping(parse_tgds("R(x, y) -> S(x); R(u, v) -> T(v)"))
+    facts = ", ".join(
+        [f"S(a{i})" for i in range(n_s)] + [f"T(b{i})" for i in range(n_t)]
+    )
+    return mapping, parse_instance(facts)
+
+
+def small_exchange(seed: int, source_facts: int, **overrides):
+    """The small random-exchange shape shared by E5 and E17.
+
+    Two tgds, binary relations, single-atom bodies, a domain scaling
+    with the source — the common parameters deduplicated from the
+    per-file builders; ``overrides`` tweaks any of them per caller.
+    """
+    options = dict(
+        tgds=2,
+        source_facts=source_facts,
+        domain_size=max(3, source_facts // 2),
+        max_arity=2,
+        max_body_atoms=1,
+    )
+    options.update(overrides)
+    return exchange_workload(seed, **options)

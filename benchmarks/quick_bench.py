@@ -6,9 +6,14 @@ three engine modes and writes a JSON report:
 
 * ``seed``     — every engine optimisation off, serial: the pre-engine
   code path (eager indexes, no incremental index maintenance, no sort
-  cache, no memoization, no value fast paths);
+  cache, no memoization, no value fast paths, no join kernel);
 * ``serial``   — all optimisations on, serial executor;
 * ``parallel`` — all optimisations on, 4 worker threads.
+
+A separate ablation isolates the compiled join-plan kernel: the same
+workloads (plus J-validity) run with everything on except the kernel,
+against everything on including it, and the report records the
+speedup and verifies the result sets are identical.
 
 Each measurement rebuilds its fixture *inside* the mode's
 configuration context, so seed-mode timings never benefit from hashes
@@ -17,7 +22,7 @@ are verified identical across modes before any timing is reported.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR4.json
 """
 
 from __future__ import annotations
@@ -25,12 +30,16 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import random
 import statistics
 import sys
 import time
 
+from conftest import lemma1_fixture
+
 from repro.core.certain import certain_answer
 from repro.core.inverse_chase import inverse_chase
+from repro.core.validity import is_valid_for_recovery
 from repro.engine import CONFIG, COUNTERS, Executor, engine_options
 from repro.engine.cache import clear_registered_caches
 from repro.logic.parser import parse_instance, parse_query, parse_tgds
@@ -45,6 +54,7 @@ SEED_OPTIONS = dict(
     memoize_hom_sets=False,
     memoize_subsumers=False,
     value_fastpaths=False,
+    join_kernel=False,
 )
 
 #: Fixture size: the Lemma-1-remark family, asymmetric (3 S-facts,
@@ -57,11 +67,7 @@ N_S, N_T = 3, 4
 
 def fixture():
     """The recovery-set blow-up workload (E6/E7's family, scaled)."""
-    mapping = Mapping(parse_tgds("R(x, y) -> S(x); R(u, v) -> T(v)"))
-    facts = ", ".join(
-        [f"S(a{i})" for i in range(N_S)] + [f"T(b{i})" for i in range(N_T)]
-    )
-    return mapping, parse_instance(facts)
+    return lemma1_fixture(N_S, N_T)
 
 
 def bench_inverse_chase(executor):
@@ -124,10 +130,158 @@ def measure(fn, executor, options, repeats):
 
 
 def canonical(result):
-    """A mode-independent fingerprint of a benchmark's result."""
-    if isinstance(result, set):
+    """A mode-independent fingerprint of a benchmark's result.
+
+    Sorted in every branch: the join kernel enumerates in a different
+    (deterministic) order than the backtracking matcher, so sequences
+    are compared as sets of fingerprints.
+    """
+    if isinstance(result, (set, frozenset)):
         return sorted(str(answer) for answer in result)
-    return [str(recovery) for recovery in result]
+    if isinstance(result, (list, tuple)):
+        return sorted(str(recovery) for recovery in result)
+    return [str(result)]
+
+
+# --------------------------------------------------------------------
+# Join-kernel ablation: everything on, with and without the kernel.
+# The workloads lean on the homomorphism engine harder than the mode
+# sweep above: a recovery computation whose finishing-homomorphism
+# step is a pure projection (the kernel short-circuits each plan
+# component; the matcher enumerates the full cross product before the
+# collapsed bindings dedup away), a path query evaluated through the
+# certainty pipeline (early projection dedups before materializing),
+# and a J-validity refutation whose cost is the hom-set join itself.
+# --------------------------------------------------------------------
+
+def _random_edges(nodes: int, edges: int, seed: int) -> list[tuple[int, int]]:
+    rng = random.Random(seed)
+    found: set[tuple[int, int]] = set()
+    while len(found) < edges:
+        found.add((rng.randrange(nodes), rng.randrange(nodes)))
+    return sorted(found)
+
+
+def ablation_inverse_chase(executor):
+    """Recovery of a shared-existential mapping over midpoint bundles.
+
+    The target is ``k`` bundles ``u_i -> mid_ixj -> v_i`` with ``d``
+    parallel midpoints each; every 2-path hom is forced into the one
+    minimal cover, and the backward instance is ground, so
+    Definition 9's finishing step is a pure existence question asked
+    of a ``d^k``-homomorphism forward instance.  The kernel's
+    projection short-circuits each midpoint component; the matcher
+    enumerates the full cross product before the collapsed bindings
+    dedup to the single finishing substitution.  Justification
+    verification is off so the finishing search, not the Definition-2
+    oracle, is what's timed.
+    """
+    mapping = Mapping(parse_tgds("R(x, y) -> S(x, z), S(z, y)"))
+    facts = []
+    for i in range(5):
+        for j in range(6):
+            facts += [f"S(u{i}, mid{i}x{j})", f"S(mid{i}x{j}, v{i})"]
+    target = parse_instance(", ".join(facts))
+    return inverse_chase(
+        mapping,
+        target,
+        verify_justification=False,
+        executor=executor,
+    )
+
+
+def ablation_certainty(executor):
+    """A path join query answered through the certainty pipeline."""
+    mapping = Mapping(parse_tgds("R(x, y) -> S(x, y)"))
+    target = parse_instance(
+        ", ".join(f"S(n{a}, n{b})" for a, b in _random_edges(22, 250, 9))
+    )
+    query = parse_query("q(x, w) :- R(x, y), R(y, z), R(z, w)")
+    return certain_answer(
+        query,
+        mapping,
+        target,
+        max_recoveries=100000,
+        verify_justification=False,
+        executor=executor,
+    )
+
+
+def ablation_validity(executor):
+    """Refuting J-validity where the cost is the hom-set join.
+
+    The tgd head is a 3-path, so ``HOM(Sigma, J)`` enumerates every
+    path of the graph; an isolated extra edge is uncoverable, making
+    the answer False right after that enumeration.
+    """
+    mapping = Mapping(parse_tgds("P(x, w) -> S(x, y), S(y, z), S(z, w)"))
+    edges = _random_edges(20, 150, 17)
+    facts = [f"S(n{a}, n{b})" for a, b in edges] + ["S(iso1, iso2)"]
+    target = parse_instance(", ".join(facts))
+    return is_valid_for_recovery(mapping, target, max_covers=10000)
+
+
+KERNEL_ABLATION = {
+    "inverse_chase": ablation_inverse_chase,
+    "certainty": ablation_certainty,
+    "validity": ablation_validity,
+}
+
+
+def measure_ablation(fn, options, repeats):
+    """Like :func:`measure`, but cold-cache on every timed repeat.
+
+    The ablation workloads can be dominated by a single memoized
+    computation (e.g. the hom-set); clearing the registered caches
+    before each repeat times the computation itself, identically for
+    both kernel modes, instead of a cache hit.
+    """
+    timings = []
+    with engine_options(**options):
+        clear_registered_caches()
+        result = fn(None)  # warmup + the result to verify
+        for _ in range(repeats):
+            clear_registered_caches()
+            start = time.perf_counter()
+            fn(None)
+            timings.append(time.perf_counter() - start)
+    return {
+        "best_s": min(timings),
+        "mean_s": statistics.fmean(timings),
+        "repeats": repeats,
+    }, result
+
+
+def run_kernel_ablation(repeats: int, min_speedup: float):
+    """Time each ablation workload with the kernel on and off."""
+    section = {}
+    wins = 0
+    identical = True
+    for name, fn in KERNEL_ABLATION.items():
+        on_timing, on_result = measure_ablation(
+            fn, {"join_kernel": True}, repeats
+        )
+        off_timing, off_result = measure_ablation(
+            fn, {"join_kernel": False}, repeats
+        )
+        same = canonical(on_result) == canonical(off_result)
+        identical = identical and same
+        speedup = round(off_timing["best_s"] / on_timing["best_s"], 2)
+        wins += speedup >= min_speedup
+        section[name] = {
+            "kernel_on": on_timing,
+            "kernel_off": off_timing,
+            "speedup": speedup,
+            "results_identical_across_modes": same,
+        }
+        print(
+            f"kernel ablation {name}:"
+            f" on={on_timing['best_s']:.3f}s"
+            f" off={off_timing['best_s']:.3f}s ({speedup}x)"
+            + ("" if same else "  RESULTS DIFFER")
+        )
+    section["results_identical_across_modes"] = identical
+    return section, wins, identical
 
 
 def measure_deadline_overhead(repeats: int) -> dict:
@@ -191,7 +345,7 @@ def measure_degradation() -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR2.json", help="report path")
+    parser.add_argument("--out", default="BENCH_PR4.json", help="report path")
     parser.add_argument("--jobs", type=int, default=4, help="parallel workers")
     parser.add_argument("--repeats", type=int, default=5, help="timed repeats")
     parser.add_argument(
@@ -199,6 +353,15 @@ def main(argv=None) -> int:
         type=float,
         default=1.5,
         help="fail unless parallel beats seed by this factor on every benchmark",
+    )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=1.5,
+        help=(
+            "fail unless the join kernel beats the matcher by this factor "
+            "on at least two ablation workloads"
+        ),
     )
     parser.add_argument(
         "--max-deadline-overhead",
@@ -249,7 +412,22 @@ def main(argv=None) -> int:
         if speedups["parallel_vs_seed"] < args.min_speedup:
             failures.append(name)
 
-    overhead = measure_deadline_overhead(args.repeats)
+    ablation, kernel_wins, kernel_identical = run_kernel_ablation(
+        args.repeats, args.min_kernel_speedup
+    )
+    report["kernel_ablation"] = ablation
+    if not kernel_identical:
+        print(
+            "FAIL kernel ablation: kernel and matcher disagree on results",
+            file=sys.stderr,
+        )
+        return 1
+    if kernel_wins < 2:
+        failures.append("kernel_speedup")
+
+    # The overhead is a small ratio of two ~150ms timings, so it needs
+    # more repeats than the throughput benchmarks for a stable minimum.
+    overhead = measure_deadline_overhead(max(3 * args.repeats, 12))
     report["resilience"] = {
         "deadline_overhead": overhead,
         "degraded_run": measure_degradation(),

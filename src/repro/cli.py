@@ -54,6 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print engine counters (work done, cache hits) after the run",
         )
+        p.add_argument(
+            "--no-join-kernel",
+            action="store_true",
+            help=(
+                "disable the compiled join-plan kernel and fall back to the "
+                "backtracking matcher (debugging/differential runs)"
+            ),
+        )
 
     def parallel(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -274,6 +282,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     previous_retries = CONFIG.chunk_retries
     if getattr(args, "retries", None) is not None:
         configure(chunk_retries=args.retries)
+    previous_kernel = CONFIG.join_kernel
+    if getattr(args, "no_join_kernel", False):
+        configure(join_kernel=False)
     args._report = {"status": "exact", "rung": "enumeration", "result_size": 0}
     started = time.perf_counter()
     try:
@@ -297,7 +308,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
-        configure(chunk_retries=previous_retries)
+        configure(chunk_retries=previous_retries, join_kernel=previous_kernel)
         if getattr(args, "stats", False):
             report = RunReport(
                 command=args.command,

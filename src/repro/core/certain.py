@@ -29,12 +29,18 @@ from .inverse_chase import BudgetMode, ResilienceMode, inverse_chase
 from .subsumption import SubsumptionConstraint
 
 
-def _evaluate_on(
-    task: tuple[UnionOfConjunctiveQueries, Instance],
-) -> set[tuple[Term, ...]]:
-    """Worker: one recovery's null-free answer set (picklable unit)."""
-    ucq, instance = task
-    return ucq.certain_evaluate(instance)
+def _evaluate_on(task) -> set[tuple[Term, ...]]:
+    """Worker: one recovery's null-free answer set (picklable unit).
+
+    The task is ``(ucq, instance)`` or ``(ucq, instance, deadline)``;
+    the serial path threads the caller's deadline down into the join
+    kernel so expiry fires inside plan evaluation, while parallel
+    tasks ship without one (deadlines are process-local; the fold in
+    :func:`certain_answers` still checks between instances).
+    """
+    ucq, instance, *rest = task
+    deadline = rest[0] if rest else None
+    return ucq.certain_evaluate(instance, deadline)
 
 
 def certain_answers(
@@ -71,7 +77,10 @@ def certain_answers(
         )
     result: Optional[set[tuple[Term, ...]]] = None
     folded = 0
-    answer_sets = runner.map(_evaluate_on, ((ucq, inst) for inst in instances))
+    inner_deadline = deadline if runner.is_serial else None
+    answer_sets = runner.map(
+        _evaluate_on, ((ucq, inst, inner_deadline) for inst in instances)
+    )
     for answers in answer_sets:
         if deadline is not None:
             deadline.check("certain answers", {"instances_folded": folded})

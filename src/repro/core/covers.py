@@ -189,8 +189,10 @@ def unique_cover(
 
     Theorem 6: the covering is unique iff every homomorphism covers
     some fact that no other homomorphism covers.  In that case the
-    unique covering is ``HOM(Sigma, J)`` itself.  The test runs in time
-    quadratic in ``|HOM|`` as the paper notes.
+    unique covering is ``HOM(Sigma, J)`` itself.  One pass over the
+    coverage index collects the homomorphisms owning a private fact,
+    so the test is linear in ``|J|`` rather than quadratic in
+    ``|HOM| x |J|``.
 
     ``index`` accepts a precomputed :func:`coverage_index` for the same
     ``(homs, target)`` pair, so callers that already built one (e.g.
@@ -198,14 +200,14 @@ def unique_cover(
     """
     if index is None:
         index = coverage_index(homs, target)
-    if any(not entry for entry in index.values()):
-        return None
-    for i in range(len(homs)):
-        has_private_fact = any(
-            entry == [i] for entry in index.values()
-        )
-        if not has_private_fact:
+    privately_covering: set[int] = set()
+    for entry in index.values():
+        if not entry:
             return None
+        if len(entry) == 1:
+            privately_covering.add(entry[0])
+    if len(privately_covering) < len(homs):
+        return None
     return tuple(homs)
 
 

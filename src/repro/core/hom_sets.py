@@ -98,7 +98,12 @@ def tgd_homomorphisms(
     """
     head_vars = sorted(tgd.head_variables)
     seen: set[tuple[Term, ...]] = set()
-    for hom in homomorphisms(tgd.head, target, deadline=deadline):
+    # Projecting onto the head variables lets the join kernel
+    # deduplicate assignments per plan component instead of
+    # materializing one binding per redundant combination.
+    for hom in homomorphisms(
+        tgd.head, target, deadline=deadline, project=tgd.head_variables
+    ):
         restricted = hom.restrict(tgd.head_variables)
         key = tuple(restricted.image(v) for v in head_vars)
         if key in seen:

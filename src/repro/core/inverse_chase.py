@@ -25,7 +25,14 @@ cannot witness both target tuples).  We therefore verify every
 candidate against the Definition 2 oracle before emitting it
 (``verify_justification``), which makes Theorem 1 hold with no
 hypothesis on ``J`` and makes an empty result *characterize*
-invalidity.
+invalidity.  The converse failure also exists: a candidate can fail
+the gate *only* because a dangling backward null (a body-only variable
+of a reversed tgd, never constrained by any ``g``) asserts more than
+``J`` supports, while a grounding of that null is a genuine recovery.
+Dropping the candidate outright would leave a valid ``J`` with an
+empty recovery set, so the gate retries bounded specializations of the
+dangling nulls into ``dom(J)`` before giving up
+(:func:`_dangling_completions`).
 
 By default coverings are enumerated in ``minimal`` mode; see
 :mod:`repro.core.covers` for why this preserves UCQ certain answers,
@@ -34,6 +41,7 @@ and benchmark E14 for the measured effect.
 
 from __future__ import annotations
 
+from itertools import product
 from typing import Iterator, Literal, Optional, Sequence
 
 from ..data.instances import Instance
@@ -92,7 +100,12 @@ class RecoveryCandidate:
 
     @property
     def homomorphism(self):
-        """The homomorphism ``g : J_H -> J`` (identity on ``dom(J)``)."""
+        """The finishing homomorphism ``g : J_H -> J``.
+
+        Restricted to the nulls of ``I_H``: ``g`` is the identity on
+        ``dom(J)``, and the images of the fresh nulls the forward chase
+        introduced cannot affect ``g(I_H)``, so they are not recorded.
+        """
         return self._g
 
     @property
@@ -111,6 +124,47 @@ class RecoveryCandidate:
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("RecoveryCandidate is immutable")
+
+
+#: Bound on the specialization search of :func:`_dangling_completions`:
+#: dangling nulls are rare (one per body-only variable of a reversed
+#: tgd) and the bound only forgoes a completeness *repair*, never
+#: soundness.
+_COMPLETION_LIMIT = 512
+
+
+def _dangling_completions(
+    recovery: Instance, target_domain: set[Term]
+) -> Iterator[dict[Term, Term]]:
+    """Specializations of a failing candidate's dangling backward nulls.
+
+    ``Chase_H(Sigma^{-1}, J)`` invents a fresh null for every body-only
+    variable of a reversed tgd.  Such a null never reaches the forward
+    chase, so the finishing homomorphisms ``g : J_H -> J`` leave it
+    free — yet left free it asserts a source fact for *every* value,
+    and the chase of that fact can force target facts ``J`` does not
+    contain, failing the ``(I, J) |= Sigma`` half of the justification
+    gate even when a grounded variant of the same candidate is a
+    genuine recovery.  (Example: ``S0(v0), S1(v0,v1) -> T0(v1)`` and
+    ``S1(v0,v1) -> T1(v0,v0)`` on ``J = {T0(a), T1(a,a)}`` produce the
+    candidate ``{S0(a), S1(a,a), S1(a,?N)}`` whose free ``?N`` demands
+    ``T0(?N)``; the specialization ``?N -> a`` is the recovery.)
+
+    Yields the bounded specializations of those nulls into ``dom(J)``,
+    most-specialized first in deterministic order; the caller re-checks
+    each against the Definition 2 oracle, so every emission stays
+    sound.
+    """
+    free = sorted(n for n in recovery.nulls() if n not in target_domain)
+    if not free:
+        return
+    values = sorted(target_domain)
+    if not values or (len(values) + 1) ** len(free) > _COMPLETION_LIMIT:
+        return
+    for choice in product([*values, None], repeat=len(free)):
+        spec = {n: v for n, v in zip(free, choice) if v is not None}
+        if spec:
+            yield spec
 
 
 def _evaluate_covering(
@@ -150,23 +204,40 @@ def _evaluate_covering(
     forward = chase(mapping, backward, factory).result
     candidates: list[RecoveryCandidate] = []
     verdicts: dict[Instance, bool] = {}
+    def justified(candidate: Instance) -> bool:
+        verdict = known.get(candidate)
+        if verdict is None:
+            verdict = verdicts.get(candidate)
+        if verdict is None:
+            # Thread workers share COUNTERS; process workers lose
+            # these increments with the rest of their globals.
+            COUNTERS.justification_misses += 1
+            verdict = is_justified(mapping, candidate, target)
+            verdicts[candidate] = verdict
+        else:
+            COUNTERS.justification_hits += 1
+        return verdict
+
+    # Definition 9 applies g to the backward instance, so only g's
+    # behaviour on the backward nulls matters: the images of the fresh
+    # nulls the forward chase introduced are projected away.  Searching
+    # with that projection lets the join kernel dedup per component and
+    # never materialize the collapsed bindings.
     for g in instance_homomorphisms(
-        forward, target, identity_on=target_domain, deadline=deadline
+        forward,
+        target,
+        identity_on=target_domain,
+        project=backward.nulls(),
+        deadline=deadline,
     ):
         recovery = backward.apply(g)
-        if verify:
-            verdict = known.get(recovery)
-            if verdict is None:
-                verdict = verdicts.get(recovery)
-            if verdict is None:
-                # Thread workers share COUNTERS; process workers lose
-                # these increments with the rest of their globals.
-                COUNTERS.justification_misses += 1
-                verdict = is_justified(mapping, recovery, target)
-                verdicts[recovery] = verdict
+        if verify and not justified(recovery):
+            for spec in _dangling_completions(recovery, target_domain):
+                completed = recovery.apply(spec)
+                if justified(completed):
+                    g, recovery = g.extend(spec), completed
+                    break
             else:
-                COUNTERS.justification_hits += 1
-            if not verdict:
                 continue
         candidates.append(
             RecoveryCandidate(covering, backward, forward, g, recovery)
@@ -253,6 +324,16 @@ def inverse_chase_candidates(
     justified_cache: dict[Instance, bool] = {}
     runner = resolve_executor(executor, jobs)
 
+    def justified(candidate: Instance) -> bool:
+        verdict = justified_cache.get(candidate)
+        if verdict is None:
+            COUNTERS.justification_misses += 1
+            verdict = is_justified(mapping, candidate, target)
+            justified_cache[candidate] = verdict
+        else:
+            COUNTERS.justification_hits += 1
+        return verdict
+
     def progress() -> dict:
         return {"covers_seen": covers_seen, "recoveries_emitted": emitted}
 
@@ -304,18 +385,23 @@ def inverse_chase_candidates(
                 ).result
                 forward = chase(mapping, backward, factory).result
                 for g in instance_homomorphisms(
-                    forward, target, identity_on=target_domain, deadline=deadline
+                    forward,
+                    target,
+                    identity_on=target_domain,
+                    project=backward.nulls(),
+                    deadline=deadline,
                 ):
                     recovery = backward.apply(g)
-                    if verify_justification:
-                        verdict = justified_cache.get(recovery)
-                        if verdict is None:
-                            COUNTERS.justification_misses += 1
-                            verdict = is_justified(mapping, recovery, target)
-                            justified_cache[recovery] = verdict
+                    if verify_justification and not justified(recovery):
+                        # A failing candidate may still ground to a genuine
+                        # recovery when its only defect is a dangling
+                        # backward null (see _dangling_completions).
+                        for spec in _dangling_completions(recovery, target_domain):
+                            completed = recovery.apply(spec)
+                            if justified(completed):
+                                g, recovery = g.extend(spec), completed
+                                break
                         else:
-                            COUNTERS.justification_hits += 1
-                        if not verdict:
                             continue
                     emitted += 1
                     COUNTERS.recoveries_emitted += 1

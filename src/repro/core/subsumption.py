@@ -584,10 +584,21 @@ def _conclusion_holds(
     return tuple(wanted) in keys
 
 
+def _group_by_tgd(
+    homs: Sequence[TargetHomomorphism],
+) -> dict[TGD, list[TargetHomomorphism]]:
+    grouped: dict[TGD, list[TargetHomomorphism]] = {}
+    for hom in homs:
+        grouped.setdefault(hom.tgd, []).append(hom)
+    return grouped
+
+
 def models_constraint(
     homs: Sequence[TargetHomomorphism],
     constraint: SubsumptionConstraint,
     conclusion_pool: Optional[Sequence[TargetHomomorphism]] = None,
+    *,
+    by_tgd: Optional[dict[TGD, list[TargetHomomorphism]]] = None,
 ) -> bool:
     """``H |= constraint`` (Definition 8).
 
@@ -599,17 +610,17 @@ def models_constraint(
     The inverse chase uses this weaker test with minimal covers —
     the strict Definition 8 check can reject a minimal covering whose
     SUB-closure (a non-minimal covering) is perfectly sound.
+
+    ``by_tgd`` accepts a precomputed grouping of ``homs`` (see
+    :func:`models_all`), sparing the per-constraint rebucketing when
+    one set ``H`` is checked against many constraints.
     """
-    by_tgd: dict[TGD, list[TargetHomomorphism]] = {}
-    for hom in homs:
-        by_tgd.setdefault(hom.tgd, []).append(hom)
+    if by_tgd is None:
+        by_tgd = _group_by_tgd(homs)
     if conclusion_pool is None:
         conclusion_by_tgd: dict[TGD, Sequence[TargetHomomorphism]] = by_tgd
     else:
-        grouped: dict[TGD, list[TargetHomomorphism]] = {}
-        for hom in conclusion_pool:
-            grouped.setdefault(hom.tgd, []).append(hom)
-        conclusion_by_tgd = grouped
+        conclusion_by_tgd = _group_by_tgd(conclusion_pool)
     class_scenes, keys = _conclusion_index(constraint, conclusion_by_tgd)
     for assignment in _premise_matchings(constraint, by_tgd):
         if not _conclusion_holds(class_scenes, keys, assignment):
@@ -622,9 +633,18 @@ def models_all(
     constraints: Iterable[SubsumptionConstraint],
     conclusion_pool: Optional[Sequence[TargetHomomorphism]] = None,
 ) -> bool:
-    """``H |= SUB(Sigma)``: conjunction over all constraints."""
+    """``H |= SUB(Sigma)``: conjunction over all constraints.
+
+    ``H`` is bucketed by tgd once, up front, instead of once per
+    constraint — the covering loop of the inverse chase checks every
+    covering against the full ``SUB(Sigma)``, so the grouping cost is
+    paid per covering rather than per (covering, constraint) pair.
+    """
+    homs = list(homs)
+    grouped = _group_by_tgd(homs)
     return all(
-        models_constraint(homs, c, conclusion_pool) for c in constraints
+        models_constraint(homs, c, conclusion_pool, by_tgd=grouped)
+        for c in constraints
     )
 
 

@@ -12,13 +12,45 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..data.atoms import Atom
 from ..data.instances import Instance
+from ..data.terms import Variable
 from ..logic.tgds import Mapping
 from ..resilience import Deadline
 from .covers import CoverMode, is_coverable
 from .hom_sets import hom_set
 from .inverse_chase import inverse_chase_candidates
 from .subsumption import SubsumptionConstraint
+
+
+def _head_atoms_can_cover(mapping: Mapping, target: Instance) -> bool:
+    """Cheap necessary condition for coverability, checked per relation.
+
+    A target fact can only be covered by instantiating some tgd head
+    atom, which requires the relation and arity to match and every
+    non-variable head argument to equal the fact's argument.  This
+    unification test is linear in ``|J|`` times the (fixed, small)
+    number of head atoms, so it rejects hopeless targets without
+    computing ``HOM(Sigma, J)`` at all.
+    """
+
+    def unifies(head_atom: Atom, fact: Atom) -> bool:
+        return all(
+            isinstance(h, Variable) or h == f
+            for h, f in zip(head_atom.args, fact.args)
+        )
+
+    by_relation: dict[tuple[str, int], list[Atom]] = {}
+    for tgd in mapping:
+        for head_atom in tgd.head:
+            by_relation.setdefault(
+                (head_atom.relation, head_atom.arity), []
+            ).append(head_atom)
+    for fact in target.facts:
+        producers = by_relation.get((fact.relation, fact.arity), ())
+        if not any(unifies(head_atom, fact) for head_atom in producers):
+            return False
+    return True
 
 
 def is_valid_for_recovery(
@@ -46,6 +78,8 @@ def is_valid_for_recovery(
         # The empty target is justified by the empty source: there are
         # no triggers and the empty instance is its own minimal solution.
         return True
+    if not _head_atoms_can_cover(mapping, target):
+        return False
     if not is_coverable(hom_set(mapping, target, deadline), target):
         return False
     for _ in inverse_chase_candidates(

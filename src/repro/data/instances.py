@@ -29,6 +29,7 @@ chase-heavy loops from going quadratic in index work:
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Callable, Iterable, Iterator, Mapping, Optional
 
 from ..engine.config import CONFIG
@@ -39,10 +40,19 @@ from .schema import Schema
 from .terms import Constant, Null, Term, Variable
 
 
+#: Process-wide epoch source.  Every instance construction draws a
+#: fresh epoch, so ``(anything, epoch)`` cache keys can never alias a
+#: different fact set — including after unpickling in a worker, where
+#: the rebuilt instance gets that process's next epoch (caches are
+#: per-process).  This replaces identity-based (``id()``) invalidation,
+#: which is unsound across object reuse.
+_EPOCHS = count(1)
+
+
 class Instance:
     """An immutable set of facts with lookup indexes."""
 
-    __slots__ = ("_facts", "_by_relation", "_position_index", "_hash")
+    __slots__ = ("_facts", "_by_relation", "_position_index", "_hash", "_epoch")
 
     def __init__(self, facts: Iterable[Atom] = (), schema: Optional[Schema] = None):
         fact_set = frozenset(facts)
@@ -57,6 +67,7 @@ class Instance:
         object.__setattr__(self, "_by_relation", None)
         object.__setattr__(self, "_position_index", None)
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_epoch", next(_EPOCHS))
         COUNTERS.instances_built += 1
         if not CONFIG.lazy_indexes:
             self._ensure_indexes()
@@ -82,6 +93,7 @@ class Instance:
         object.__setattr__(inst, "_by_relation", None)
         object.__setattr__(inst, "_position_index", None)
         object.__setattr__(inst, "_hash", None)
+        object.__setattr__(inst, "_epoch", next(_EPOCHS))
         COUNTERS.instances_built += 1
         if not CONFIG.lazy_indexes:
             inst._ensure_indexes()
@@ -104,6 +116,7 @@ class Instance:
         object.__setattr__(inst, "_by_relation", by_relation)
         object.__setattr__(inst, "_position_index", position_index)
         object.__setattr__(inst, "_hash", None)
+        object.__setattr__(inst, "_epoch", next(_EPOCHS))
         COUNTERS.instances_built += 1
         return inst
 
@@ -150,6 +163,18 @@ class Instance:
     @property
     def _indexes_built(self) -> bool:
         return self._by_relation is not None
+
+    @property
+    def epoch(self) -> int:
+        """A process-unique construction stamp for cache keys.
+
+        Distinct instance objects never share an epoch (even when they
+        hold equal fact sets), so keying a cache on
+        ``(..., instance.epoch)`` is always sound: an entry can only be
+        served for the very object it was computed against, and
+        immutability guarantees that object never changes.
+        """
+        return self._epoch
 
     # -- basic queries ---------------------------------------------------------
 

@@ -52,6 +52,17 @@ class Term:
     def is_variable(self) -> bool:
         return isinstance(self, Variable)
 
+    @property
+    def sort_key(self) -> tuple[int, str]:
+        """A precomputable key inducing the same order as ``<``.
+
+        ``sorted(terms)`` compares terms pairwise and re-stringifies
+        ``_key`` on every comparison; ``sorted(terms, key=...)``
+        stringifies each term once.  For the large candidate pools the
+        planner sorts, that difference is the whole ballgame.
+        """
+        return (self._rank, str(self._key))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True

@@ -21,6 +21,13 @@ Knobs:
   every backtracking frame.
 * ``memoize_hom_sets`` / ``memoize_subsumers`` — keyed LRU caches for
   ``hom_set(Σ, J)`` and ``minimal_subsumers(Σ)`` (sizes below).
+* ``join_kernel`` — route homomorphism search through the compiled
+  join-plan kernel (:mod:`repro.planner`): canonicalized patterns,
+  cached plans, candidate-domain pruning, early projection and an
+  existence-only mode.  Off falls back to the original backtracking
+  matcher, which doubles as the differential-testing oracle.
+* ``plan_cache_size`` — LRU capacity of the compiled-plan cache,
+  keyed on ``(canonical pattern, instance epoch)``.
 * ``value_fastpaths`` — cache the structural hash of terms on first
   use, and skip re-coercion / re-validation when transforming values
   that are already known to be well-formed (``Atom.apply`` over a
@@ -58,6 +65,8 @@ class EngineConfig:
         "memoize_hom_sets",
         "memoize_subsumers",
         "value_fastpaths",
+        "join_kernel",
+        "plan_cache_size",
         "hom_set_cache_size",
         "subsumers_cache_size",
         "min_parallel_items",
@@ -74,6 +83,8 @@ class EngineConfig:
         self.memoize_hom_sets = True
         self.memoize_subsumers = True
         self.value_fastpaths = True
+        self.join_kernel = True
+        self.plan_cache_size = 512
         self.hom_set_cache_size = 256
         self.subsumers_cache_size = 128
         #: Below this many work items the executor stays serial: the
@@ -136,7 +147,13 @@ def engine_options(**options: object) -> Iterator[EngineConfig]:
 
 
 def _clear_caches_if_toggled(options: dict[str, object]) -> None:
-    if "memoize_hom_sets" in options or "memoize_subsumers" in options:
+    toggled = {
+        "memoize_hom_sets",
+        "memoize_subsumers",
+        "join_kernel",
+        "plan_cache_size",
+    }
+    if toggled & options.keys():
         from .cache import clear_registered_caches
 
         clear_registered_caches()

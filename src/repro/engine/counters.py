@@ -25,6 +25,10 @@ class EngineCounters:
 
     __slots__ = (
         "homomorphisms_explored",
+        "plans_compiled",
+        "plan_components_evaluated",
+        "plan_domains_pruned",
+        "plan_existence_shortcircuits",
         "covers_enumerated",
         "coverings_evaluated",
         "recoveries_emitted",

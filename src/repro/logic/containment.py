@@ -20,7 +20,7 @@ from typing import Optional
 from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.terms import Constant, Null, Term, Variable
-from ..logic.homomorphisms import homomorphisms
+from ..logic.homomorphisms import has_homomorphism
 from .queries import (
     ConjunctiveQuery,
     Query,
@@ -54,11 +54,11 @@ def cq_contained_in(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
     frozen, head_constants = canonical_instance(left)
     base = dict(zip(right.head_vars, head_constants))
     try:
-        for _ in homomorphisms(right.body, frozen, base=base):
-            return True
+        # Existence-only: the kernel stops at the first solution per
+        # plan component without materializing containment mappings.
+        return has_homomorphism(right.body, frozen, base=base)
     except ValueError:
         return False
-    return False
 
 
 def cq_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:

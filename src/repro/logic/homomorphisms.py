@@ -14,9 +14,15 @@ homomorphism ("identity on Cons").  Callers can freeze selected nulls
 (treat them as rigid) to obtain homomorphisms that are the identity on
 a chosen subdomain, which Definition 9 needs.
 
-The search uses dynamic most-constrained-atom-first ordering backed by
-the per-position indexes of :class:`~repro.data.instances.Instance`,
-so patterns with constants or shared variables prune aggressively.
+Two engines implement the search behind one interface.  The default
+(``CONFIG.join_kernel``) compiles the pattern into a cached join plan
+(see :mod:`repro.planner`) with static atom ordering, candidate-domain
+pruning and early projection; the original backtracking matcher below
+remains the fallback and the differential-testing oracle.  The
+backtracking search uses dynamic most-constrained-atom-first ordering
+backed by the per-position indexes of
+:class:`~repro.data.instances.Instance`, so patterns with constants or
+shared variables prune aggressively.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from ..data.substitutions import Substitution
 from ..data.terms import Constant, Null, Term, Variable
 from ..engine.config import CONFIG
 from ..engine.counters import COUNTERS
+from ..planner.evaluate import kernel_has_homomorphism, kernel_homomorphisms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..resilience import Deadline
@@ -185,6 +192,7 @@ def homomorphisms(
     base: Optional[Mapping[Term, Term]] = None,
     frozen: Iterable[Term] = (),
     deadline: Optional["Deadline"] = None,
+    project: Optional[Iterable[Term]] = None,
 ) -> Iterator[Substitution]:
     """All homomorphisms from ``pattern`` into ``target``.
 
@@ -200,12 +208,28 @@ def homomorphisms(
         checked once per backtracking frame; expiry raises
         :class:`~repro.errors.DeadlineExceededError` out of the
         iteration.
+    :param project: when given, restrict every result to these terms
+        and deduplicate; the join kernel then never materializes the
+        unprojected bindings, and distinct homomorphisms agreeing on
+        ``project`` collapse to one result.
     """
     frozen_set = frozenset(frozen)
+    if CONFIG.join_kernel:
+        yield from kernel_homomorphisms(
+            pattern,
+            target,
+            base=base,
+            frozen=frozen_set,
+            deadline=deadline,
+            project=project,
+        )
+        return
     binding: dict[Term, Term] = dict(base) if base else {}
     seen: set[Substitution] = set()
     for raw in _search(list(pattern), target, binding, frozen_set, deadline):
         sub = Substitution(raw)
+        if project is not None:
+            sub = sub.restrict(project)
         if sub not in seen:
             seen.add(sub)
             yield sub
@@ -235,7 +259,16 @@ def has_homomorphism(
     frozen: Iterable[Term] = (),
     deadline: Optional["Deadline"] = None,
 ) -> bool:
-    """Whether any homomorphism from ``pattern`` into ``target`` exists."""
+    """Whether any homomorphism from ``pattern`` into ``target`` exists.
+
+    With the join kernel enabled this runs in existence-only mode:
+    each plan component stops at its first solution and no bindings
+    are ever materialized.
+    """
+    if CONFIG.join_kernel:
+        return kernel_has_homomorphism(
+            pattern, target, base=base, frozen=frozenset(frozen), deadline=deadline
+        )
     return (
         find_homomorphism(
             pattern, target, base=base, frozen=frozen, deadline=deadline
@@ -252,26 +285,30 @@ def instance_homomorphisms(
     target: Instance,
     *,
     identity_on: Iterable[Term] = (),
+    project: Optional[Iterable[Term]] = None,
     deadline: Optional["Deadline"] = None,
 ) -> Iterator[Substitution]:
     """All homomorphisms ``source -> target``.
 
     Constants are always rigid; nulls listed in ``identity_on`` are
     rigid as well (the paper writes "identity on dom(J)").  The yielded
-    substitutions are defined on the remaining nulls of ``source``.
-    ``deadline`` bounds the search cooperatively (see
+    substitutions are defined on the remaining nulls of ``source``,
+    restricted to ``project`` (with duplicates collapsed) when that is
+    given.  ``deadline`` bounds the search cooperatively (see
     :func:`homomorphisms`).
     """
     yield from homomorphisms(
-        list(source.facts), target, frozen=identity_on, deadline=deadline
+        list(source.facts),
+        target,
+        frozen=identity_on,
+        project=project,
+        deadline=deadline,
     )
 
 
 def maps_into(source: Instance, target: Instance) -> bool:
     """``source -> target`` in the paper's notation (some hom exists)."""
-    for _ in instance_homomorphisms(source, target):
-        return True
-    return False
+    return has_homomorphism(list(source.facts), target)
 
 
 def homomorphically_equivalent(left: Instance, right: Instance) -> bool:

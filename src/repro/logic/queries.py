@@ -18,13 +18,18 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from ..data.atoms import Atom, atoms_variables
 from ..data.instances import Instance
 from ..data.terms import Constant, Null, Term, Variable
 from ..engine.config import CONFIG
 from ..engine.counters import COUNTERS
 from ..errors import DependencyError
-from .homomorphisms import homomorphisms
+from .homomorphisms import has_homomorphism, homomorphisms
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..resilience import Deadline
 
 
 class ConjunctiveQuery:
@@ -85,12 +90,21 @@ class ConjunctiveQuery:
 
     # -- evaluation -----------------------------------------------------------------
 
-    def evaluate(self, instance: Instance) -> set[tuple[Term, ...]]:
-        """``Q(I)``: all answers, possibly containing nulls."""
+    def evaluate(
+        self, instance: Instance, deadline: Optional["Deadline"] = None
+    ) -> set[tuple[Term, ...]]:
+        """``Q(I)``: all answers, possibly containing nulls.
+
+        The body homomorphisms are projected onto the head variables,
+        so the join kernel deduplicates per plan component and never
+        materializes bindings for purely existential variables.
+        """
         if CONFIG.value_fastpaths and len(self._body) == 1:
             return self._evaluate_single_atom(instance)
         answers: set[tuple[Term, ...]] = set()
-        for hom in homomorphisms(self._body, instance):
+        for hom in homomorphisms(
+            self._body, instance, deadline=deadline, project=self._head_vars
+        ):
             answers.add(tuple(hom.image(v) for v in self._head_vars))
         return answers
 
@@ -122,19 +136,21 @@ class ConjunctiveQuery:
                 answers.add(tuple(binding.get(v, v) for v in self._head_vars))
         return answers
 
-    def certain_evaluate(self, instance: Instance) -> set[tuple[Term, ...]]:
+    def certain_evaluate(
+        self, instance: Instance, deadline: Optional["Deadline"] = None
+    ) -> set[tuple[Term, ...]]:
         """``Q(I)↓``: the null-free answers (paper's down-arrow operator)."""
         return {
             t
-            for t in self.evaluate(instance)
+            for t in self.evaluate(instance, deadline)
             if not any(isinstance(x, Null) for x in t)
         }
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(
+        self, instance: Instance, deadline: Optional["Deadline"] = None
+    ) -> bool:
         """For Boolean queries: whether the body maps into the instance."""
-        for _ in homomorphisms(self._body, instance):
-            return True
-        return False
+        return has_homomorphism(self._body, instance, deadline=deadline)
 
     # -- dunder ----------------------------------------------------------------------
 
@@ -204,22 +220,28 @@ class UnionOfConjunctiveQueries:
 
     # -- evaluation ----------------------------------------------------------------
 
-    def evaluate(self, instance: Instance) -> set[tuple[Term, ...]]:
+    def evaluate(
+        self, instance: Instance, deadline: Optional["Deadline"] = None
+    ) -> set[tuple[Term, ...]]:
         """``Q(I)``: union of the disjuncts' answers."""
         answers: set[tuple[Term, ...]] = set()
         for cq in self._disjuncts:
-            answers |= cq.evaluate(instance)
+            answers |= cq.evaluate(instance, deadline)
         return answers
 
-    def certain_evaluate(self, instance: Instance) -> set[tuple[Term, ...]]:
+    def certain_evaluate(
+        self, instance: Instance, deadline: Optional["Deadline"] = None
+    ) -> set[tuple[Term, ...]]:
         """``Q(I)↓``: union of the disjuncts' null-free answers."""
         answers: set[tuple[Term, ...]] = set()
         for cq in self._disjuncts:
-            answers |= cq.certain_evaluate(instance)
+            answers |= cq.certain_evaluate(instance, deadline)
         return answers
 
-    def holds_in(self, instance: Instance) -> bool:
-        return any(cq.holds_in(instance) for cq in self._disjuncts)
+    def holds_in(
+        self, instance: Instance, deadline: Optional["Deadline"] = None
+    ) -> bool:
+        return any(cq.holds_in(instance, deadline) for cq in self._disjuncts)
 
     # -- dunder ------------------------------------------------------------------------
 

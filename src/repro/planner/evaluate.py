@@ -1,0 +1,282 @@
+"""Join-plan evaluation.
+
+Evaluation runs the compiled plan of a pattern against the target it
+was compiled for:
+
+* membership checks first (atoms with no free variables), which
+  short-circuit the whole call;
+* each connected component independently, with an iterative
+  backtracking join over the plan's static atom order and probe
+  indexes;
+* the cross product of the per-component solutions last, merged with
+  the caller's ``base`` entries into :class:`Substitution` results.
+
+Three modes share the component enumerator:
+
+* **full enumeration** — every component's solutions are materialized
+  except the last, which streams; for full bindings the raw solution
+  dictionaries are pairwise distinct by construction, so no seen-set
+  is kept (the identity-pair cleaning of :class:`Substitution` is
+  injective over a fixed domain);
+* **projection** (``project=``) — components are deduplicated on their
+  projected variables only, and components with no projected variable
+  collapse to an existence check;
+* **existence** — stops at the first solution of every component and
+  never materializes bindings at all.
+
+A cooperative :class:`~repro.resilience.Deadline` is charged one step
+per candidate fact visited, batched like the backtracking matcher so a
+never-tripping deadline costs one integer increment per visit.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..data.atoms import Atom
+from ..data.instances import Instance
+from ..data.substitutions import Substitution
+from ..data.terms import Term
+from ..engine.counters import COUNTERS
+from .plan import Component, Plan, plan_for
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..resilience import Deadline
+
+
+class _Meter:
+    """Batched deadline accounting, one tick per candidate fact visited."""
+
+    __slots__ = ("deadline", "pending")
+
+    def __init__(self, deadline: Optional["Deadline"]):
+        self.deadline = deadline
+        self.pending = 0
+
+    def tick(self) -> None:
+        if self.deadline is None:
+            return
+        self.pending += 1
+        if self.pending >= 32:
+            self.deadline.step(self.pending, "join kernel")
+            self.pending = 0
+
+
+def _component_solutions(
+    component: Component,
+    binding: list,
+    bound_values: list,
+    meter: _Meter,
+) -> Iterator[tuple]:
+    """All solutions of one component, as value tuples over its var ids.
+
+    Iterative backtracking over the plan's static join order; the
+    shared ``binding`` array is restored between yields, and abandoned
+    generators only leave entries for this component's own variables
+    dirty (components have disjoint variables).
+    """
+    COUNTERS.plan_components_evaluated += 1
+    atoms = component.atoms
+    var_ids = component.var_ids
+    depth = 0
+    iters = [atoms[0].candidate_iter(binding, bound_values)] + [None] * (
+        len(atoms) - 1
+    )
+    undos: list[list] = [[] for _ in atoms]
+    while True:
+        atom = atoms[depth]
+        for vid in undos[depth]:
+            binding[vid] = None
+        undos[depth] = []
+        matched = False
+        for fact in iters[depth]:
+            meter.tick()
+            undo = atom.match(fact, binding, bound_values)
+            if undo is None:
+                continue
+            undos[depth] = undo
+            matched = True
+            break
+        if not matched:
+            depth -= 1
+            if depth < 0:
+                return
+            continue
+        if depth + 1 == len(atoms):
+            yield tuple(binding[vid] for vid in var_ids)
+            continue
+        depth += 1
+        iters[depth] = atoms[depth].candidate_iter(binding, bound_values)
+
+
+def _passes_checks(plan: Plan, target: Instance, bound_values: list) -> bool:
+    """Instantiate and test the plan's variable-free membership checks."""
+    for relation, slots in plan.bound_checks:
+        args = tuple(
+            slot[1] if slot[0] == "r" else bound_values[slot[1]] for slot in slots
+        )
+        if Atom._of_terms(relation, args) not in target:
+            return False
+    return True
+
+
+def _prepare(pattern, target, base, frozen):
+    plan, var_terms, bound_terms = plan_for(
+        pattern, target, frozen=frozen, base=base
+    )
+    bound_values = [base[term] for term in bound_terms]
+    return plan, var_terms, bound_values
+
+
+def kernel_has_homomorphism(
+    pattern: Sequence[Atom],
+    target: Instance,
+    *,
+    base: Optional[Mapping[Term, Term]] = None,
+    frozen: frozenset[Term] = frozenset(),
+    deadline: Optional["Deadline"] = None,
+) -> bool:
+    """Existence-only evaluation: first solution per component, no bindings."""
+    pattern = list(pattern)
+    if not pattern:
+        return True
+    plan, _, bound_values = _prepare(pattern, target, base or {}, frozen)
+    if not plan.satisfiable or not _passes_checks(plan, target, bound_values):
+        return False
+    meter = _Meter(deadline)
+    binding: list = [None] * plan.num_vars
+    for component in plan.components:
+        for _ in _component_solutions(component, binding, bound_values, meter):
+            COUNTERS.plan_existence_shortcircuits += 1
+            break
+        else:
+            return False
+    return True
+
+
+def kernel_homomorphisms(
+    pattern: Sequence[Atom],
+    target: Instance,
+    *,
+    base: Optional[Mapping[Term, Term]] = None,
+    frozen: frozenset[Term] = frozenset(),
+    deadline: Optional["Deadline"] = None,
+    project: Optional[Iterable[Term]] = None,
+) -> Iterator[Substitution]:
+    """All homomorphisms from ``pattern`` into ``target`` via the plan.
+
+    Yields the same substitution set as the backtracking matcher (each
+    defined on the pattern's mappable terms extended with ``base``),
+    restricted to ``project`` when given.  The order is deterministic
+    (candidates are pre-sorted) but not the matcher's order.
+    """
+    pattern = list(pattern)
+    base_map = dict(base) if base else {}
+    project_set = None if project is None else set(project)
+    kept_base = (
+        base_map
+        if project_set is None
+        else {k: v for k, v in base_map.items() if k in project_set}
+    )
+    if not pattern:
+        COUNTERS.homomorphisms_explored += 1
+        yield Substitution(kept_base)
+        return
+    plan, var_terms, bound_values = _prepare(pattern, target, base_map, frozen)
+    if not plan.satisfiable or not _passes_checks(plan, target, bound_values):
+        return
+    meter = _Meter(deadline)
+    binding: list = [None] * plan.num_vars
+    # Solve every component up front except the last, which streams so
+    # single-component patterns (the common case) stay fully lazy.
+    solved: list[tuple[tuple[Term, ...], list[tuple]]] = []
+    for component in plan.components[:-1]:
+        terms, solutions = _solve_component(
+            component, binding, bound_values, var_terms, project_set, meter
+        )
+        if not solutions:
+            return
+        solved.append((terms, solutions))
+    last = plan.components[-1] if plan.components else None
+    prefix_lists = [solutions for _, solutions in solved]
+    prefix_terms: tuple[Term, ...] = tuple(
+        term for terms, _ in solved for term in terms
+    )
+
+    def emit(values: tuple) -> Substitution:
+        raw = dict(kept_base)
+        raw.update(zip(prefix_terms, values))
+        COUNTERS.homomorphisms_explored += 1
+        return Substitution(raw)
+
+    if last is None:
+        yield emit(())
+        return
+    last_terms, last_stream = _stream_component(
+        last, binding, bound_values, var_terms, project_set, meter
+    )
+    full_terms = prefix_terms + last_terms
+
+    def emit_full(values: tuple) -> Substitution:
+        raw = dict(kept_base)
+        raw.update(zip(full_terms, values))
+        COUNTERS.homomorphisms_explored += 1
+        return Substitution(raw)
+
+    for tail in last_stream:
+        for combo in product(*prefix_lists):
+            prefix_values = tuple(v for values in combo for v in values)
+            yield emit_full(prefix_values + tail)
+
+
+def _solve_component(
+    component, binding, bound_values, var_terms, project_set, meter
+) -> tuple[tuple[Term, ...], list[tuple]]:
+    """Materialize one component's (projected) solutions, deduplicated."""
+    terms, stream = _stream_component(
+        component, binding, bound_values, var_terms, project_set, meter
+    )
+    return terms, list(stream)
+
+
+def _stream_component(
+    component, binding, bound_values, var_terms, project_set, meter
+) -> tuple[tuple[Term, ...], Iterator[tuple]]:
+    """One component's solutions as (pattern terms, value-tuple iterator).
+
+    Under projection the tuples carry only the projected variables and
+    are deduplicated; a component with no projected variable collapses
+    to an existence check contributing a single empty tuple.  Full
+    enumeration needs no seen-set: the raw solution dictionaries range
+    over a fixed domain, on which Substitution construction is
+    injective.
+    """
+    raw = _component_solutions(component, binding, bound_values, meter)
+    if project_set is None:
+        terms = tuple(var_terms[vid] for vid in component.var_ids)
+        return terms, raw
+    keep = [
+        i
+        for i, vid in enumerate(component.var_ids)
+        if var_terms[vid] in project_set
+    ]
+    if not keep:
+        def existence() -> Iterator[tuple]:
+            for _ in raw:
+                COUNTERS.plan_existence_shortcircuits += 1
+                yield ()
+                return
+
+        return (), existence()
+    terms = tuple(var_terms[component.var_ids[i]] for i in keep)
+
+    def deduped() -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for values in raw:
+            projected = tuple(values[i] for i in keep)
+            if projected not in seen:
+                seen.add(projected)
+                yield projected
+
+    return terms, deduped()

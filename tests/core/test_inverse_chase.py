@@ -182,3 +182,27 @@ class TestLemma1Remark:
         assert count_covers(homs, target, mode="all") == 1
         recoveries = inverse_chase(mapping, target)
         assert len(recoveries) == 7
+
+
+class TestDanglingNullCompletion:
+    """Regression: backward-chase nulls that must equate with constants.
+
+    The naive backward step leaves existential positions as nulls; when
+    the target identifies those positions with a constant (here both
+    ``T1`` arguments are ``a``), only a *specialized* candidate where
+    the dangling null is replaced by the constant is justified.  The
+    completion pass must find it in every cover mode.
+    """
+
+    MAPPING = "S0(v0), S1(v0, v1) -> T0(v1); S1(v0, v1) -> T1(v0, v0)"
+    TARGET = "T0(a), T1(a, a)"
+
+    @pytest.mark.parametrize("cover_mode", ["minimal", "all"])
+    def test_specialized_recovery_is_found(self, cover_mode):
+        mapping = Mapping(parse_tgds(self.MAPPING))
+        target = parse_instance(self.TARGET)
+        recoveries = inverse_chase(mapping, target, cover_mode=cover_mode)
+        expected = parse_instance("S0(a), S1(a, a)")
+        assert any(is_isomorphic(r, expected) for r in recoveries)
+        for recovery in recoveries:
+            assert is_recovery(mapping, recovery, target)
