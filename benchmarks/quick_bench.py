@@ -15,6 +15,14 @@ workloads (plus J-validity) run with everything on except the kernel,
 against everything on including it, and the report records the
 speedup and verifies the result sets are identical.
 
+The report's per-phase timings come from the observability layer's
+span tree (one traced run, see ``measure_traced_phases``) rather than
+ad-hoc stopwatches, and a counter-parity section verifies that a
+thread-parallel run records exactly the same work counters as a
+serial one — any nonzero delta fails the harness.  ``--metrics-json``
+additionally writes the counters + trace as the same JSON document
+the CLI's flag of that name produces, for CI artifact upload.
+
 Each measurement rebuilds its fixture *inside* the mode's
 configuration context, so seed-mode timings never benefit from hashes
 or caches populated while the optimisations were enabled.  Result sets
@@ -22,7 +30,7 @@ are verified identical across modes before any timing is reported.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR5.json
 """
 
 from __future__ import annotations
@@ -44,6 +52,13 @@ from repro.engine import CONFIG, COUNTERS, Executor, engine_options
 from repro.engine.cache import clear_registered_caches
 from repro.logic.parser import parse_instance, parse_query, parse_tgds
 from repro.logic.tgds import Mapping
+from repro.observability import (
+    METRICS,
+    TRACER,
+    parity_diff,
+    phase_wall_times,
+    write_metrics_json,
+)
 from repro.resilience import Deadline
 
 #: The engine configuration emulating the pre-engine code path.
@@ -343,9 +358,54 @@ def measure_degradation() -> dict:
     }
 
 
+def measure_traced_phases():
+    """One traced E6 run: per-phase wall times out of the span tree.
+
+    Replaces the stopwatch-per-phase approach — the engine's own spans
+    are the timing source, so the report's phase breakdown and the
+    CLI's ``--trace`` output can never disagree.
+    """
+    clear_registered_caches()
+    TRACER.reset()
+    TRACER.enable()
+    try:
+        with TRACER.span("bench.inverse_chase"):
+            bench_inverse_chase(None)
+    finally:
+        TRACER.disable()
+    trace = TRACER.to_dict()
+    return trace, phase_wall_times(trace)
+
+
+def measure_counter_parity(jobs: int):
+    """Serial vs thread-parallel counter totals on the E6 fixture.
+
+    Counters measure *what was computed*, so (scheduling bookkeeping
+    aside) a parallel run must record exactly the serial totals; any
+    delta means increments were lost or work was duplicated.
+    """
+
+    def counters(executor):
+        clear_registered_caches()
+        METRICS.reset()
+        with engine_options(min_parallel_items=1):
+            bench_inverse_chase(executor)
+        return METRICS.snapshot()
+
+    serial = counters(None)
+    parallel = counters(Executor(jobs=jobs, backend="thread"))
+    return serial, parallel, parity_diff(serial, parallel, backend="thread")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR4.json", help="report path")
+    parser.add_argument("--out", default="BENCH_PR5.json", help="report path")
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="also write counters + span trace as a CLI-style metrics document",
+    )
     parser.add_argument("--jobs", type=int, default=4, help="parallel workers")
     parser.add_argument("--repeats", type=int, default=5, help="timed repeats")
     parser.add_argument(
@@ -445,6 +505,40 @@ def main(argv=None) -> int:
     )
     if overhead["overhead_pct"] > args.max_deadline_overhead:
         failures.append("deadline_overhead")
+
+    trace, phases = measure_traced_phases()
+    report["phases"] = {name: round(ms, 3) for name, ms in sorted(phases.items())}
+    print(
+        "phases (from spans): "
+        + " ".join(f"{name}={ms:.1f}ms" for name, ms in sorted(phases.items()))
+    )
+
+    serial_counters, _parallel_counters, parity = measure_counter_parity(args.jobs)
+    report["counter_parity"] = {
+        "identical": not parity,
+        "diffs": {name: list(pair) for name, pair in sorted(parity.items())},
+    }
+    if parity:
+        print(
+            "FAIL counter parity: serial and parallel runs disagree on "
+            + ", ".join(
+                f"{name} ({a} vs {b})" for name, (a, b) in sorted(parity.items())
+            ),
+            file=sys.stderr,
+        )
+        failures.append("counter_parity")
+    else:
+        print("counter parity: serial and parallel totals identical")
+
+    if args.metrics_json:
+        write_metrics_json(
+            args.metrics_json,
+            counters=serial_counters,
+            trace=trace,
+            command="quick_bench",
+            counter_parity=report["counter_parity"],
+        )
+        print(f"wrote {args.metrics_json}")
 
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)

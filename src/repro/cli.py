@@ -31,6 +31,7 @@ from .data.io import load_instance, load_mapping, load_query, save_instance
 from .engine.config import CONFIG, configure
 from .engine.counters import COUNTERS
 from .errors import DeadlineExceededError, NotRecoverableError, ReproError
+from .observability import TRACER, format_trace, write_metrics_json
 from .reporting import (
     RunReport,
     format_answers,
@@ -60,6 +61,20 @@ def _build_parser() -> argparse.ArgumentParser:
             help=(
                 "disable the compiled join-plan kernel and fall back to the "
                 "backtracking matcher (debugging/differential runs)"
+            ),
+        )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="record engine spans and print the trace tree after the run",
+        )
+        p.add_argument(
+            "--metrics-json",
+            metavar="PATH",
+            default=None,
+            help=(
+                "write counters + the span trace tree as a JSON document "
+                "to PATH (implies span recording)"
             ),
         )
 
@@ -154,9 +169,11 @@ def _note_anytime(args, result: AnytimeResult) -> None:
 
 
 def _cmd_exchange(args) -> int:
-    mapping = load_mapping(args.mapping)
-    source = load_instance(args.source)
-    target = chase(mapping, source).result
+    with TRACER.span("load"):
+        mapping = load_mapping(args.mapping)
+        source = load_instance(args.source)
+    with TRACER.span("execute"):
+        target = chase(mapping, source).result
     if args.out:
         save_instance(target, args.out)
         print(f"wrote {len(target)} facts to {args.out}")
@@ -167,29 +184,31 @@ def _cmd_exchange(args) -> int:
 
 
 def _cmd_recover(args) -> int:
-    mapping = load_mapping(args.mapping)
-    target = load_instance(args.target)
-    result = inverse_chase(
-        mapping,
-        target,
-        max_recoveries=args.max_recoveries,
-        jobs=args.jobs,
-        deadline=_deadline_from(args),
-        mode=_mode_from(args),
-    )
-    if isinstance(result, AnytimeResult):
-        _note_anytime(args, result)
-        recoveries = list(result)
-    else:
-        recoveries = result
-    if not recoveries:
-        if isinstance(result, AnytimeResult) and not result.is_exact:
-            print("no recoveries obtained within the deadline")
+    with TRACER.span("load"):
+        mapping = load_mapping(args.mapping)
+        target = load_instance(args.target)
+    with TRACER.span("execute"):
+        result = inverse_chase(
+            mapping,
+            target,
+            max_recoveries=args.max_recoveries,
+            jobs=args.jobs,
+            deadline=_deadline_from(args),
+            mode=_mode_from(args),
+        )
+        if isinstance(result, AnytimeResult):
+            _note_anytime(args, result)
+            recoveries = list(result)
         else:
-            print("target is not valid for recovery; no recoveries exist")
-        return 1
-    if args.cores:
-        recoveries = core_recoveries(recoveries)
+            recoveries = result
+        if not recoveries:
+            if isinstance(result, AnytimeResult) and not result.is_exact:
+                print("no recoveries obtained within the deadline")
+            else:
+                print("target is not valid for recovery; no recoveries exist")
+            return 1
+        if args.cores:
+            recoveries = core_recoveries(recoveries)
     args._report["result_size"] = len(recoveries)
     print(f"{len(recoveries)} recovery(ies):")
     for recovery in recoveries:
@@ -198,59 +217,65 @@ def _cmd_recover(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    mapping = load_mapping(args.mapping)
-    target = load_instance(args.target)
-    if is_valid_for_recovery(mapping, target):
-        print("valid: some source instance justifies every target fact")
-        return 0
-    print("INVALID: no source instance can justify this target")
-    orphans = uncoverable_facts(mapping, target)
-    for fact in sorted(orphans):
-        print("  uncoverable:", fact)
-    return 1
+    with TRACER.span("load"):
+        mapping = load_mapping(args.mapping)
+        target = load_instance(args.target)
+    with TRACER.span("execute"):
+        if is_valid_for_recovery(mapping, target):
+            print("valid: some source instance justifies every target fact")
+            return 0
+        print("INVALID: no source instance can justify this target")
+        orphans = uncoverable_facts(mapping, target)
+        for fact in sorted(orphans):
+            print("  uncoverable:", fact)
+        return 1
 
 
 def _cmd_certain(args) -> int:
-    mapping = load_mapping(args.mapping)
-    target = load_instance(args.target)
-    query = load_query(args.query)
-    try:
-        answers = certain_answer(
-            query,
-            mapping,
-            target,
-            max_recoveries=args.max_recoveries,
-            jobs=args.jobs,
-            deadline=_deadline_from(args),
-            mode=_mode_from(args),
-        )
-    except NotRecoverableError:
-        print("target is not valid for recovery; certain answers undefined")
-        return 1
-    if isinstance(answers, AnytimeResult):
-        _note_anytime(args, answers)
-        answers = set(answers)
+    with TRACER.span("load"):
+        mapping = load_mapping(args.mapping)
+        target = load_instance(args.target)
+        query = load_query(args.query)
+    with TRACER.span("execute"):
+        try:
+            answers = certain_answer(
+                query,
+                mapping,
+                target,
+                max_recoveries=args.max_recoveries,
+                jobs=args.jobs,
+                deadline=_deadline_from(args),
+                mode=_mode_from(args),
+            )
+        except NotRecoverableError:
+            print("target is not valid for recovery; certain answers undefined")
+            return 1
+        if isinstance(answers, AnytimeResult):
+            _note_anytime(args, answers)
+            answers = set(answers)
     args._report["result_size"] = len(answers)
     print(format_answers(answers))
     return 0
 
 
 def _cmd_repair(args) -> int:
-    mapping = load_mapping(args.mapping)
-    target = load_instance(args.target)
-    repaired, recoveries = recover_after_alteration(
-        mapping,
-        target,
-        max_removals=args.max_removals,
-        deadline=_deadline_from(args),
-        mode=_mode_from(args),
-    )
-    if repaired is None:
-        print("no repair found within the removal budget")
-        return 1
-    if isinstance(recoveries, AnytimeResult):
-        _note_anytime(args, recoveries)
-        recoveries = list(recoveries)
+    with TRACER.span("load"):
+        mapping = load_mapping(args.mapping)
+        target = load_instance(args.target)
+    with TRACER.span("execute"):
+        repaired, recoveries = recover_after_alteration(
+            mapping,
+            target,
+            max_removals=args.max_removals,
+            deadline=_deadline_from(args),
+            mode=_mode_from(args),
+        )
+        if repaired is None:
+            print("no repair found within the removal budget")
+            return 1
+        if isinstance(recoveries, AnytimeResult):
+            _note_anytime(args, recoveries)
+            recoveries = list(recoveries)
     removed = target.facts - repaired.facts
     args._report["result_size"] = len(recoveries)
     print(f"repair removes {len(removed)} fact(s):")
@@ -285,10 +310,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     previous_kernel = CONFIG.join_kernel
     if getattr(args, "no_join_kernel", False):
         configure(join_kernel=False)
+    tracing = bool(getattr(args, "trace", False) or getattr(args, "metrics_json", None))
+    if tracing:
+        TRACER.reset()
+        TRACER.enable()
     args._report = {"status": "exact", "rung": "enumeration", "result_size": 0}
     started = time.perf_counter()
     try:
-        return _COMMANDS[args.command](args)
+        with TRACER.span(f"cli.{args.command}"):
+            return _COMMANDS[args.command](args)
     except DeadlineExceededError as error:
         print(f"error: {error}", file=sys.stderr)
         for key, value in sorted(error.progress.items()):
@@ -309,15 +339,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     finally:
         configure(chunk_retries=previous_retries, join_kernel=previous_kernel)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        trace = TRACER.to_dict() if tracing else None
         if getattr(args, "stats", False):
             report = RunReport(
                 command=args.command,
-                elapsed_ms=(time.perf_counter() - started) * 1000,
+                elapsed_ms=elapsed_ms,
                 counters=COUNTERS.snapshot(),
+                trace=trace,
                 **args._report,
             )
             print(format_run_report(report), file=sys.stderr)
             print(format_counters(COUNTERS.snapshot()), file=sys.stderr)
+        if getattr(args, "trace", False):
+            print(format_trace(), file=sys.stderr)
+        if getattr(args, "metrics_json", None):
+            write_metrics_json(
+                args.metrics_json,
+                counters=COUNTERS.snapshot(),
+                trace=trace,
+                command=args.command,
+                elapsed_ms=round(elapsed_ms, 3),
+                status=args._report.get("status", "exact"),
+                rung=args._report.get("rung", "enumeration"),
+                result_size=args._report.get("result_size", 0),
+            )
+        if tracing:
+            TRACER.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution

@@ -18,8 +18,9 @@ from typing import Iterable, Optional, Sequence
 
 from ..data.instances import Instance
 from ..data.terms import Term
-from ..engine.counters import COUNTERS
 from ..engine.executor import Executor, ExecutorLike, resolve_executor
+from ..observability.metrics import METRICS
+from ..observability.spans import TRACER
 from ..errors import BudgetExceededError, DeadlineExceededError, NotRecoverableError
 from ..logic.queries import Query, UnionOfConjunctiveQueries, as_ucq
 from ..logic.tgds import Mapping
@@ -81,7 +82,7 @@ def certain_answers(
     answer_sets = runner.map(
         _evaluate_on, ((ucq, inst, inner_deadline) for inst in instances)
     )
-    for answers in answer_sets:
+    for answers in TRACER.traced_iter("certain.evaluate", answer_sets):
         if deadline is not None:
             deadline.check("certain answers", {"instances_folded": folded})
         result = answers if result is None else (result & answers)
@@ -170,13 +171,14 @@ def certain_answer(
             detail="full certainty pipeline completed in budget",
         )
     except (BudgetExceededError, DeadlineExceededError) as error:
-        COUNTERS.degradations += 1
+        METRICS.inc("degradations")
         # Theorem 7: UCQ answers on the sound source instance are
         # certain; computing it is polynomial, so no deadline needed.
         from .tractable import sound_ucq_instance
 
-        sound = sound_ucq_instance(mapping, target)
-        answers = as_ucq(query).certain_evaluate(sound)
+        with TRACER.span("resilience.rung.tractable"):
+            sound = sound_ucq_instance(mapping, target)
+            answers = as_ucq(query).certain_evaluate(sound)
         progress = dict(getattr(error, "progress", {}))
         progress["degraded_because"] = str(error)
         return AnytimeResult(

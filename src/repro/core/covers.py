@@ -28,7 +28,7 @@ from typing import Iterator, Literal, Optional, Sequence
 
 from ..data.atoms import Atom
 from ..data.instances import Instance
-from ..engine.counters import COUNTERS
+from ..observability.metrics import METRICS
 from ..errors import BudgetExceededError
 from ..resilience import Deadline
 from .hom_sets import TargetHomomorphism, covered_by
@@ -130,7 +130,7 @@ def enumerate_covers(
     """
     if mode == "minimal":
         for chosen in _minimal_covers_indexes(homs, target, limit, deadline):
-            COUNTERS.covers_enumerated += 1
+            METRICS.inc("covers_enumerated")
             yield tuple(homs[i] for i in sorted(chosen))
         return
     if mode != "all":
@@ -166,7 +166,7 @@ def enumerate_covers(
                             for cover in seen
                         ],
                     )
-                COUNTERS.covers_enumerated += 1
+                METRICS.inc("covers_enumerated")
                 yield tuple(homs[i] for i in sorted(candidate))
 
 

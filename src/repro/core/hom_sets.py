@@ -23,6 +23,7 @@ from ..engine.cache import LRUCache
 from ..engine.config import CONFIG
 from ..logic.homomorphisms import homomorphisms
 from ..logic.tgds import TGD, Mapping
+from ..observability.spans import TRACER
 from ..resilience import Deadline
 
 
@@ -130,10 +131,11 @@ def hom_set(
     """
 
     def compute() -> tuple[TargetHomomorphism, ...]:
-        homs: list[TargetHomomorphism] = []
-        for tgd in mapping:
-            homs.extend(tgd_homomorphisms(tgd, target, deadline))
-        return tuple(sorted(homs))
+        with TRACER.span("core.hom_set.compute", aggregate=True):
+            homs: list[TargetHomomorphism] = []
+            for tgd in mapping:
+                homs.extend(tgd_homomorphisms(tgd, target, deadline))
+            return tuple(sorted(homs))
 
     if not CONFIG.memoize_hom_sets:
         return list(compute())

@@ -46,8 +46,10 @@ from typing import Iterator, Literal, Optional, Sequence
 
 from ..data.instances import Instance
 from ..data.terms import NullFactory, Term
-from ..engine.counters import COUNTERS
+from ..engine.cache import SingleFlightMap
 from ..engine.executor import Executor, ExecutorLike, resolve_executor
+from ..observability.metrics import METRICS
+from ..observability.spans import TRACER
 from ..errors import BudgetExceededError, DeadlineExceededError, NotRecoverableError
 from ..logic.homomorphisms import instance_homomorphisms
 from ..logic.tgds import Mapping
@@ -174,7 +176,7 @@ def _evaluate_covering(
         set[Term],
         tuple[TargetHomomorphism, ...],
         bool,
-        dict[Instance, bool],
+        SingleFlightMap,
         Optional[Deadline],
     ],
 ) -> tuple[list[RecoveryCandidate], dict[Instance, bool]]:
@@ -185,10 +187,15 @@ def _evaluate_covering(
     the serial path, so the produced instances are bit-identical to a
     serial run regardless of evaluation order.
 
-    ``known`` carries already-computed justification verdicts (reads
-    are safe while the parent merges concurrently); fresh verdicts are
-    returned alongside the candidates so the parent can share them with
-    later coverings even across a process boundary.
+    ``known`` carries already-computed justification verdicts as a
+    :class:`SingleFlightMap`.  Thread workers receive the parent's map
+    itself, so concurrent misses on one candidate are computed exactly
+    once (keeping justification counters identical to a serial run);
+    process workers receive a pickled point-in-time snapshot.  Fresh
+    verdicts are also collected into a plain dict and returned with the
+    candidates so the parent can share them with later coverings even
+    across a process boundary — worker-side counter increments travel
+    separately, in the executor's per-chunk metrics delta.
 
     ``deadline`` crosses the pickle boundary with its absolute expiry,
     so workers abandon their covering at the same wall-clock moment
@@ -198,37 +205,37 @@ def _evaluate_covering(
     mapping, target, target_domain, covering, verify, known, deadline = task
     factory = NullFactory()
     factory.avoid(target_domain)
-    backward = chase_restricted(
-        [hom.reverse_trigger for hom in covering], target, factory
-    ).result
-    forward = chase(mapping, backward, factory).result
+    with TRACER.span("inverse_chase.chase", aggregate=True):
+        backward = chase_restricted(
+            [hom.reverse_trigger for hom in covering], target, factory
+        ).result
+        forward = chase(mapping, backward, factory).result
     candidates: list[RecoveryCandidate] = []
     verdicts: dict[Instance, bool] = {}
+
     def justified(candidate: Instance) -> bool:
-        verdict = known.get(candidate)
-        if verdict is None:
-            verdict = verdicts.get(candidate)
-        if verdict is None:
-            # Thread workers share COUNTERS; process workers lose
-            # these increments with the rest of their globals.
-            COUNTERS.justification_misses += 1
+        def compute() -> bool:
             verdict = is_justified(mapping, candidate, target)
             verdicts[candidate] = verdict
-        else:
-            COUNTERS.justification_hits += 1
-        return verdict
+            return verdict
+
+        with TRACER.span("inverse_chase.justify", aggregate=True):
+            return known.get_or_compute(candidate, compute)
 
     # Definition 9 applies g to the backward instance, so only g's
     # behaviour on the backward nulls matters: the images of the fresh
     # nulls the forward chase introduced are projected away.  Searching
     # with that projection lets the join kernel dedup per component and
     # never materialize the collapsed bindings.
-    for g in instance_homomorphisms(
-        forward,
-        target,
-        identity_on=target_domain,
-        project=backward.nulls(),
-        deadline=deadline,
+    for g in TRACER.traced_iter(
+        "inverse_chase.finish",
+        instance_homomorphisms(
+            forward,
+            target,
+            identity_on=target_domain,
+            project=backward.nulls(),
+            deadline=deadline,
+        ),
     ):
         recovery = backward.apply(g)
         if verify and not justified(recovery):
@@ -304,7 +311,8 @@ def inverse_chase_candidates(
         items attached) or ``"truncate"`` (end the iteration quietly
         with what was produced in budget).
     """
-    homs = hom_set(mapping, target, deadline)
+    with TRACER.span("inverse_chase.hom_set"):
+        homs = hom_set(mapping, target, deadline)
     if subsumption_mode == "auto":
         subsumption_mode = "refute" if cover_mode == "minimal" else "strict"
     constraints: Sequence[SubsumptionConstraint] = ()
@@ -319,20 +327,20 @@ def inverse_chase_candidates(
     # Distinct (covering, g) pairs frequently produce the same recovery
     # (homomorphisms differing only on forward-chase nulls); cache the
     # justification verdict per recovery instance.  The cache is shared
-    # across parallel workers: threads read it directly, processes get
-    # a snapshot per task and ship fresh verdicts back.
-    justified_cache: dict[Instance, bool] = {}
+    # across parallel workers: threads use the map itself (single-flight,
+    # so concurrent misses compute once and the hit/miss counters match
+    # a serial run), processes get a snapshot per task and ship fresh
+    # verdicts back.
+    justified_cache = SingleFlightMap(
+        hit_metric="justification_hits", miss_metric="justification_misses"
+    )
     runner = resolve_executor(executor, jobs)
 
     def justified(candidate: Instance) -> bool:
-        verdict = justified_cache.get(candidate)
-        if verdict is None:
-            COUNTERS.justification_misses += 1
-            verdict = is_justified(mapping, candidate, target)
-            justified_cache[candidate] = verdict
-        else:
-            COUNTERS.justification_hits += 1
-        return verdict
+        with TRACER.span("inverse_chase.justify", aggregate=True):
+            return justified_cache.get_or_compute(
+                candidate, lambda: is_justified(mapping, candidate, target)
+            )
 
     def progress() -> dict:
         return {"covers_seen": covers_seen, "recoveries_emitted": emitted}
@@ -374,22 +382,28 @@ def inverse_chase_candidates(
         if runner.is_serial:
             # The serial path stays lazy per homomorphism g: callers like
             # is_valid_for_recovery pull a single candidate and stop.
-            for covering in surviving_coverings():
-                COUNTERS.coverings_evaluated += 1
+            for covering in TRACER.traced_iter(
+                "inverse_chase.covers", surviving_coverings()
+            ):
+                METRICS.inc("coverings_evaluated")
                 if deadline is not None:
                     deadline.check("inverse chase", progress())
                 factory = NullFactory()
                 factory.avoid(target_domain)
-                backward = chase_restricted(
-                    [hom.reverse_trigger for hom in covering], target, factory
-                ).result
-                forward = chase(mapping, backward, factory).result
-                for g in instance_homomorphisms(
-                    forward,
-                    target,
-                    identity_on=target_domain,
-                    project=backward.nulls(),
-                    deadline=deadline,
+                with TRACER.span("inverse_chase.chase", aggregate=True):
+                    backward = chase_restricted(
+                        [hom.reverse_trigger for hom in covering], target, factory
+                    ).result
+                    forward = chase(mapping, backward, factory).result
+                for g in TRACER.traced_iter(
+                    "inverse_chase.finish",
+                    instance_homomorphisms(
+                        forward,
+                        target,
+                        identity_on=target_domain,
+                        project=backward.nulls(),
+                        deadline=deadline,
+                    ),
                 ):
                     recovery = backward.apply(g)
                     if verify_justification and not justified(recovery):
@@ -404,7 +418,7 @@ def inverse_chase_candidates(
                         else:
                             continue
                     emitted += 1
-                    COUNTERS.recoveries_emitted += 1
+                    METRICS.inc("recoveries_emitted")
                     error = over_budget()
                     if error is not None:
                         if on_budget == "truncate":
@@ -432,16 +446,18 @@ def inverse_chase_candidates(
                 justified_cache,
                 deadline,
             )
-            for covering in surviving_coverings()
+            for covering in TRACER.traced_iter(
+                "inverse_chase.covers", surviving_coverings()
+            )
         )
         for candidates, verdicts in runner.map(_evaluate_covering, tasks):
-            COUNTERS.coverings_evaluated += 1
+            METRICS.inc("coverings_evaluated")
             if deadline is not None:
                 deadline.check("inverse chase", progress())
             justified_cache.update(verdicts)
             for candidate in candidates:
                 emitted += 1
-                COUNTERS.recoveries_emitted += 1
+                METRICS.inc("recoveries_emitted")
                 error = over_budget()
                 if error is not None:
                     if on_budget == "truncate":
@@ -572,9 +588,15 @@ def _degraded_inverse_chase(
     partial: list[Instance] = []
     first_error: Optional[Exception] = None
     try:
-        value = _collect_recoveries(
-            mapping, target, partial, cover_mode=cover_mode, deadline=deadline, **options
-        )
+        with TRACER.span("resilience.rung.enumeration"):
+            value = _collect_recoveries(
+                mapping,
+                target,
+                partial,
+                cover_mode=cover_mode,
+                deadline=deadline,
+                **options,
+            )
         return AnytimeResult(
             list(value),
             "exact",
@@ -583,7 +605,7 @@ def _degraded_inverse_chase(
         )
     except (BudgetExceededError, DeadlineExceededError) as error:
         first_error = error
-        COUNTERS.degradations += 1
+        METRICS.inc("degradations")
 
     progress = dict(getattr(first_error, "progress", {}))
     progress["degraded_because"] = str(first_error)
@@ -593,14 +615,15 @@ def _degraded_inverse_chase(
     # The rung receives a restarted budget of the same size.
     if cover_mode != "minimal":
         try:
-            value = _collect_recoveries(
-                mapping,
-                target,
-                partial,
-                cover_mode="minimal",
-                deadline=deadline.restarted() if deadline is not None else None,
-                **options,
-            )
+            with TRACER.span("resilience.rung.minimal-covers"):
+                value = _collect_recoveries(
+                    mapping,
+                    target,
+                    partial,
+                    cover_mode="minimal",
+                    deadline=deadline.restarted() if deadline is not None else None,
+                    **options,
+                )
             return AnytimeResult(
                 list(value),
                 "exact",
@@ -612,7 +635,7 @@ def _degraded_inverse_chase(
                 progress=progress,
             )
         except (BudgetExceededError, DeadlineExceededError):
-            COUNTERS.degradations += 1
+            METRICS.inc("degradations")
 
     # Rung 3: answer from the recoveries emitted before expiry.  With
     # verify_justification on (the default) each passed the
@@ -636,9 +659,10 @@ def _degraded_inverse_chase(
     from .tractable import complete_ucq_recovery, sound_ucq_instance
 
     try:
-        recovery = complete_ucq_recovery(
-            mapping, target, subsumption=options.get("subsumption")
-        )
+        with TRACER.span("resilience.rung.tractable"):
+            recovery = complete_ucq_recovery(
+                mapping, target, subsumption=options.get("subsumption")
+            )
         return AnytimeResult(
             [recovery],
             "exact",
@@ -652,7 +676,8 @@ def _degraded_inverse_chase(
         )
     except (ValueError, NotRecoverableError):
         pass
-    sound = sound_ucq_instance(mapping, target)
+    with TRACER.span("resilience.rung.tractable"):
+        sound = sound_ucq_instance(mapping, target)
     value = [] if sound.is_empty else [sound]
     return AnytimeResult(
         value,

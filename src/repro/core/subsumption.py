@@ -43,6 +43,7 @@ from ..engine.cache import LRUCache
 from ..engine.config import CONFIG
 from ..errors import BudgetExceededError
 from ..logic.tgds import TGD, Mapping
+from ..observability.spans import TRACER
 from .hom_sets import TargetHomomorphism
 
 # Prefix marking token variables; "!" cannot appear in parsed variable
@@ -370,14 +371,15 @@ def minimal_subsumers(
         are generated (the search is exponential in ``|Sigma|``, which
         the paper treats as a constant).
     """
+    def compute() -> list[SubsumptionConstraint]:
+        with TRACER.span("core.subsumption.derive", aggregate=True):
+            return _derive_subsumers(mapping, max_premises, limit)
+
     if not CONFIG.memoize_subsumers:
-        return list(_derive_subsumers(mapping, max_premises, limit))
+        return list(compute())
     _SUBSUMERS_CACHE.resize(CONFIG.subsumers_cache_size)
     return list(
-        _SUBSUMERS_CACHE.get_or_compute(
-            (mapping, max_premises, limit),
-            lambda: _derive_subsumers(mapping, max_premises, limit),
-        )
+        _SUBSUMERS_CACHE.get_or_compute((mapping, max_premises, limit), compute)
     )
 
 

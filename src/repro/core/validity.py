@@ -16,6 +16,7 @@ from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.terms import Variable
 from ..logic.tgds import Mapping
+from ..observability.spans import TRACER
 from ..resilience import Deadline
 from .covers import CoverMode, is_coverable
 from .hom_sets import hom_set
@@ -74,24 +75,26 @@ def is_valid_for_recovery(
     :class:`~repro.errors.DeadlineExceededError` — the question stays
     genuinely undecided, so there is no sound degraded answer to give.
     """
-    if target.is_empty:
-        # The empty target is justified by the empty source: there are
-        # no triggers and the empty instance is its own minimal solution.
-        return True
-    if not _head_atoms_can_cover(mapping, target):
+    with TRACER.span("core.validity"):
+        if target.is_empty:
+            # The empty target is justified by the empty source: there
+            # are no triggers and the empty instance is its own minimal
+            # solution.
+            return True
+        if not _head_atoms_can_cover(mapping, target):
+            return False
+        if not is_coverable(hom_set(mapping, target, deadline), target):
+            return False
+        for _ in inverse_chase_candidates(
+            mapping,
+            target,
+            cover_mode=cover_mode,
+            subsumption=subsumption,
+            max_covers=max_covers,
+            deadline=deadline,
+        ):
+            return True
         return False
-    if not is_coverable(hom_set(mapping, target, deadline), target):
-        return False
-    for _ in inverse_chase_candidates(
-        mapping,
-        target,
-        cover_mode=cover_mode,
-        subsumption=subsumption,
-        max_covers=max_covers,
-        deadline=deadline,
-    ):
-        return True
-    return False
 
 
 def find_recovery(

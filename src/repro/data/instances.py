@@ -33,7 +33,7 @@ from itertools import count
 from typing import Callable, Iterable, Iterator, Mapping, Optional
 
 from ..engine.config import CONFIG
-from ..engine.counters import COUNTERS
+from ..observability.metrics import METRICS
 from ..errors import SchemaError
 from .atoms import Atom
 from .schema import Schema
@@ -68,7 +68,7 @@ class Instance:
         object.__setattr__(self, "_position_index", None)
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_epoch", next(_EPOCHS))
-        COUNTERS.instances_built += 1
+        METRICS.inc("instances_built")
         if not CONFIG.lazy_indexes:
             self._ensure_indexes()
 
@@ -94,7 +94,7 @@ class Instance:
         object.__setattr__(inst, "_position_index", None)
         object.__setattr__(inst, "_hash", None)
         object.__setattr__(inst, "_epoch", next(_EPOCHS))
-        COUNTERS.instances_built += 1
+        METRICS.inc("instances_built")
         if not CONFIG.lazy_indexes:
             inst._ensure_indexes()
         return inst
@@ -117,7 +117,7 @@ class Instance:
         object.__setattr__(inst, "_position_index", position_index)
         object.__setattr__(inst, "_hash", None)
         object.__setattr__(inst, "_epoch", next(_EPOCHS))
-        COUNTERS.instances_built += 1
+        METRICS.inc("instances_built")
         return inst
 
     # -- indexing ------------------------------------------------------------
@@ -153,7 +153,7 @@ class Instance:
         for fact in self._facts:
             for i, term in enumerate(fact.args):
                 position_index.setdefault((fact.relation, i, term), set()).add(fact)
-        COUNTERS.facts_indexed += len(self._facts)
+        METRICS.inc("facts_indexed", len(self._facts))
         object.__setattr__(
             self,
             "_position_index",
@@ -541,8 +541,8 @@ class InstanceBuilder:
                     position_index[key] = merged
                 else:
                     position_index.pop(key, None)
-        COUNTERS.facts_indexed += len(self._added) + len(self._removed)
-        COUNTERS.instances_shared += 1
+        METRICS.inc("facts_indexed", len(self._added) + len(self._removed))
+        METRICS.inc("instances_shared")
         return Instance._from_parts(fact_set, by_relation, position_index)
 
 

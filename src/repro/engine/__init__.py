@@ -18,9 +18,15 @@ This package deliberately never imports ``repro.data`` / ``repro.core``
 (they import *it*), keeping the layering acyclic.
 """
 
-from .cache import LRUCache, clear_registered_caches, registered_cache_stats
+from .cache import (
+    LRUCache,
+    SingleFlightMap,
+    clear_registered_caches,
+    registered_cache_names,
+    registered_cache_stats,
+)
 from .config import CONFIG, EngineConfig, configure, engine_options
-from .counters import COUNTERS, EngineCounters
+from .counters import COUNTERS, KNOWN_COUNTERS, EngineCounters
 from .executor import SERIAL, Backend, Executor, default_jobs, resolve_executor
 
 __all__ = [
@@ -30,12 +36,15 @@ __all__ = [
     "EngineConfig",
     "EngineCounters",
     "Executor",
+    "KNOWN_COUNTERS",
     "LRUCache",
     "SERIAL",
+    "SingleFlightMap",
     "clear_registered_caches",
     "configure",
     "default_jobs",
     "engine_options",
+    "registered_cache_names",
     "registered_cache_stats",
     "resolve_executor",
 ]

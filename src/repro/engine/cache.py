@@ -1,14 +1,28 @@
-"""Keyed LRU caches with hit/miss accounting.
+"""Keyed LRU caches with hit/miss accounting and single-flight misses.
 
 :class:`LRUCache` is a small, dependency-free LRU used to memoize the
 engine's pure-but-expensive derivations — ``HOM(Σ, J)`` and ``SUB(Σ)``
 — behind hashable keys (mappings and instances are immutable and
 hashable throughout the library, which is what makes this safe).
 
-Every cache registers itself in a module-level registry so that
-:func:`repro.engine.counters.EngineCounters.snapshot` can report all
-cache statistics and the benchmark harness can flush everything
-between measured configurations via :func:`clear_registered_caches`.
+Misses are **single-flight**: when several threads miss the same key
+at once, exactly one computes while the others wait on the in-flight
+entry and then share the result.  Besides avoiding duplicated work,
+this keeps the hit/miss totals *deterministic* — a thread-parallel run
+records the same counts as a serial run (one miss per distinct key,
+hits for everyone else), which the counter-parity guarantees in
+``--stats`` rely on.
+
+Statistics feed the unified metrics registry
+(:data:`repro.observability.METRICS`) under ``<name>_cache_hits`` /
+``<name>_cache_misses``; the per-instance ``hits`` / ``misses``
+attributes remain for that cache object's lifetime.  Every cache also
+registers itself in a module-level registry so the benchmark harness
+can flush everything between measured configurations via
+:func:`clear_registered_caches`.
+
+:func:`registered_cache_stats` is deprecated — read the same keys from
+``METRICS.snapshot()`` (or ``COUNTERS.snapshot()``) instead.
 """
 
 from __future__ import annotations
@@ -16,7 +30,9 @@ from __future__ import annotations
 import threading
 import weakref
 from collections import OrderedDict
-from typing import Callable, Hashable, Optional, TypeVar
+from typing import Callable, Hashable, Iterator, Optional, TypeVar
+
+from ..observability.metrics import METRICS
 
 V = TypeVar("V")
 
@@ -24,16 +40,40 @@ _REGISTRY: "weakref.WeakSet[LRUCache]" = weakref.WeakSet()
 _SENTINEL = object()
 
 
+class _InFlight:
+    """Placeholder parked under a key while its value is being computed."""
+
+    __slots__ = ("event", "owner", "value", "failed")
+
+    def __init__(self, owner: int):
+        self.event = threading.Event()
+        self.owner = owner
+        self.value: object = _SENTINEL
+        self.failed = False
+
+
 class LRUCache:
     """A named, bounded, thread-safe least-recently-used cache."""
 
-    __slots__ = ("name", "_maxsize", "_data", "_lock", "hits", "misses", "__weakref__")
+    __slots__ = (
+        "name",
+        "_maxsize",
+        "_data",
+        "_lock",
+        "_hits_key",
+        "_misses_key",
+        "hits",
+        "misses",
+        "__weakref__",
+    )
 
     def __init__(self, name: str, maxsize: int = 128):
         self.name = name
         self._maxsize = maxsize
         self._data: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.Lock()
+        self._hits_key = f"{name}_cache_hits"
+        self._misses_key = f"{name}_cache_misses"
         self.hits = 0
         self.misses = 0
         _REGISTRY.add(self)
@@ -43,49 +83,243 @@ class LRUCache:
         return self._maxsize
 
     def resize(self, maxsize: int) -> None:
-        if maxsize == self._maxsize:
-            return
+        # The no-change early return must also hold the lock: checked
+        # outside it, a shrink racing an insert could see the *old*
+        # size, return, and leave the cache above the new maxsize.
         with self._lock:
+            if maxsize == self._maxsize:
+                return
             self._maxsize = maxsize
-            while len(self._data) > self._maxsize:
-                self._data.popitem(last=False)
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        while len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], V]) -> V:
         """The cached value for ``key``, computing and storing on a miss.
 
         The computation runs outside the lock — it may be slow and may
-        itself use other caches; a rare duplicated computation under
-        contention is harmless because cached functions are pure.
+        itself use *other* caches (the engine's cache nesting is a DAG,
+        so no deadlock).  Concurrent misses on the same key are
+        single-flight: one thread computes (one miss), the rest block
+        and share the result (one hit each), exactly the counts a
+        serial run would record.
         """
-        with self._lock:
-            value = self._data.get(key, _SENTINEL)
-            if value is not _SENTINEL:
-                self._data.move_to_end(key)
-                self.hits += 1
-                return value  # type: ignore[return-value]
-            self.misses += 1
-        value = compute()
+        ident = threading.get_ident()
+        while True:
+            with self._lock:
+                value = self._data.get(key, _SENTINEL)
+                if isinstance(value, _InFlight):
+                    entry = value
+                    if entry.owner == ident:
+                        # Re-entrant lookup of a key this thread is
+                        # already computing: recurse into compute()
+                        # rather than deadlocking on our own event.
+                        self.misses += 1
+                        METRICS.inc(self._misses_key)
+                        entry = None
+                    else:
+                        self.hits += 1
+                        METRICS.inc(self._hits_key)
+                elif value is not _SENTINEL:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    METRICS.inc(self._hits_key)
+                    return value  # type: ignore[return-value]
+                else:
+                    entry = _InFlight(ident)
+                    self._data[key] = entry
+                    self.misses += 1
+                    METRICS.inc(self._misses_key)
+                    break
+            if entry is None:
+                return compute()
+            entry.event.wait()
+            if not entry.failed:
+                return entry.value  # type: ignore[return-value]
+            # The computing thread raised; its placeholder is gone.
+            # Re-enter the loop — this thread may become the computer.
+            continue
+        return self._compute_and_publish(key, entry, compute)
+
+    def _compute_and_publish(
+        self, key: Hashable, entry: _InFlight, compute: Callable[[], V]
+    ) -> V:
+        try:
+            value = compute()
+        except BaseException:
+            with self._lock:
+                if self._data.get(key) is entry:
+                    del self._data[key]
+            entry.failed = True
+            entry.event.set()
+            raise
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
-            while len(self._data) > self._maxsize:
-                self._data.popitem(last=False)
+            self._evict_locked()
+        entry.value = value
+        entry.event.set()
         return value
 
     def clear(self) -> None:
         with self._lock:
-            self._data.clear()
+            # In-flight entries stay out of the sweep: their computers
+            # still publish to waiters, and dropping the placeholder
+            # here would just let a concurrent miss duplicate work.
+            for key in [
+                k for k, v in self._data.items() if not isinstance(v, _InFlight)
+            ]:
+                del self._data[key]
 
     def __len__(self) -> int:
         return len(self._data)
 
 
+class SingleFlightMap:
+    """A dict-like verdict memo with single-flight computation.
+
+    Used for the justification-verdict cache in the inverse chase: a
+    plain ``dict`` memo lets two threads both miss a key and both pay
+    the (expensive, pure) verification, which also skews the
+    ``justification_hits``/``_misses`` counters away from the serial
+    run.  This map makes concurrent misses single-flight while keeping
+    the mapping surface (``get`` / ``__setitem__`` / ``update`` /
+    ``items``) the existing code uses.
+
+    It pickles as a plain dict snapshot (via ``__reduce__``), so
+    process-pool workers receive a point-in-time copy — the same
+    semantics the old dict had.
+    """
+
+    __slots__ = ("_data", "_lock", "hit_metric", "miss_metric")
+
+    def __init__(
+        self,
+        initial: Optional[dict] = None,
+        hit_metric: Optional[str] = None,
+        miss_metric: Optional[str] = None,
+    ):
+        self._data: dict = dict(initial) if initial else {}
+        self._lock = threading.Lock()
+        self.hit_metric = hit_metric
+        self.miss_metric = miss_metric
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], V]) -> V:
+        ident = threading.get_ident()
+        while True:
+            with self._lock:
+                value = self._data.get(key, _SENTINEL)
+                if isinstance(value, _InFlight):
+                    entry = value
+                    if entry.owner == ident:
+                        if self.miss_metric:
+                            METRICS.inc(self.miss_metric)
+                        entry = None
+                    elif self.hit_metric:
+                        METRICS.inc(self.hit_metric)
+                elif value is not _SENTINEL:
+                    if self.hit_metric:
+                        METRICS.inc(self.hit_metric)
+                    return value  # type: ignore[return-value]
+                else:
+                    entry = _InFlight(ident)
+                    self._data[key] = entry
+                    if self.miss_metric:
+                        METRICS.inc(self.miss_metric)
+                    break
+            if entry is None:
+                return compute()
+            entry.event.wait()
+            if not entry.failed:
+                return entry.value  # type: ignore[return-value]
+
+        try:
+            value = compute()
+        except BaseException:
+            with self._lock:
+                if self._data.get(key) is entry:
+                    del self._data[key]
+            entry.failed = True
+            entry.event.set()
+            raise
+        with self._lock:
+            self._data[key] = value
+        entry.value = value
+        entry.event.set()
+        return value
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        with self._lock:
+            value = self._data.get(key, _SENTINEL)
+        if value is _SENTINEL or isinstance(value, _InFlight):
+            return default
+        return value
+
+    def __setitem__(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            existing = self._data.get(key)
+            if not isinstance(existing, _InFlight):
+                self._data[key] = value
+
+    def update(self, other) -> None:
+        items = other.items() if hasattr(other, "items") else other
+        with self._lock:
+            for key, value in items:
+                if not isinstance(self._data.get(key), _InFlight):
+                    self._data[key] = value
+
+    def items(self) -> Iterator[tuple]:
+        with self._lock:
+            return iter(
+                [
+                    (k, v)
+                    for k, v in self._data.items()
+                    if not isinstance(v, _InFlight)
+                ]
+            )
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            value = self._data.get(key, _SENTINEL)
+        return value is not _SENTINEL and not isinstance(value, _InFlight)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(
+                1 for v in self._data.values() if not isinstance(v, _InFlight)
+            )
+
+    def __reduce__(self):
+        settled = {
+            k: v for k, v in self._data.items() if not isinstance(v, _InFlight)
+        }
+        return (
+            SingleFlightMap,
+            (settled, self.hit_metric, self.miss_metric),
+        )
+
+
+def registered_cache_names() -> list[str]:
+    """The names of every live registered cache, sorted."""
+    return sorted({cache.name for cache in list(_REGISTRY)})
+
+
 def registered_cache_stats() -> dict[str, int]:
-    """``{"<name>_cache_hits": ..., "<name>_cache_misses": ...}`` for all caches."""
+    """``{"<name>_cache_hits": ..., "<name>_cache_misses": ...}``.
+
+    .. deprecated::
+        Statistics now live in the unified metrics registry; read
+        ``<name>_cache_hits`` / ``<name>_cache_misses`` from
+        ``METRICS.snapshot()`` (or ``COUNTERS.snapshot()``).  This
+        shim reports the registry's totals for live caches.
+    """
+    snapshot = METRICS.snapshot()
     stats: dict[str, int] = {}
-    for cache in list(_REGISTRY):
-        stats[f"{cache.name}_cache_hits"] = cache.hits
-        stats[f"{cache.name}_cache_misses"] = cache.misses
+    for name in registered_cache_names():
+        stats[f"{name}_cache_hits"] = snapshot.get(f"{name}_cache_hits", 0)
+        stats[f"{name}_cache_misses"] = snapshot.get(f"{name}_cache_misses", 0)
     return stats
 
 

@@ -68,7 +68,8 @@ from itertools import islice
 from typing import Callable, Iterable, Iterator, Literal, Optional, Sequence, TypeVar, Union
 
 from .config import CONFIG
-from .counters import COUNTERS
+from ..observability.metrics import METRICS
+from ..observability.spans import TRACER
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -99,15 +100,29 @@ class _WorkerError:
 
 
 def _run_chunk(
-    fn: Callable[[T], R], chunk: Sequence[T], fault: Optional[Callable] = None
-) -> Union[list[R], _WorkerError]:
-    """Worker entry point: evaluate one chunk, preserving order."""
+    fn: Callable[[T], R],
+    chunk: Sequence[T],
+    fault: Optional[Callable] = None,
+    capture: bool = False,
+) -> tuple[Union[list[R], _WorkerError], Optional[dict[str, int]]]:
+    """Worker entry point: evaluate one chunk, preserving order.
+
+    Returns ``(payload, metrics_delta)``.  ``capture=True`` (the
+    process backend) snapshots the worker-local metrics registry
+    around the chunk and ships the picklable delta back, so increments
+    made inside the worker merge into the parent at the chunk
+    boundary instead of dying with the worker's address space.  Thread
+    workers share the parent registry and ship ``None``.
+    """
     if fault is not None:
         fault(chunk)
+    baseline = METRICS.snapshot() if capture else None
     try:
-        return [fn(item) for item in chunk]
+        payload: Union[list[R], _WorkerError] = [fn(item) for item in chunk]
     except Exception as exc:
-        return _WorkerError(exc)
+        payload = _WorkerError(exc)
+    delta = METRICS.delta_since(baseline) if capture else None
+    return payload, delta
 
 
 #: Exceptions from ``future.result()`` treated as *transient*
@@ -186,6 +201,10 @@ class Executor:
         chunk_size = self.chunk_size or 1
         window = max(self.jobs * chunk_size, chunk_size)
         fault = CONFIG.inject_faults
+        # Only process workers live in their own address space; thread
+        # workers increment the parent registry directly, and capturing
+        # for them would double-count on merge.
+        capture = self.backend == "process"
         # The pool lives in a one-slot holder so retry logic can swap a
         # broken pool for a fresh one mid-stream.
         holder: list = [self._make_pool()]
@@ -207,7 +226,7 @@ class Executor:
                 for chunk in chunks:
                     try:
                         futures.append(
-                            holder[0].submit(_run_chunk, fn, chunk, fault)
+                            holder[0].submit(_run_chunk, fn, chunk, fault, capture)
                         )
                     except Exception:
                         # Submission itself failed (pool shut down or
@@ -215,23 +234,29 @@ class Executor:
                         # stop handing work to pools entirely.
                         futures.append(None)
                         degraded = True
-                COUNTERS.parallel_chunks += len(chunks)
+                METRICS.inc("parallel_chunks", len(chunks))
                 for chunk, future in zip(chunks, futures):
-                    outcome = None
-                    if future is not None:
-                        outcome = self._await_chunk(holder, fn, chunk, future, fault)
-                    if isinstance(outcome, _WorkerError):
-                        # An application error: re-raise it unchanged.
-                        # No retry, no serial recomputation.
-                        raise outcome.exception
-                    if outcome is _PERMANENT:
-                        # Unpicklable payloads fail deterministically:
-                        # stop handing work to the pool for good.
-                        degraded = True
+                    with TRACER.span("executor.chunk", aggregate=True) as sp:
+                        sp.add_steps(len(chunk))
                         outcome = None
-                    if outcome is None:
-                        COUNTERS.parallel_fallbacks += 1
-                        outcome = [fn(item) for item in chunk]
+                        if future is not None:
+                            outcome = self._await_chunk(
+                                holder, fn, chunk, future, fault, capture
+                            )
+                        if isinstance(outcome, _WorkerError):
+                            # An application error: re-raise it
+                            # unchanged.  No retry, no serial
+                            # recomputation.
+                            raise outcome.exception
+                        if outcome is _PERMANENT:
+                            # Unpicklable payloads fail
+                            # deterministically: stop handing work to
+                            # the pool for good.
+                            degraded = True
+                            outcome = None
+                        if outcome is None:
+                            METRICS.inc("parallel_fallbacks")
+                            outcome = [fn(item) for item in chunk]
                     yield from outcome
         finally:
             # Deterministic teardown: block until every worker is
@@ -246,6 +271,7 @@ class Executor:
         chunk: Sequence[T],
         future: Future,
         fault: Optional[Callable],
+        capture: bool = False,
     ) -> Union[list[R], "_WorkerError", None]:
         """Wait for one chunk, with timeout + bounded retry.
 
@@ -253,7 +279,9 @@ class Executor:
         application exception, ``_PERMANENT`` for a deterministic
         serialization failure, or ``None`` when every attempt failed on
         transient infrastructure (the caller then recomputes
-        in-process).
+        in-process).  A metrics delta shipped by a process worker is
+        merged into the parent registry here — including alongside an
+        application error, whose partial increments are real work.
         """
         timeout = CONFIG.chunk_timeout_s
         max_retries = max(CONFIG.chunk_retries or 0, 0)
@@ -261,9 +289,11 @@ class Executor:
         attempt = 0
         while True:
             try:
-                return future.result(timeout=timeout)
+                payload, delta = future.result(timeout=timeout)
+                METRICS.merge(delta)
+                return payload
             except FuturesTimeoutError:
-                COUNTERS.chunk_timeouts += 1
+                METRICS.inc("chunk_timeouts")
                 future.cancel()
             except _TRANSIENT_ERRORS:
                 if isinstance(holder[0], ProcessPoolExecutor):
@@ -274,7 +304,7 @@ class Executor:
                         if getattr(holder[0], "_broken", False):
                             holder[0].shutdown(wait=False, cancel_futures=True)
                             holder[0] = self._make_pool()
-                            COUNTERS.pool_restarts += 1
+                            METRICS.inc("pool_restarts")
                     except Exception:
                         return None
             except _PERMANENT_ERRORS:
@@ -282,11 +312,11 @@ class Executor:
             if attempt >= max_retries:
                 return None
             attempt += 1
-            COUNTERS.chunk_retries += 1
+            METRICS.inc("chunk_retries")
             if backoff:
                 time.sleep(backoff * attempt)
             try:
-                future = holder[0].submit(_run_chunk, fn, chunk, fault)
+                future = holder[0].submit(_run_chunk, fn, chunk, fault, capture)
             except Exception:
                 return None
 

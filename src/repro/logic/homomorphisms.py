@@ -34,7 +34,7 @@ from ..data.instances import Instance
 from ..data.substitutions import Substitution
 from ..data.terms import Constant, Null, Term, Variable
 from ..engine.config import CONFIG
-from ..engine.counters import COUNTERS
+from ..observability.metrics import METRICS
 from ..planner.evaluate import kernel_has_homomorphism, kernel_homomorphisms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -116,7 +116,7 @@ def _search(
     and the bindings to undo on backtrack.
     """
     if not remaining:
-        COUNTERS.homomorphisms_explored += 1
+        METRICS.inc("homomorphisms_explored")
         yield dict(binding)
         return
 
@@ -173,7 +173,7 @@ def _search(
                 stack.append(make_frame(rest))
                 descended = True
             else:
-                COUNTERS.homomorphisms_explored += 1
+                METRICS.inc("homomorphisms_explored")
                 yield dict(binding)
             break
         else:

@@ -24,7 +24,7 @@ from ..data.atoms import Atom, atoms_variables
 from ..data.instances import Instance
 from ..data.terms import Constant, Null, Term, Variable
 from ..engine.config import CONFIG
-from ..engine.counters import COUNTERS
+from ..observability.metrics import METRICS
 from ..errors import DependencyError
 from .homomorphisms import has_homomorphism, homomorphisms
 
@@ -132,7 +132,7 @@ class ConjunctiveQuery:
                     elif bound != t:
                         break
             else:
-                COUNTERS.homomorphisms_explored += 1
+                METRICS.inc("homomorphisms_explored")
                 answers.add(tuple(binding.get(v, v) for v in self._head_vars))
         return answers
 

@@ -1,0 +1,41 @@
+"""Unified observability: the metrics registry and span tracer.
+
+This package is the single telemetry surface for the engine.  All
+counters flow through :data:`METRICS` (``repro.engine.counters`` and
+the cache statistics are facades over it), and all per-phase timing
+flows through :data:`TRACER`.  Everything here is stdlib-only so the
+lowest layers (``repro.data``, ``repro.logic``) can depend on it
+without cycles.
+"""
+
+from .metrics import (
+    METRICS,
+    MetricsRegistry,
+    PROCESS_VARIANT_METRICS,
+    SCHEDULING_METRICS,
+    parity_diff,
+    parity_view,
+)
+from .spans import Span, TRACER, Tracer
+from .export import (
+    format_trace,
+    metrics_document,
+    phase_wall_times,
+    write_metrics_json,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "PROCESS_VARIANT_METRICS",
+    "SCHEDULING_METRICS",
+    "parity_diff",
+    "parity_view",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "format_trace",
+    "metrics_document",
+    "phase_wall_times",
+    "write_metrics_json",
+]

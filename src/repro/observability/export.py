@@ -1,0 +1,76 @@
+"""Exporters turning tracer/metrics state into JSON documents and text.
+
+Two consumers share these shapes: the CLI (``--trace`` prints the text
+tree, ``--metrics-json PATH`` writes the JSON document) and the
+quick_bench harness (which reads per-phase wall times out of the same
+span tree instead of running its own stopwatches).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional
+
+from .metrics import METRICS
+from .spans import Span, TRACER
+
+
+def metrics_document(
+    counters: Optional[Mapping[str, int]] = None,
+    trace: Optional[list[dict[str, Any]]] = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """The ``--metrics-json`` payload: counters + span tree + metadata."""
+    doc: dict[str, Any] = {
+        "counters": dict(sorted((counters if counters is not None else METRICS.snapshot()).items())),
+        "trace": trace if trace is not None else TRACER.to_dict(),
+    }
+    doc.update(extra)
+    return doc
+
+
+def write_metrics_json(path: str, **kwargs: Any) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_document(**kwargs), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_trace(roots: Optional[list[Span]] = None) -> str:
+    """A readable indented rendering of the span forest for ``--trace``."""
+    if roots is None:
+        roots = TRACER.roots()
+    lines: list[str] = ["trace:"]
+    if not roots:
+        lines.append("  (no spans recorded)")
+    for root in roots:
+        _format_span(root, lines, depth=1)
+    return "\n".join(lines)
+
+
+def _format_span(span: Span, lines: list[str], depth: int) -> None:
+    parts = [f"{span.name}: {span.wall_ms:.2f} ms"]
+    if span.count > 1:
+        parts.append(f"x{span.count}")
+    if span.steps:
+        parts.append(f"steps={span.steps}")
+    if span.metrics:
+        shown = ", ".join(f"{k}={v}" for k, v in sorted(span.metrics.items()))
+        parts.append(f"[{shown}]")
+    lines.append("  " * depth + " ".join(parts))
+    for child in span.children:
+        _format_span(child, lines, depth + 1)
+
+
+def phase_wall_times(trace: list[dict[str, Any]]) -> dict[str, float]:
+    """``{name: wall_ms}`` for each top-level phase under each root.
+
+    quick_bench uses this to source BENCH_*.json phase timings from the
+    engine's own spans.  Children of the root(s) are the phases; a name
+    appearing under several roots accumulates.
+    """
+    phases: dict[str, float] = {}
+    for root in trace:
+        for child in root.get("children", ()):  # phases live one level down
+            name = child["name"]
+            phases[name] = phases.get(name, 0.0) + float(child["wall_ms"])
+    return phases

@@ -1,0 +1,268 @@
+"""Nestable spans: structured wall-time tracing for the engine's hot paths.
+
+A :class:`Span` records one timed region — name, wall time, an optional
+step count, attached metrics deltas, and its children — and the
+:class:`Tracer` keeps a per-thread stack of open spans so nesting falls
+out of ordinary ``with`` blocks:
+
+    with TRACER.span("inverse_chase.finish") as sp:
+        ...
+        sp.add_steps(1)
+
+Tracing is off by default.  When disabled, ``span()`` returns a shared
+no-op context manager so instrumented hot paths cost one attribute read
+and one truthiness check — nothing allocates and no clock is touched.
+
+Two shapes of span exist:
+
+* **plain spans** (the default) appear once per entry in the trace
+  tree, like any tracing UI would show them;
+* **aggregate spans** (``aggregate=True``) merge repeated entries with
+  the same name under the same parent into a single node accumulating
+  ``count`` and total ``wall_ms``.  Hot paths that run thousands of
+  times per query (per-covering evaluation, per-chunk dispatch) use
+  these so a trace stays readable and bounded.
+
+For lazy pipelines — the engine streams coverings and homomorphisms
+through generators — a naive ``with span(...)`` around the *consumer*
+would bill the producer's suspended time to the wrong node.
+:func:`Tracer.traced_iter` wraps an iterator and times each ``next()``
+call into an aggregate span instead, so the trace charges exactly the
+time spent producing elements.
+
+Worker threads inherit nothing: each thread's spans root at that
+thread's own stack, and aggregate roots from all threads merge into
+the tracer's shared root list.  This module imports only the stdlib.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterable, Iterator, Optional
+
+from .metrics import METRICS
+
+
+class Span:
+    """One timed region of engine work."""
+
+    __slots__ = (
+        "name",
+        "wall_ms",
+        "count",
+        "steps",
+        "metrics",
+        "children",
+        "_aggregates",
+        "_started",
+        "_baseline",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.wall_ms = 0.0
+        #: Number of entries merged into this node (1 for plain spans).
+        self.count = 0
+        #: Optional domain-specific progress count (items, coverings…).
+        self.steps = 0
+        #: Metrics that moved while this span was open (plain spans only).
+        self.metrics: dict[str, int] = {}
+        self.children: list[Span] = []
+        #: name -> child for aggregate children, so repeats merge O(1).
+        self._aggregates: dict[str, Span] = {}
+        self._started: Optional[float] = None
+        self._baseline: Optional[dict[str, int]] = None
+
+    def add_steps(self, amount: int = 1) -> None:
+        self.steps += amount
+
+    def child(self, name: str, aggregate: bool = False) -> "Span":
+        if aggregate:
+            existing = self._aggregates.get(name)
+            if existing is not None:
+                return existing
+            span = Span(name)
+            self._aggregates[name] = span
+        else:
+            span = Span(name)
+        self.children.append(span)
+        return span
+
+    def to_dict(self) -> dict[str, Any]:
+        node: dict[str, Any] = {"name": self.name, "wall_ms": round(self.wall_ms, 3)}
+        if self.count > 1:
+            node["count"] = self.count
+        if self.steps:
+            node["steps"] = self.steps
+        if self.metrics:
+            node["metrics"] = dict(sorted(self.metrics.items()))
+        if self.children:
+            node["children"] = [c.to_dict() for c in self.children]
+        return node
+
+
+class _NullSpan:
+    """The do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def add_steps(self, amount: int = 1) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager opening/closing one span on the owning thread."""
+
+    __slots__ = ("_tracer", "_name", "_aggregate", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, aggregate: bool) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._aggregate = aggregate
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._aggregate)
+        return self._span
+
+    def __exit__(self, *exc: object) -> None:
+        if self._span is not None:
+            self._tracer._close(self._span)
+            self._span = None
+
+    # Convenience so ``with TRACER.span(...) as sp`` and the disabled
+    # path expose the same minimal surface before __enter__.
+    def add_steps(self, amount: int = 1) -> None:
+        if self._span is not None:
+            self._span.add_steps(amount)
+
+
+class Tracer:
+    """Per-thread span stacks feeding one shared trace forest."""
+
+    __slots__ = ("enabled", "_local", "_lock", "_roots", "_root_aggregates")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+        self._root_aggregates: dict[str, Span] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+            self._root_aggregates.clear()
+        self._local = threading.local()
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str, aggregate: bool = False):
+        """Open a span named ``name``; no-op when tracing is disabled.
+
+        ``aggregate=True`` merges repeated same-named entries under the
+        same parent into one node with a ``count`` — use it for spans
+        entered per item on hot loops.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, aggregate)
+
+    def traced_iter(self, name: str, iterable: Iterable[Any]) -> Iterator[Any]:
+        """Yield from ``iterable``, timing each ``next()`` into one span.
+
+        The engine's pipelines are lazy, so wrapping a *consumer* in a
+        span would charge producer time to the consumer while the
+        generator is suspended.  This charges exactly the production
+        time of each element to an aggregate span named ``name``.
+        """
+        if not self.enabled:
+            yield from iterable
+            return
+        iterator = iter(iterable)
+        while True:
+            with self.span(name, aggregate=True) as sp:
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    return
+                sp.add_steps(1)
+            yield item
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _open(self, name: str, aggregate: bool) -> Span:
+        stack = self._stack()
+        if stack:
+            span = stack[-1].child(name, aggregate=aggregate)
+        elif aggregate:
+            with self._lock:
+                span = self._root_aggregates.get(name)
+                if span is None:
+                    span = Span(name)
+                    self._root_aggregates[name] = span
+                    self._roots.append(span)
+        else:
+            span = Span(name)
+            with self._lock:
+                self._roots.append(span)
+        span._started = time.perf_counter()
+        if not aggregate:
+            span._baseline = METRICS.snapshot()
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        stack = self._stack()
+        # Closing out of order (a generator finalized late) unwinds to
+        # the matching entry rather than corrupting the stack.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if span._started is not None:
+            span.wall_ms += (time.perf_counter() - span._started) * 1000.0
+            span._started = None
+        span.count += 1
+        if span._baseline is not None:
+            delta = METRICS.delta_since(span._baseline)
+            span._baseline = None
+            if delta:
+                for key, value in delta.items():
+                    span.metrics[key] = span.metrics.get(key, 0) + value
+
+    # -- reading ---------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        return [root.to_dict() for root in self.roots()]
+
+
+#: The process-global tracer the engine's instrumentation points use.
+TRACER = Tracer()

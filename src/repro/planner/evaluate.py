@@ -38,7 +38,8 @@ from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.substitutions import Substitution
 from ..data.terms import Term
-from ..engine.counters import COUNTERS
+from ..observability.metrics import METRICS
+from ..observability.spans import TRACER
 from .plan import Component, Plan, plan_for
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -76,7 +77,7 @@ def _component_solutions(
     generators only leave entries for this component's own variables
     dirty (components have disjoint variables).
     """
-    COUNTERS.plan_components_evaluated += 1
+    METRICS.inc("plan_components_evaluated")
     atoms = component.atoms
     var_ids = component.var_ids
     depth = 0
@@ -146,13 +147,14 @@ def kernel_has_homomorphism(
         return False
     meter = _Meter(deadline)
     binding: list = [None] * plan.num_vars
-    for component in plan.components:
-        for _ in _component_solutions(component, binding, bound_values, meter):
-            COUNTERS.plan_existence_shortcircuits += 1
-            break
-        else:
-            return False
-    return True
+    with TRACER.span("planner.execute", aggregate=True):
+        for component in plan.components:
+            for _ in _component_solutions(component, binding, bound_values, meter):
+                METRICS.inc("plan_existence_shortcircuits")
+                break
+            else:
+                return False
+        return True
 
 
 def kernel_homomorphisms(
@@ -180,7 +182,7 @@ def kernel_homomorphisms(
         else {k: v for k, v in base_map.items() if k in project_set}
     )
     if not pattern:
-        COUNTERS.homomorphisms_explored += 1
+        METRICS.inc("homomorphisms_explored")
         yield Substitution(kept_base)
         return
     plan, var_terms, bound_values = _prepare(pattern, target, base_map, frozen)
@@ -191,13 +193,14 @@ def kernel_homomorphisms(
     # Solve every component up front except the last, which streams so
     # single-component patterns (the common case) stay fully lazy.
     solved: list[tuple[tuple[Term, ...], list[tuple]]] = []
-    for component in plan.components[:-1]:
-        terms, solutions = _solve_component(
-            component, binding, bound_values, var_terms, project_set, meter
-        )
-        if not solutions:
-            return
-        solved.append((terms, solutions))
+    with TRACER.span("planner.execute", aggregate=True):
+        for component in plan.components[:-1]:
+            terms, solutions = _solve_component(
+                component, binding, bound_values, var_terms, project_set, meter
+            )
+            if not solutions:
+                return
+            solved.append((terms, solutions))
     last = plan.components[-1] if plan.components else None
     prefix_lists = [solutions for _, solutions in solved]
     prefix_terms: tuple[Term, ...] = tuple(
@@ -207,7 +210,7 @@ def kernel_homomorphisms(
     def emit(values: tuple) -> Substitution:
         raw = dict(kept_base)
         raw.update(zip(prefix_terms, values))
-        COUNTERS.homomorphisms_explored += 1
+        METRICS.inc("homomorphisms_explored")
         return Substitution(raw)
 
     if last is None:
@@ -221,7 +224,7 @@ def kernel_homomorphisms(
     def emit_full(values: tuple) -> Substitution:
         raw = dict(kept_base)
         raw.update(zip(full_terms, values))
-        COUNTERS.homomorphisms_explored += 1
+        METRICS.inc("homomorphisms_explored")
         return Substitution(raw)
 
     for tail in last_stream:
@@ -264,7 +267,7 @@ def _stream_component(
     if not keep:
         def existence() -> Iterator[tuple]:
             for _ in raw:
-                COUNTERS.plan_existence_shortcircuits += 1
+                METRICS.inc("plan_existence_shortcircuits")
                 yield ()
                 return
 

@@ -38,7 +38,8 @@ from ..data.instances import Instance
 from ..data.terms import Constant, Term
 from ..engine.cache import LRUCache
 from ..engine.config import CONFIG
-from ..engine.counters import COUNTERS
+from ..observability.metrics import METRICS
+from ..observability.spans import TRACER
 
 #: Semi-join pruning stops after this many passes even short of fixpoint.
 _ARC_PASSES = 4
@@ -381,7 +382,12 @@ def _attach_probe(atom: PlanAtom, bound_vars: set[int]) -> None:
 
 def compile_plan(key: tuple, target: Instance) -> Plan:
     """Compile a canonical pattern key against a concrete target."""
-    COUNTERS.plans_compiled += 1
+    with TRACER.span("planner.compile", aggregate=True):
+        return _compile_plan(key, target)
+
+
+def _compile_plan(key: tuple, target: Instance) -> Plan:
+    METRICS.inc("plans_compiled")
     satisfiable = True
     bound_checks = []
     var_atoms: list[PlanAtom] = []
@@ -404,7 +410,7 @@ def compile_plan(key: tuple, target: Instance) -> Plan:
             satisfiable = False
         var_atoms.append(atom)
     if satisfiable:
-        COUNTERS.plan_domains_pruned += _prune_domains(var_atoms)
+        METRICS.inc("plan_domains_pruned", _prune_domains(var_atoms))
         if any(not atom.candidates for atom in var_atoms):
             satisfiable = False
     components = []

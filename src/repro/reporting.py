@@ -12,7 +12,7 @@ the way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from .data.instances import Instance
 from .data.terms import Term
@@ -83,9 +83,12 @@ class RunReport:
     when resilience was in play: ``exact`` for a complete answer,
     ``sound-incomplete`` for a degraded one, and the ladder rung that
     produced it.  For a plain run without a deadline they are
-    ``"exact"`` / ``"enumeration"``.  ``counters`` is a snapshot of
-    :data:`repro.engine.counters.COUNTERS`, so deadline hits, chunk
-    retries and degradations taken during the run are all recorded.
+    ``"exact"`` / ``"enumeration"``.  ``counters`` is a metrics
+    snapshot (see :data:`repro.observability.METRICS`), so deadline
+    hits, chunk retries and degradations taken during the run are all
+    recorded.  ``trace`` — when the run recorded spans (CLI ``--trace``
+    / ``--metrics-json``) — is the span forest as
+    ``repro.observability.TRACER.to_dict()`` produced it.
     """
 
     command: str
@@ -95,10 +98,11 @@ class RunReport:
     elapsed_ms: float = 0.0
     result_size: int = 0
     counters: dict = field(default_factory=dict)
+    trace: Optional[list] = None
 
     def to_dict(self) -> dict:
         """A JSON-serialisable view (counters copied, not shared)."""
-        return {
+        result = {
             "command": self.command,
             "status": self.status,
             "rung": self.rung,
@@ -107,6 +111,9 @@ class RunReport:
             "result_size": self.result_size,
             "counters": dict(self.counters),
         }
+        if self.trace is not None:
+            result["trace"] = self.trace
+        return result
 
 
 def format_run_report(report: RunReport) -> str:

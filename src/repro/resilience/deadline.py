@@ -36,7 +36,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence
 
-from ..engine.counters import COUNTERS
+from ..observability.metrics import METRICS
 from ..errors import DeadlineExceededError
 
 #: The wall clock is consulted only every this many steps: a
@@ -138,7 +138,7 @@ class Deadline:
         """Raise :class:`DeadlineExceededError` if any limit has tripped."""
         reason = self.expired()
         if reason is not None:
-            COUNTERS.deadline_hits += 1
+            METRICS.inc("deadline_hits")
             raise DeadlineExceededError(what, reason, progress=progress)
 
     def step(
@@ -155,13 +155,13 @@ class Deadline:
         for parent in self._parents:
             parent._steps += n
         if self.max_steps is not None and self._steps >= self.max_steps:
-            COUNTERS.deadline_hits += 1
+            METRICS.inc("deadline_hits")
             raise DeadlineExceededError(
                 what, f"step budget {self.max_steps}", progress=progress
             )
         for parent in self._parents:
             if parent.max_steps is not None and parent._steps >= parent.max_steps:
-                COUNTERS.deadline_hits += 1
+                METRICS.inc("deadline_hits")
                 raise DeadlineExceededError(
                     what, f"step budget {parent.max_steps}", progress=progress
                 )
@@ -185,7 +185,7 @@ class Deadline:
             and parent._memory_bytes >= parent.max_memory_mb * 1024 * 1024
             for parent in self._parents
         ):
-            COUNTERS.deadline_hits += 1
+            METRICS.inc("deadline_hits")
             raise DeadlineExceededError(
                 what, f"memory estimate {self.max_memory_mb}MB", progress=progress
             )

@@ -1,0 +1,149 @@
+"""The unified metrics registry: thread-safety, deltas, parity views."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.observability import (
+    MetricsRegistry,
+    PROCESS_VARIANT_METRICS,
+    SCHEDULING_METRICS,
+    parity_diff,
+    parity_view,
+)
+
+
+class TestRegistryBasics:
+    def test_inc_and_get(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.get("a") == 5
+        assert reg.get("never_touched") == 0
+
+    def test_snapshot_contains_only_moved_counters(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 2)
+        reg.inc("y", 3)
+        assert reg.snapshot() == {"x": 2, "y": 3}
+
+    def test_reset_zeroes_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 7)
+        reg.reset()
+        assert reg.get("x") == 0
+        assert reg.snapshot() == {}
+
+    def test_delta_since_and_merge_round_trip(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 2)
+        baseline = reg.snapshot()
+        reg.inc("x", 3)
+        reg.inc("y", 1)
+        delta = reg.delta_since(baseline)
+        assert delta == {"x": 3, "y": 1}
+        other = MetricsRegistry()
+        other.inc("x", 10)
+        other.merge(delta)
+        assert other.get("x") == 13
+        assert other.get("y") == 1
+
+    def test_delta_is_picklable(self):
+        # The executor ships these across the process-pool boundary.
+        reg = MetricsRegistry()
+        reg.inc("homomorphisms_explored", 9)
+        delta = reg.delta_since({})
+        assert pickle.loads(pickle.dumps(delta)) == delta
+
+    def test_merge_none_and_empty_are_noops(self):
+        reg = MetricsRegistry()
+        reg.merge(None)
+        reg.merge({})
+        reg.merge({"zero": 0})
+        assert reg.snapshot() == {}
+
+
+class TestRegistryThreading:
+    def test_concurrent_increments_are_never_lost(self):
+        # The old ``COUNTERS.name += 1`` read-modify-write dropped
+        # updates under the thread executor; ``inc`` must not.
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 5000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                reg.inc("hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.get("hits") == threads_n * per_thread
+
+    def test_dead_thread_counts_survive_compaction(self):
+        reg = MetricsRegistry()
+
+        def work():
+            reg.inc("done", 11)
+
+        t = threading.Thread(target=work)
+        t.start()
+        t.join()
+        # Snapshot after the thread died: its cell folds into retired.
+        assert reg.snapshot()["done"] == 11
+        assert reg.get("done") == 11
+
+    def test_snapshot_while_incrementing(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def spin():
+            while not stop.is_set():
+                reg.inc("spin")
+
+        t = threading.Thread(target=spin)
+        t.start()
+        try:
+            for _ in range(50):
+                reg.snapshot()
+        finally:
+            stop.set()
+            t.join()
+        assert reg.get("spin") >= 0  # no exception and a coherent total
+
+
+class TestParityViews:
+    def test_scheduling_counters_are_dropped(self):
+        snap = {"homomorphisms_explored": 5, "parallel_chunks": 3}
+        assert parity_view(snap) == {"homomorphisms_explored": 5}
+        for name in SCHEDULING_METRICS:
+            assert parity_view({name: 1}) == {}
+
+    def test_thread_view_keeps_cache_stats(self):
+        snap = {"hom_set_cache_hits": 4, "hom_set_cache_misses": 2}
+        assert parity_view(snap, backend="thread") == snap
+
+    def test_process_view_drops_per_address_space_counters(self):
+        snap = {
+            "homomorphisms_explored": 5,
+            "hom_set_cache_hits": 4,
+            "subsumers_cache_misses": 1,
+        }
+        snap.update({name: 1 for name in PROCESS_VARIANT_METRICS})
+        assert parity_view(snap, backend="process") == {
+            "homomorphisms_explored": 5
+        }
+
+    def test_parity_diff_reports_mismatches_only(self):
+        ref = {"a": 1, "b": 2, "parallel_chunks": 9}
+        cand = {"a": 1, "b": 5}
+        assert parity_diff(ref, cand) == {"b": (2, 5)}
+
+    def test_parity_diff_empty_on_agreement(self):
+        ref = {"a": 1, "parallel_chunks": 7}
+        cand = {"a": 1, "parallel_fallbacks": 2}
+        assert parity_diff(ref, cand) == {}

@@ -211,3 +211,116 @@ class TestEngineFlags:
         )
         assert code == 0
         assert "engine counters" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_trace_prints_span_tree(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--trace",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err
+        assert "cli.recover" in err
+        assert "execute" in err
+
+    def test_metrics_json_document(self, workspace, tmp_path, capsys):
+        import json
+
+        _, mapping_path, _, target_path = workspace
+        out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--metrics-json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["command"] == "recover"
+        assert doc["status"] == "exact"
+        assert doc["result_size"] >= 1
+        assert doc["counters"]["coverings_evaluated"] >= 1
+        (root,) = doc["trace"]
+        assert root["name"] == "cli.recover"
+
+    def test_metrics_json_phases_sum_to_elapsed(self, workspace, tmp_path):
+        import json
+
+        from repro.observability import phase_wall_times
+
+        _, mapping_path, _, target_path = workspace
+        out = tmp_path / "metrics.json"
+        assert main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--metrics-json",
+                str(out),
+            ]
+        ) == 0
+        doc = json.loads(out.read_text())
+        phases = phase_wall_times(doc["trace"])
+        assert set(phases) == {"load", "execute"}
+        # The load + execute spans cover the command body, so their sum
+        # cannot exceed the CLI's own stopwatch (modulo rounding).
+        assert sum(phases.values()) <= doc["elapsed_ms"] + 1.0
+
+    def test_trace_does_not_leak_into_untraced_runs(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        base = ["recover", "--mapping", str(mapping_path), "--target", str(target_path)]
+        assert main(base + ["--trace"]) == 0
+        capsys.readouterr()
+        assert main(base) == 0
+        assert "trace:" not in capsys.readouterr().err
+
+    def test_stats_report_embeds_trace(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--trace",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "run report" in err
+        assert "trace:" in err
+
+    def test_stats_parity_between_serial_and_parallel(self, workspace, tmp_path):
+        import json
+
+        from repro.observability import parity_diff
+
+        _, mapping_path, _, target_path = workspace
+        base = ["recover", "--mapping", str(mapping_path), "--target", str(target_path)]
+
+        def counters_of(extra, name):
+            out = tmp_path / name
+            assert main(base + ["--metrics-json", str(out)] + extra) == 0
+            return json.loads(out.read_text())["counters"]
+
+        serial = counters_of(["--jobs", "1"], "serial.json")
+        parallel = counters_of(["--jobs", "4"], "parallel.json")
+        assert parity_diff(serial, parallel, backend="thread") == {}
