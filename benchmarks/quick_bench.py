@@ -28,9 +28,17 @@ configuration context, so seed-mode timings never benefit from hashes
 or caches populated while the optimisations were enabled.  Result sets
 are verified identical across modes before any timing is reported.
 
+A scaling-curve section (``--scale-sizes``, skip with ``--no-scaling``)
+compares the interned columnar storage backend against the object
+backend on generated workloads of 10³–10⁵ facts: inverse-chase and
+certainty wall times per size, per-phase breakdowns from spans, and a
+regression gate requiring the columnar backend to win by
+``--min-columnar-speedup`` at the largest size with bit-identical
+results at every size.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR6.json
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ from repro.observability import (
     write_metrics_json,
 )
 from repro.resilience import Deadline
+from repro.workloads import path_query, scaled_recovery_workload
 
 #: The engine configuration emulating the pre-engine code path.
 SEED_OPTIONS = dict(
@@ -299,6 +308,147 @@ def run_kernel_ablation(repeats: int, min_speedup: float):
     return section, wins, identical
 
 
+# --------------------------------------------------------------------
+# Scaling curves: the interned columnar backend against the object
+# backend on generated large-instance workloads.  The micro-fixtures
+# above never cross CONFIG.columnar_min_facts, so this is the only
+# section where the columnar path is actually engaged; it is also the
+# PR gate: at the largest size the columnar backend must beat the
+# object backend by --min-columnar-speedup on inverse-chase or
+# certainty, with bit-identical results at every size.
+# --------------------------------------------------------------------
+
+#: Path length of the scaling query; ``project="source"`` makes every
+#: variable past the first existential, so the answer set stays at most
+#: the vertex count while the join explores |E|·degree^(length-1)
+#: bindings — the configuration that separates tuple-at-a-time from
+#: set-at-a-time evaluation.
+SCALE_QUERY_LENGTH = 3
+
+#: Edges per vertex in the generated graph (facts / domain_size).
+SCALE_DEGREE = 16
+
+
+def scale_workload(facts: int):
+    """One scaling point: workload, query, and its graph parameters."""
+    domain = max(64, facts // SCALE_DEGREE)
+    mapping, target = scaled_recovery_workload(
+        11, facts=facts, domain_size=domain
+    )
+    query = path_query(SCALE_QUERY_LENGTH, project="source")
+    return mapping, target, query, domain
+
+
+def measure_scaling_point(facts: int, columnar: bool, repeats: int):
+    """Timings for one (size, backend) cell, results kept for parity.
+
+    Spans stay enabled during the timed runs — the overhead is per
+    span, identical for both backends, and buys the per-phase
+    breakdown without a second (minutes-long) traced pass.
+    """
+    mapping, target, query, _ = scale_workload(facts)
+    inverse_timings, certain_timings = [], []
+    recoveries = answers = None
+    phases = {}
+    with engine_options(columnar_backend=columnar):
+        for _ in range(repeats):
+            clear_registered_caches()
+            TRACER.reset()
+            TRACER.enable()
+            try:
+                with TRACER.span("bench.scaling"):
+                    start = time.perf_counter()
+                    recoveries = inverse_chase(
+                        mapping, target, verify_justification=False
+                    )
+                    mid = time.perf_counter()
+                    answers = certain_answer(
+                        query, mapping, target, verify_justification=False
+                    )
+                    end = time.perf_counter()
+            finally:
+                TRACER.disable()
+            inverse_timings.append(mid - start)
+            certain_timings.append(end - mid)
+            phases = phase_wall_times(TRACER.to_dict())
+    timing = {
+        "inverse_best_s": min(inverse_timings),
+        "certain_best_s": min(certain_timings),
+        "repeats": repeats,
+        "phases_ms": {name: round(ms, 3) for name, ms in sorted(phases.items())},
+    }
+    return timing, recoveries, answers
+
+
+def run_scaling(sizes, repeats: int, min_speedup: float):
+    """Columnar vs object across ``sizes``; gate at the largest size."""
+    section = {
+        "query": f"path length {SCALE_QUERY_LENGTH}, project=source",
+        "degree": SCALE_DEGREE,
+        "columnar_min_facts": CONFIG.columnar_min_facts,
+        "points": [],
+    }
+    failures = []
+    identical = True
+    gate_speedup = 0.0
+    for facts in sizes:
+        col_timing, col_recs, col_answers = measure_scaling_point(
+            facts, True, repeats
+        )
+        obj_timing, obj_recs, obj_answers = measure_scaling_point(
+            facts, False, repeats
+        )
+        same = (
+            canonical(col_recs) == canonical(obj_recs)
+            and col_answers == obj_answers
+        )
+        identical = identical and same
+        speedups = {
+            "inverse": round(
+                obj_timing["inverse_best_s"] / col_timing["inverse_best_s"], 2
+            ),
+            "certainty": round(
+                obj_timing["certain_best_s"] / col_timing["certain_best_s"], 2
+            ),
+        }
+        if facts == max(sizes):
+            gate_speedup = max(speedups.values())
+        section["points"].append(
+            {
+                "facts": facts,
+                "domain_size": max(64, facts // SCALE_DEGREE),
+                "recoveries": len(col_recs),
+                "answers": len(col_answers),
+                "columnar": col_timing,
+                "object": obj_timing,
+                "speedups": speedups,
+                "results_identical_across_backends": same,
+            }
+        )
+        print(
+            f"scaling {facts} facts:"
+            f" inverse col={col_timing['inverse_best_s']:.2f}s"
+            f" obj={obj_timing['inverse_best_s']:.2f}s"
+            f" ({speedups['inverse']}x) |"
+            f" certainty col={col_timing['certain_best_s']:.2f}s"
+            f" obj={obj_timing['certain_best_s']:.2f}s"
+            f" ({speedups['certainty']}x)"
+            + ("" if same else "  RESULTS DIFFER")
+        )
+    section["results_identical_across_backends"] = identical
+    section["gate"] = {
+        "largest_facts": max(sizes),
+        "best_speedup": gate_speedup,
+        "min_required": min_speedup,
+        "passed": identical and gate_speedup >= min_speedup,
+    }
+    if not identical:
+        failures.append("columnar_results")
+    if gate_speedup < min_speedup:
+        failures.append("columnar_speedup")
+    return section, failures
+
+
 def measure_deadline_overhead(repeats: int) -> dict:
     """Cost of the cooperative checks: generous deadline vs none.
 
@@ -399,7 +549,7 @@ def measure_counter_parity(jobs: int):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR5.json", help="report path")
+    parser.add_argument("--out", default="BENCH_PR6.json", help="report path")
     parser.add_argument(
         "--metrics-json",
         metavar="PATH",
@@ -428,6 +578,31 @@ def main(argv=None) -> int:
         type=float,
         default=5.0,
         help="fail if a never-tripping deadline costs more than this %%",
+    )
+    parser.add_argument(
+        "--scale-sizes",
+        default="5000,20000,100000",
+        help="comma-separated fact counts for the columnar scaling curve",
+    )
+    parser.add_argument(
+        "--scale-repeats",
+        type=int,
+        default=1,
+        help="timed repeats per scaling point (the runs take seconds to minutes)",
+    )
+    parser.add_argument(
+        "--min-columnar-speedup",
+        type=float,
+        default=3.0,
+        help=(
+            "fail unless the columnar backend beats the object backend by "
+            "this factor on inverse-chase or certainty at the largest size"
+        ),
+    )
+    parser.add_argument(
+        "--no-scaling",
+        action="store_true",
+        help="skip the columnar scaling curve (minutes of runtime)",
     )
     args = parser.parse_args(argv)
 
@@ -529,6 +704,14 @@ def main(argv=None) -> int:
         failures.append("counter_parity")
     else:
         print("counter parity: serial and parallel totals identical")
+
+    if not args.no_scaling:
+        sizes = sorted(int(s) for s in args.scale_sizes.split(",") if s.strip())
+        scaling, scaling_failures = run_scaling(
+            sizes, args.scale_repeats, args.min_columnar_speedup
+        )
+        report["scaling"] = scaling
+        failures.extend(scaling_failures)
 
     if args.metrics_json:
         write_metrics_json(

@@ -86,7 +86,10 @@ def chase(
             seen.add(key)
             app = _apply_trigger(tgd, hom.restrict(tgd.frontier_variables), factory)
             applications.append(app)
-            produced.add_all(app.produced)
+            # The trigger's assignment substitutes every head variable
+            # (existentials get fresh nulls), so the produced atoms are
+            # facts by construction and skip per-fact re-validation.
+            produced.add_validated(app.produced)
     return ChaseResult(instance, produced.build(), applications)
 
 
@@ -110,7 +113,9 @@ def chase_restricted(
     for tgd, hom in triggers:
         app = _apply_trigger(tgd, hom, factory)
         applications.append(app)
-        produced.add_all(app.produced)
+        # Facts by construction, as in chase(): every head variable is
+        # substituted by the trigger's assignment.
+        produced.add_validated(app.produced)
     return ChaseResult(instance, produced.build(), applications)
 
 

@@ -64,6 +64,15 @@ def _build_parser() -> argparse.ArgumentParser:
             ),
         )
         p.add_argument(
+            "--no-columnar",
+            action="store_true",
+            help=(
+                "disable the interned columnar storage backend and keep "
+                "large instances on the object path (differential runs; "
+                "also settable via REPRO_COLUMNAR=0)"
+            ),
+        )
+        p.add_argument(
             "--trace",
             action="store_true",
             help="record engine spans and print the trace tree after the run",
@@ -310,6 +319,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     previous_kernel = CONFIG.join_kernel
     if getattr(args, "no_join_kernel", False):
         configure(join_kernel=False)
+    previous_columnar = CONFIG.columnar_backend
+    if getattr(args, "no_columnar", False):
+        configure(columnar_backend=False)
     tracing = bool(getattr(args, "trace", False) or getattr(args, "metrics_json", None))
     if tracing:
         TRACER.reset()
@@ -338,7 +350,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
-        configure(chunk_retries=previous_retries, join_kernel=previous_kernel)
+        configure(
+            chunk_retries=previous_retries,
+            join_kernel=previous_kernel,
+            columnar_backend=previous_columnar,
+        )
         elapsed_ms = (time.perf_counter() - started) * 1000
         trace = TRACER.to_dict() if tracing else None
         if getattr(args, "stats", False):

@@ -16,9 +16,13 @@ Two enumeration modes are offered:
   redundant homomorphisms; used by the ablation and by the examples
   that follow the paper's text literally.
 
-Enumeration is a classic set-cover branch: repeatedly pick an
-uncovered fact with the fewest candidate homomorphisms and branch on
-which of them covers it.
+Enumeration is a classic set-cover branch over an explicit stack:
+facts are ordered most-constrained first (fewest candidate
+homomorphisms), and each node branches on which candidate covers the
+next uncovered fact.  Per-fact coverage counters make both the
+"already covered" test and the minimality test O(1) per update, and
+the iterative stack keeps 10⁵-fact targets clear of the interpreter's
+recursion limit.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from ..data.instances import Instance
 from ..observability.metrics import METRICS
 from ..errors import BudgetExceededError
 from ..resilience import Deadline
-from .hom_sets import TargetHomomorphism, covered_by
+from .hom_sets import TargetHomomorphism
 
 CoverMode = Literal["minimal", "all"]
 
@@ -59,6 +63,18 @@ def _minimal_covers_indexes(
     limit: Optional[int],
     deadline: Optional[Deadline] = None,
 ) -> Iterator[frozenset[int]]:
+    """Enumerate minimal coverings with an explicit-stack set-cover search.
+
+    The branch order is static — facts sorted by candidate count once,
+    most-constrained first — rather than re-picking the globally
+    fewest-candidate uncovered fact at every node.  The *set* of
+    minimal coverings is pivot-rule independent (every covering must
+    cover every fact, whichever order the facts are considered in), so
+    only the emission order changes.  The explicit stack and the
+    per-fact coverage counters keep the search linear per branch node
+    and safe from the recursion limit: the depth equals the number of
+    target facts, which at 10⁵+ facts overflows any recursive version.
+    """
     index = coverage_index(homs, target)
     if any(not entry for entry in index.values()):
         return
@@ -68,46 +84,97 @@ def _minimal_covers_indexes(
     def progress() -> dict:
         return {"covers_seen": len(emitted)}
 
-    def branch(chosen: frozenset[int], uncovered: set[Atom]) -> Iterator[frozenset[int]]:
+    # Static branch order: most-constrained facts first.
+    facts = sorted(index, key=lambda fact: (len(index[fact]), fact))
+    fact_pos = {fact: p for p, fact in enumerate(facts)}
+    candidates = [index[fact] for fact in facts]
+    #: Per homomorphism, the target-fact positions it covers.
+    hom_facts = [
+        [fact_pos[fact] for fact in hom.covered if fact in fact_pos]
+        for hom in homs
+    ]
+    nfacts = len(facts)
+    #: How many chosen homomorphisms cover each fact position; a fact
+    #: with a positive count is covered, and a chosen homomorphism all
+    #: of whose facts have count >= 2 is redundant (non-minimality).
+    counts = [0] * nfacts
+    chosen: list[int] = []
+    chosen_set: set[int] = set()
+
+    def advance(pos: int) -> int:
+        while pos < nfacts and counts[pos]:
+            pos += 1
+        return pos
+
+    def choose(i: int) -> None:
+        chosen.append(i)
+        chosen_set.add(i)
+        for p in hom_facts[i]:
+            counts[p] += 1
+
+    def unchoose(i: int) -> None:
+        chosen.pop()
+        chosen_set.remove(i)
+        for p in hom_facts[i]:
+            counts[p] -= 1
+
+    def emit() -> Optional[frozenset[int]]:
+        cover = frozenset(chosen_set)
+        if any(previous <= cover for previous in emitted):
+            return None
+        # Minimal iff every member privately covers some fact.
+        for i in chosen:
+            if all(counts[p] > 1 for p in hom_facts[i]):
+                return None
+        emitted.add(cover)
+        if limit is not None and len(emitted) > limit:
+            raise BudgetExceededError(
+                "covering enumeration",
+                limit,
+                partial=[
+                    tuple(homs[i] for i in sorted(c)) for c in emitted
+                ],
+            )
+        return cover
+
+    start = advance(0)
+    if start >= nfacts:
         if deadline is not None:
             deadline.step(1, "covering enumeration", progress())
-        if not uncovered:
-            if any(previous <= chosen for previous in emitted):
-                return
-            if _is_minimal(chosen, homs, target):
-                emitted.add(chosen)
-                if limit is not None and len(emitted) > limit:
-                    raise BudgetExceededError(
-                        "covering enumeration",
-                        limit,
-                        partial=[
-                            tuple(homs[i] for i in sorted(cover))
-                            for cover in emitted
-                        ],
-                    )
-                yield chosen
-            return
-        pivot = min(uncovered, key=lambda fact: len(index[fact]))
-        for i in index[pivot]:
-            if i in chosen:
+        cover = emit()
+        if cover is not None:
+            yield cover
+        return
+    # Each frame branches on one uncovered fact position; entry_choice
+    # remembers the homomorphism whose choice opened the frame.
+    frames: list[tuple[int, Iterator[int]]] = [(start, iter(candidates[start]))]
+    entry_choice: list[Optional[int]] = [None]
+    while frames:
+        pos, options = frames[-1]
+        descended = False
+        for i in options:
+            if i in chosen_set:
                 continue
-            newly = set(homs[i].covered) & uncovered
-            yield from branch(chosen | {i}, uncovered - newly)
-
-    yield from branch(frozenset(), set(target.facts))
-
-
-def _is_minimal(
-    chosen: frozenset[int],
-    homs: Sequence[TargetHomomorphism],
-    target: Instance,
-) -> bool:
-    """Whether no member of ``chosen`` is redundant for covering ``target``."""
-    for i in chosen:
-        rest = [homs[j] for j in chosen if j != i]
-        if covered_by(rest) >= target.facts:
-            return False
-    return True
+            if deadline is not None:
+                deadline.step(1, "covering enumeration", progress())
+            choose(i)
+            nxt = advance(pos + 1)
+            if nxt >= nfacts:
+                cover = emit()
+                if cover is not None:
+                    yield cover
+                unchoose(i)
+                continue
+            frames.append((nxt, iter(candidates[nxt])))
+            entry_choice.append(i)
+            descended = True
+            break
+        if descended:
+            continue
+        frames.pop()
+        opened_by = entry_choice.pop()
+        if opened_by is not None:
+            unchoose(opened_by)
 
 
 def enumerate_covers(

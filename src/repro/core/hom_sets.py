@@ -135,7 +135,12 @@ def hom_set(
             homs: list[TargetHomomorphism] = []
             for tgd in mapping:
                 homs.extend(tgd_homomorphisms(tgd, target, deadline))
-            return tuple(sorted(homs))
+            # Same order as TargetHomomorphism.__lt__, but the repr is
+            # built once per homomorphism instead of once per pairwise
+            # comparison — at 10⁵ homomorphisms the difference is the
+            # whole sort.
+            homs.sort(key=lambda h: (h.tgd.name or "", repr(h.substitution)))
+            return tuple(homs)
 
     if not CONFIG.memoize_hom_sets:
         return list(compute())

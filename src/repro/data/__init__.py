@@ -8,7 +8,9 @@ from .atoms import (
     atoms_variables,
     freeze_atoms,
 )
+from .columnar import ColumnarRelation, ColumnarStore
 from .instances import Instance, instance
+from .interning import TermTable, current_table, reset_table
 from .io import (
     load_instance,
     load_mapping,
@@ -34,9 +36,14 @@ from .terms import (
 
 __all__ = [
     "Atom",
+    "ColumnarRelation",
+    "ColumnarStore",
     "Constant",
     "IDENTITY",
     "Instance",
+    "TermTable",
+    "current_table",
+    "reset_table",
     "Null",
     "NullFactory",
     "RelationSymbol",

@@ -36,6 +36,7 @@ from ..engine.config import CONFIG
 from ..observability.metrics import METRICS
 from ..errors import SchemaError
 from .atoms import Atom
+from .columnar import _BUILD_LOCK, ColumnarStore
 from .schema import Schema
 from .terms import Constant, Null, Term, Variable
 
@@ -52,7 +53,14 @@ _EPOCHS = count(1)
 class Instance:
     """An immutable set of facts with lookup indexes."""
 
-    __slots__ = ("_facts", "_by_relation", "_position_index", "_hash", "_epoch")
+    __slots__ = (
+        "_facts",
+        "_by_relation",
+        "_position_index",
+        "_hash",
+        "_epoch",
+        "_store",
+    )
 
     def __init__(self, facts: Iterable[Atom] = (), schema: Optional[Schema] = None):
         fact_set = frozenset(facts)
@@ -68,6 +76,7 @@ class Instance:
         object.__setattr__(self, "_position_index", None)
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_epoch", next(_EPOCHS))
+        object.__setattr__(self, "_store", None)
         METRICS.inc("instances_built")
         if not CONFIG.lazy_indexes:
             self._ensure_indexes()
@@ -94,6 +103,7 @@ class Instance:
         object.__setattr__(inst, "_position_index", None)
         object.__setattr__(inst, "_hash", None)
         object.__setattr__(inst, "_epoch", next(_EPOCHS))
+        object.__setattr__(inst, "_store", None)
         METRICS.inc("instances_built")
         if not CONFIG.lazy_indexes:
             inst._ensure_indexes()
@@ -117,6 +127,7 @@ class Instance:
         object.__setattr__(inst, "_position_index", position_index)
         object.__setattr__(inst, "_hash", None)
         object.__setattr__(inst, "_epoch", next(_EPOCHS))
+        object.__setattr__(inst, "_store", None)
         METRICS.inc("instances_built")
         return inst
 
@@ -163,6 +174,29 @@ class Instance:
     @property
     def _indexes_built(self) -> bool:
         return self._by_relation is not None
+
+    def columnar_store(self) -> Optional[ColumnarStore]:
+        """The columnar sidecar of this instance, or ``None`` when inactive.
+
+        Built on first demand when ``CONFIG.columnar_backend`` is on and
+        the instance holds at least ``CONFIG.columnar_min_facts`` facts;
+        the vectorized join executor (:mod:`repro.planner.vectorized`)
+        takes over whenever a target offers a store.  The ``frozenset``
+        of atoms stays the source of truth — equality, hashing and
+        pickling never consult the store.
+        """
+        if not CONFIG.columnar_backend:
+            return None
+        if len(self._facts) < CONFIG.columnar_min_facts:
+            return None
+        store = self._store
+        if store is None:
+            with _BUILD_LOCK:
+                store = self._store
+                if store is None:
+                    store = ColumnarStore.build(self._facts)
+                    object.__setattr__(self, "_store", store)
+        return store
 
     @property
     def epoch(self) -> int:
@@ -317,6 +351,13 @@ class Instance:
 
     def apply(self, mapping: Mapping[Term, Term]) -> "Instance":
         """Apply a term mapping to every fact (e.g. a homomorphism image)."""
+        if not mapping:
+            # An empty mapping is the identity; returning self keeps the
+            # epoch stable, so compiled plans and columnar stores keyed
+            # on it survive (the inverse chase applies the finishing
+            # homomorphism this way whenever it is the identity off
+            # dom(J)).
+            return self
         if CONFIG.value_fastpaths and not any(
             isinstance(v, Variable) for v in mapping.values()
         ):

@@ -34,6 +34,18 @@ Knobs:
   term-to-term mapping, ``Instance.apply`` with a variable-free
   range).  These paths dominate the inner loops of the homomorphism
   engine and the inverse chase.
+* ``columnar_backend`` — attach an interned columnar store
+  (:mod:`repro.data.columnar`) to instances on demand and route
+  compiled join plans through the vectorized executor
+  (:mod:`repro.planner.vectorized`): int columns, per-position hash
+  indexes and set intersections instead of ``Atom`` dictionaries.
+  The default honours the ``REPRO_COLUMNAR`` environment variable
+  (``0`` disables) so CI can matrix over both backends; the object
+  backend remains the differential oracle.
+* ``columnar_min_facts`` — instances below this many facts never
+  build a columnar store: at micro scale the interning and column
+  builds cost more than the per-object overhead they remove, and the
+  established micro-benchmarks keep measuring the object path.
 
 Fault-tolerance knobs for the parallel executor:
 
@@ -51,6 +63,7 @@ latter).  This module must not import the rest of ``repro``.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -66,6 +79,8 @@ class EngineConfig:
         "memoize_subsumers",
         "value_fastpaths",
         "join_kernel",
+        "columnar_backend",
+        "columnar_min_facts",
         "plan_cache_size",
         "hom_set_cache_size",
         "subsumers_cache_size",
@@ -84,6 +99,11 @@ class EngineConfig:
         self.memoize_subsumers = True
         self.value_fastpaths = True
         self.join_kernel = True
+        self.columnar_backend = os.environ.get("REPRO_COLUMNAR", "1") != "0"
+        #: Instances smaller than this never build a columnar store;
+        #: the vectorized path only pays off once candidate pools are
+        #: large enough to amortize interning and column construction.
+        self.columnar_min_facts = 1024
         self.plan_cache_size = 512
         self.hom_set_cache_size = 256
         self.subsumers_cache_size = 128
@@ -151,6 +171,8 @@ def _clear_caches_if_toggled(options: dict[str, object]) -> None:
         "memoize_hom_sets",
         "memoize_subsumers",
         "join_kernel",
+        "columnar_backend",
+        "columnar_min_facts",
         "plan_cache_size",
     }
     if toggled & options.keys():

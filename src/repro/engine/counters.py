@@ -46,6 +46,14 @@ KNOWN_COUNTERS = (
     "plan_components_evaluated",
     "plan_domains_pruned",
     "plan_existence_shortcircuits",
+    "vector_plans_compiled",
+    "planner_vectorized",
+    "planner_vector_fallbacks",
+    "columnar_stores_built",
+    "columnar_facts_stored",
+    "columnar_terms_interned",
+    "columnar_indexes_built",
+    "columnar_rows_scanned",
     "covers_enumerated",
     "coverings_evaluated",
     "recoveries_emitted",

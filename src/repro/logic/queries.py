@@ -26,6 +26,7 @@ from ..data.terms import Constant, Null, Term, Variable
 from ..engine.config import CONFIG
 from ..observability.metrics import METRICS
 from ..errors import DependencyError
+from ..planner.vectorized import vector_query_tuples
 from .homomorphisms import has_homomorphism, homomorphisms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -101,6 +102,14 @@ class ConjunctiveQuery:
         """
         if CONFIG.value_fastpaths and len(self._body) == 1:
             return self._evaluate_single_atom(instance)
+        store = instance.columnar_store()
+        if store is not None:
+            vectorized = vector_query_tuples(
+                self._body, instance, store, self._head_vars, deadline
+            )
+            if vectorized is not None:
+                METRICS.inc("planner_vectorized")
+                return vectorized
         answers: set[tuple[Term, ...]] = set()
         for hom in homomorphisms(
             self._body, instance, deadline=deadline, project=self._head_vars

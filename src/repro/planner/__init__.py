@@ -16,12 +16,24 @@ fallback and the differential-testing oracle.
 
 from .plan import Plan, canonicalize, compile_plan, plan_for
 from .evaluate import kernel_has_homomorphism, kernel_homomorphisms
+from .vectorized import (
+    VectorPlan,
+    compile_vector_plan,
+    vector_has_homomorphism,
+    vector_homomorphisms,
+    vector_query_tuples,
+)
 
 __all__ = [
     "Plan",
+    "VectorPlan",
     "canonicalize",
     "compile_plan",
+    "compile_vector_plan",
     "plan_for",
     "kernel_has_homomorphism",
     "kernel_homomorphisms",
+    "vector_has_homomorphism",
+    "vector_homomorphisms",
+    "vector_query_tuples",
 ]

@@ -27,6 +27,13 @@ Three modes share the component enumerator:
 A cooperative :class:`~repro.resilience.Deadline` is charged one step
 per candidate fact visited, batched like the backtracking matcher so a
 never-tripping deadline costs one integer increment per visit.
+
+When the target offers a columnar store
+(``CONFIG.columnar_backend`` on and the instance at least
+``columnar_min_facts`` facts), both entry points hand the whole call to
+the vectorized executor (:mod:`repro.planner.vectorized`) instead; the
+object path below remains the small-instance default and the
+differential oracle.
 """
 
 from __future__ import annotations
@@ -38,9 +45,11 @@ from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.substitutions import Substitution
 from ..data.terms import Term
+from ..engine.config import CONFIG
 from ..observability.metrics import METRICS
 from ..observability.spans import TRACER
 from .plan import Component, Plan, plan_for
+from .vectorized import vector_has_homomorphism, vector_homomorphisms
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..resilience import Deadline
@@ -142,6 +151,14 @@ def kernel_has_homomorphism(
     pattern = list(pattern)
     if not pattern:
         return True
+    store = target.columnar_store()
+    if store is not None:
+        METRICS.inc("planner_vectorized")
+        return vector_has_homomorphism(
+            pattern, target, store, base=base, frozen=frozen, deadline=deadline
+        )
+    if CONFIG.columnar_backend:
+        METRICS.inc("planner_vector_fallbacks")
     plan, _, bound_values = _prepare(pattern, target, base or {}, frozen)
     if not plan.satisfiable or not _passes_checks(plan, target, bound_values):
         return False
@@ -185,6 +202,21 @@ def kernel_homomorphisms(
         METRICS.inc("homomorphisms_explored")
         yield Substitution(kept_base)
         return
+    store = target.columnar_store()
+    if store is not None:
+        METRICS.inc("planner_vectorized")
+        yield from vector_homomorphisms(
+            pattern,
+            target,
+            store,
+            base=base_map,
+            frozen=frozen,
+            deadline=deadline,
+            project=project,
+        )
+        return
+    if CONFIG.columnar_backend:
+        METRICS.inc("planner_vector_fallbacks")
     plan, var_terms, bound_values = _prepare(pattern, target, base_map, frozen)
     if not plan.satisfiable or not _passes_checks(plan, target, bound_values):
         return

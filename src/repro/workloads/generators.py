@@ -20,7 +20,8 @@ from typing import Optional, Sequence, Union
 from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.schema import Schema
-from ..data.terms import Constant, Variable
+from ..data.terms import Constant, Null, Variable
+from ..logic.queries import ConjunctiveQuery
 from ..logic.tgds import TGD, Mapping
 from ..chase.standard import chase
 
@@ -207,3 +208,119 @@ def unique_cover_workload(
             atoms.add(Atom("K", [value]))
             atoms.add(Atom("L", [value]))
     return mapping, Instance(atoms)
+
+
+def scaled_recovery_workload(
+    seed: RandomLike = None,
+    *,
+    facts: int = 1000,
+    arity: int = 2,
+    head_width: int = 1,
+    null_density: float = 0.0,
+    ambiguous_facts: int = 0,
+    domain_size: Optional[int] = None,
+) -> tuple[Mapping, Instance]:
+    """A parameterized large-instance recovery workload.
+
+    The micro-fixtures used by the established benchmarks top out at a
+    few facts; scaling curves need targets of 10⁴–10⁶ facts whose
+    recovery pipeline stays tractable at every size.  The mapping is a
+    quasi-guarded family whose covering is *almost* unique:
+
+    * ``E(x₁..xₐ) -> F(x₁..xₐ)`` — the bulk relation, ``arity`` wide.
+      Over a target with one ``F`` fact per argument tuple, every
+      homomorphism covers exactly its own fact, so coverage is unique
+      and the covering count stays 1 regardless of size.
+    * ``G(u) -> K₀(u), .., K_{w-1}(u)`` (when ``head_width > 1``) —
+      wide-head firings; about 10% of the fact budget becomes
+      ``K``-bundles, each bundle covered by one homomorphism.
+    * ``A(x₁..xₐ) -> D(x₁..xₐ)`` and ``B(x₁..xₐ) -> D(x₁..xₐ)`` (when
+      ``ambiguous_facts > 0``) — each ``D`` fact is covered by one
+      homomorphism of *each* dependency, so the number of minimal
+      coverings is ``2^ambiguous_facts``; keep it small (≤ 10) unless
+      you mean to benchmark covering explosion.
+
+    ``null_density`` is the probability that an argument position holds
+    a labeled null (drawn from a pool scaling with ``domain_size``)
+    instead of a constant; nulls shared across facts join under
+    homomorphisms and are what Definition 9 freezes, so any null
+    handling the engine does is exercised at scale.
+
+    ``domain_size`` controls the join fan-out: with ``facts`` edges over
+    ``domain_size`` vertices the expected degree is
+    ``facts / domain_size``, which is what makes multi-atom (path)
+    queries join-heavy.  Defaults to ``max(16, facts // 8)``.
+    """
+    rng = _rng(seed)
+    if arity < 1:
+        raise ValueError("arity must be at least 1")
+    domain_size = domain_size or max(16, facts // 8)
+    null_pool = max(4, int(domain_size * max(null_density, 0.01)))
+
+    def term(prefix: str = "c"):
+        if null_density > 0.0 and rng.random() < null_density:
+            return Null(f"n{rng.randrange(null_pool)}")
+        return Constant(f"{prefix}{rng.randrange(domain_size)}")
+
+    tgds: list[TGD] = []
+    xs = [Variable(f"x{i}") for i in range(arity)]
+    tgds.append(TGD([Atom("E", xs)], [Atom("F", xs)]))
+    bundle_budget = facts // 10 if head_width > 1 else 0
+    if head_width > 1:
+        u = Variable("u")
+        tgds.append(
+            TGD([Atom("G", [u])], [Atom(f"K{j}", [u]) for j in range(head_width)])
+        )
+    if ambiguous_facts > 0:
+        tgds.append(TGD([Atom("A", xs)], [Atom("D", xs)]))
+        tgds.append(TGD([Atom("B", xs)], [Atom("D", xs)]))
+    mapping = Mapping(tgds)
+
+    atoms: set[Atom] = set()
+    while len(atoms) < ambiguous_facts:
+        atoms.add(Atom("D", [term("d") for _ in range(arity)]))
+    bundles = 0
+    while bundles < bundle_budget:
+        value = term("g")
+        bundle = [Atom(f"K{j}", [value]) for j in range(head_width)]
+        if bundle[0] not in atoms:
+            atoms.update(bundle)
+            bundles += 1
+    while len(atoms) < facts:
+        atoms.add(Atom("F", [term() for _ in range(arity)]))
+    return mapping, Instance(atoms)
+
+
+def path_query(
+    length: int = 2, relation: str = "E", project: str = "endpoints"
+) -> ConjunctiveQuery:
+    """``q(…) :- R(x₀,x₁), R(x₁,x₂), …`` over a binary relation.
+
+    The canonical join-heavy query for the scaling benchmarks: over a
+    random graph of degree ``d`` its intermediate join size is
+    ``|R|·d^{length-1}``, which is where set-at-a-time evaluation pays
+    off.  ``project`` picks the head:
+
+    * ``"endpoints"`` — ``q(x₀, x_len)``; answer set can approach the
+      square of the vertex count, so output construction dominates at
+      high degree.
+    * ``"source"`` — ``q(x₀)``: every variable past ``x₁`` is
+      existential, the answer set is at most the vertex count, and the
+      join itself is the entire cost — the configuration that separates
+      tuple-at-a-time from set-at-a-time evaluation.
+
+    Only meaningful over binary relations; the default ``E`` is the
+    *source* relation of :func:`scaled_recovery_workload` at
+    ``arity=2``, which is what recoveries (and hence certain answers)
+    range over.
+    """
+    if length < 1:
+        raise ValueError("path length must be at least 1")
+    if project not in ("endpoints", "source"):
+        raise ValueError(f"unknown projection {project!r}")
+    points = [Variable(f"p{i}") for i in range(length + 1)]
+    body = [
+        Atom(relation, [points[i], points[i + 1]]) for i in range(length)
+    ]
+    head = [points[0]] if project == "source" else [points[0], points[-1]]
+    return ConjunctiveQuery(head, body, name="path")

@@ -133,3 +133,40 @@ class TestAllModeCompleteness:
         mapping, target, homs = running_example()
         covers = list(enumerate_covers(homs, target, mode="all"))
         assert len(covers) == len(set(covers))
+
+
+class TestIterativeScale:
+    def test_deep_unique_cover_beyond_recursion_limit(self):
+        """A 5000-fact target whose unique minimal cover chooses one
+        homomorphism per fact: the old recursive enumerator would
+        exceed the interpreter recursion limit at this depth."""
+        import sys
+
+        n = sys.getrecursionlimit() + 2000
+        mapping = Mapping(parse_tgds("R(x, y) -> S(x, y)"))
+        target = parse_instance(
+            ", ".join(f"S(a{i}, b{i})" for i in range(n))
+        )
+        homs = hom_set(mapping, target)
+        covers = list(enumerate_covers(homs, target, mode="minimal"))
+        assert len(covers) == 1
+        assert len(covers[0]) == n
+
+    def test_counting_minimality_matches_bruteforce(self):
+        """Counting-based minimality must match the subset definition
+        on a fixture with overlapping coverage."""
+        mapping = Mapping(
+            parse_tgds("R(x, y) -> S(x, y); W(z) -> S(z, z)")
+        )
+        target = parse_instance("S(a, a), S(a, b), S(b, b)")
+        homs = hom_set(mapping, target)
+        minimal = list(enumerate_covers(homs, target, mode="minimal"))
+        full = list(enumerate_covers(homs, target, mode="all"))
+        expected = [
+            cover
+            for cover in full
+            if not any(
+                set(other) < set(cover) for other in full if other != cover
+            )
+        ]
+        assert sorted(map(repr, minimal)) == sorted(map(repr, expected))

@@ -148,3 +148,20 @@ class TestDunder:
     def test_immutable(self):
         with pytest.raises(AttributeError):
             instance(atom("R", "a"))._facts = frozenset()
+
+
+class TestEpochStability:
+    def test_apply_empty_mapping_is_identity_object(self):
+        """The identity application must return self, keeping the epoch
+        stable so plan caches and the columnar sidecar survive (the
+        inverse chase applies the finishing homomorphism this way
+        whenever it is the identity)."""
+        i = instance(atom("R", "a"), atom("S", "b"))
+        assert i.apply({}) is i
+        assert i.apply({}).epoch == i.epoch
+
+    def test_nonempty_mapping_builds_new_instance(self):
+        i = instance(atom("R", "a"))
+        j = i.apply({Constant("a"): Constant("b")})
+        assert j == instance(atom("R", "b"))
+        assert j.epoch != i.epoch

@@ -1,0 +1,150 @@
+"""Property tests: columnar backend vs object backend equivalence.
+
+The columnar store plus vectorized executor must be observationally
+identical to the object path — same hom-sets, same coverings, same
+recoveries, same certain answers — on random exchanged workloads.
+``columnar_min_facts`` is forced to 0 so even the tiny hypothesis
+instances exercise the vectorized path.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.certain import certain_answer
+from repro.core.covers import enumerate_covers
+from repro.core.hom_sets import hom_set
+from repro.core.inverse_chase import inverse_chase
+from repro.data.atoms import Atom
+from repro.data.terms import Variable
+from repro.engine.config import engine_options
+from repro.errors import BudgetExceededError, NotRecoverableError
+from repro.logic.queries import ConjunctiveQuery
+
+from .strategies import exchanges
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _each_backend(fn):
+    """Evaluate ``fn`` with the vectorized path on, then off."""
+    with engine_options(columnar_backend=True, columnar_min_facts=0):
+        vectorized = fn()
+    with engine_options(columnar_backend=False):
+        oracle = fn()
+    return vectorized, oracle
+
+
+def _canonical_homs(homs):
+    return sorted(repr(h) for h in homs)
+
+
+def _canonical_covers(covers):
+    return sorted(
+        sorted(repr(h) for h in cover) for cover in covers
+    )
+
+
+def _probe_queries(mapping):
+    queries = []
+    for relation in mapping.source_schema:
+        head = [Variable(f"q{i}") for i in range(relation.arity)]
+        queries.append(ConjunctiveQuery(head, [Atom(relation.name, head)]))
+    return queries
+
+
+class TestBackendEquivalence:
+    @RELAXED
+    @given(exchanges())
+    def test_identical_hom_sets(self, exchange):
+        mapping, _, target = exchange
+        vectorized, oracle = _each_backend(
+            lambda: _canonical_homs(hom_set(mapping, target))
+        )
+        assert vectorized == oracle
+
+    @RELAXED
+    @given(exchanges())
+    def test_identical_coverings(self, exchange):
+        mapping, _, target = exchange
+        if len(target) > 4:
+            return
+
+        def covers():
+            try:
+                homs = hom_set(mapping, target)
+                return _canonical_covers(
+                    enumerate_covers(homs, target, limit=200)
+                )
+            except BudgetExceededError:
+                return None
+
+        vectorized, oracle = _each_backend(covers)
+        if vectorized is None or oracle is None:
+            return
+        assert vectorized == oracle
+
+    @RELAXED
+    @given(exchanges())
+    def test_identical_recoveries(self, exchange):
+        mapping, _, target = exchange
+        if target.is_empty or len(target) > 4:
+            return
+
+        def recoveries():
+            try:
+                return sorted(
+                    repr(r)
+                    for r in inverse_chase(
+                        mapping, target, max_covers=200, max_recoveries=200
+                    )
+                )
+            except BudgetExceededError:
+                return None
+
+        vectorized, oracle = _each_backend(recoveries)
+        if vectorized is None or oracle is None:
+            return
+        assert vectorized == oracle
+
+    @RELAXED
+    @given(exchanges())
+    def test_identical_certain_answers(self, exchange):
+        mapping, _, target = exchange
+        if target.is_empty or len(target) > 3:
+            return
+        for query in _probe_queries(mapping):
+
+            def answers():
+                try:
+                    return certain_answer(
+                        query, mapping, target, max_recoveries=200
+                    )
+                except (BudgetExceededError, NotRecoverableError):
+                    return None
+
+            vectorized, oracle = _each_backend(answers)
+            if vectorized is None or oracle is None:
+                continue
+            assert vectorized == oracle
+
+    @RELAXED
+    @given(exchanges())
+    def test_instance_pickle_with_store(self, exchange):
+        """Pickling an instance whose sidecar exists must round-trip
+        (the process executor ships instances to workers)."""
+        _, _, target = exchange
+        with engine_options(columnar_backend=True, columnar_min_facts=0):
+            target.columnar_store()
+            clone = pickle.loads(pickle.dumps(target))
+            assert clone == target
+            store = clone.columnar_store()
+            if not target.is_empty:
+                assert store is not None
+                assert len(store) == len(target)

@@ -114,3 +114,93 @@ class TestUniqueCoverWorkload:
         mapping, target = unique_cover_workload(29, facts=16)
         recovered = complete_ucq_recovery(mapping, target)
         assert satisfies(recovered, target, mapping)
+
+
+class TestScaledRecoveryWorkload:
+    def test_determinism(self):
+        from repro.workloads.generators import scaled_recovery_workload
+
+        a = scaled_recovery_workload(3, facts=200)
+        b = scaled_recovery_workload(3, facts=200)
+        assert a == b
+
+    def test_requested_size(self):
+        from repro.workloads.generators import scaled_recovery_workload
+
+        _, target = scaled_recovery_workload(5, facts=500)
+        assert len(target) >= 500
+
+    def test_unique_covering_by_default(self):
+        from repro.core.covers import count_covers
+        from repro.core.hom_sets import hom_set
+        from repro.workloads.generators import scaled_recovery_workload
+
+        mapping, target = scaled_recovery_workload(7, facts=60)
+        assert count_covers(hom_set(mapping, target), target, limit=10) == 1
+
+    def test_ambiguous_facts_multiply_coverings(self):
+        from repro.core.covers import count_covers
+        from repro.core.hom_sets import hom_set
+        from repro.workloads.generators import scaled_recovery_workload
+
+        mapping, target = scaled_recovery_workload(
+            7, facts=40, ambiguous_facts=3
+        )
+        assert (
+            count_covers(hom_set(mapping, target), target, limit=100) == 2**3
+        )
+
+    def test_head_width_bundles(self):
+        from repro.workloads.generators import scaled_recovery_workload
+
+        mapping, target = scaled_recovery_workload(9, facts=100, head_width=3)
+        relations = {fact.relation for fact in target}
+        assert {"K0", "K1", "K2"} <= relations
+
+    def test_null_density_introduces_nulls(self):
+        from repro.workloads.generators import scaled_recovery_workload
+
+        _, target = scaled_recovery_workload(11, facts=200, null_density=0.3)
+        assert target.nulls()
+
+    def test_recoverable_at_scale(self):
+        from repro.core.inverse_chase import inverse_chase
+        from repro.core.semantics import is_recovery
+        from repro.workloads.generators import scaled_recovery_workload
+
+        mapping, target = scaled_recovery_workload(13, facts=80)
+        recoveries = inverse_chase(mapping, target)
+        assert recoveries
+        for recovery in recoveries:
+            assert is_recovery(mapping, recovery, target)
+
+
+class TestPathQuery:
+    def test_endpoints_projection(self):
+        from repro.workloads.generators import path_query
+
+        query = path_query(3)
+        assert len(query.body) == 3
+        assert len(query.head_vars) == 2
+        assert query.relations == {"E"}
+
+    def test_source_projection(self):
+        from repro.workloads.generators import path_query
+
+        query = path_query(3, project="source")
+        assert len(query.head_vars) == 1
+
+    def test_body_chains(self):
+        from repro.workloads.generators import path_query
+
+        query = path_query(4)
+        for first, second in zip(query.body, query.body[1:]):
+            assert first.args[1] == second.args[0]
+
+    def test_rejects_bad_arguments(self):
+        from repro.workloads.generators import path_query
+
+        with pytest.raises(ValueError):
+            path_query(0)
+        with pytest.raises(ValueError):
+            path_query(2, project="middle")
