@@ -38,7 +38,33 @@ from .reporting import (
     format_counters,
     format_run_report,
 )
-from .resilience import AnytimeResult, Deadline
+from .resilience import AnytimeResult, CheckpointManager, Deadline
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer (exit code 2 otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a strictly positive number (exit code 2 otherwise)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}"
+        )
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,7 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
     def parallel(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--jobs",
-            type=int,
+            type=_positive_int,
             default=None,
             help="worker threads for covering/query evaluation (default serial)",
         )
@@ -98,7 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
     def resilience(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--deadline-ms",
-            type=float,
+            type=_positive_float,
             default=None,
             metavar="MS",
             help="wall-clock deadline for the whole computation",
@@ -113,10 +139,37 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--retries",
-            type=int,
+            type=_positive_int,
             default=None,
             metavar="N",
             help="retries per parallel chunk before in-process fallback",
+        )
+
+    def checkpointing(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            default=None,
+            help=(
+                "durable snapshot file: enumeration state is saved here "
+                "periodically so a crash costs only the delta since the "
+                "last save"
+            ),
+        )
+        p.add_argument(
+            "--checkpoint-every-ms",
+            type=_positive_float,
+            default=1000.0,
+            metavar="MS",
+            help="minimum interval between snapshot writes (default 1000)",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help=(
+                "resume from the --checkpoint snapshot when it is present, "
+                "uncorrupted and matches the inputs; cold-start otherwise"
+            ),
         )
 
     p_exchange = sub.add_parser("exchange", help="chase a source forward")
@@ -128,6 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
     common(p_recover)
     parallel(p_recover)
     resilience(p_recover)
+    checkpointing(p_recover)
     p_recover.add_argument("--target", required=True, help="target instance file")
     p_recover.add_argument(
         "--max-recoveries", type=int, default=1000, help="enumeration budget"
@@ -146,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
     common(p_certain)
     parallel(p_certain)
     resilience(p_certain)
+    checkpointing(p_certain)
     p_certain.add_argument("--target", required=True)
     p_certain.add_argument("--query", required=True, help="query DSL file")
     p_certain.add_argument("--max-recoveries", type=int, default=1000)
@@ -161,6 +216,25 @@ def _build_parser() -> argparse.ArgumentParser:
 def _deadline_from(args) -> Optional[Deadline]:
     ms = getattr(args, "deadline_ms", None)
     return Deadline(wall_ms=ms) if ms is not None else None
+
+
+def _checkpoint_from(args) -> Optional[CheckpointManager]:
+    path = getattr(args, "checkpoint", None)
+    if path is None:
+        return None
+    return CheckpointManager(
+        path,
+        every_ms=getattr(args, "checkpoint_every_ms", 1000.0),
+        resume=getattr(args, "resume", False),
+    )
+
+
+def _note_checkpoint(args, manager: Optional[CheckpointManager]) -> None:
+    """Record the checkpoint path and resume outcome for --stats."""
+    if manager is None:
+        return
+    args._report["checkpoint"] = str(manager.path)
+    args._report["resume_outcome"] = manager.resume_outcome or ""
 
 
 def _mode_from(args) -> str:
@@ -197,6 +271,7 @@ def _cmd_recover(args) -> int:
         mapping = load_mapping(args.mapping)
         target = load_instance(args.target)
     with TRACER.span("execute"):
+        manager = _checkpoint_from(args)
         result = inverse_chase(
             mapping,
             target,
@@ -204,7 +279,9 @@ def _cmd_recover(args) -> int:
             jobs=args.jobs,
             deadline=_deadline_from(args),
             mode=_mode_from(args),
+            checkpoint=manager,
         )
+        _note_checkpoint(args, manager)
         if isinstance(result, AnytimeResult):
             _note_anytime(args, result)
             recoveries = list(result)
@@ -246,6 +323,7 @@ def _cmd_certain(args) -> int:
         target = load_instance(args.target)
         query = load_query(args.query)
     with TRACER.span("execute"):
+        manager = _checkpoint_from(args)
         try:
             answers = certain_answer(
                 query,
@@ -255,10 +333,12 @@ def _cmd_certain(args) -> int:
                 jobs=args.jobs,
                 deadline=_deadline_from(args),
                 mode=_mode_from(args),
+                checkpoint=manager,
             )
         except NotRecoverableError:
             print("target is not valid for recovery; certain answers undefined")
             return 1
+        _note_checkpoint(args, manager)
         if isinstance(answers, AnytimeResult):
             _note_anytime(args, answers)
             answers = set(answers)
@@ -311,7 +391,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     Exit codes: 0 success, 1 empty/negative result, 2 library error,
     3 deadline expired (without ``--degrade``).
     """
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        parser.error("--resume requires --checkpoint PATH")
     COUNTERS.reset()
     previous_retries = CONFIG.chunk_retries
     if getattr(args, "retries", None) is not None:

@@ -109,6 +109,7 @@ def certain_answer(
     deadline: Optional[Deadline] = None,
     mode: ResilienceMode = "raise",
     on_budget: BudgetMode = "raise",
+    checkpoint=None,
 ):
     """``CERT(Q, Sigma, J)`` computed through the inverse chase.
 
@@ -118,6 +119,10 @@ def certain_answer(
     :func:`~repro.core.inverse_chase.inverse_chase`; disable it only
     for targets known to be valid for recovery (e.g. honestly exchanged
     ones), where the Definition 2 oracle is redundant work.
+    ``checkpoint`` forwards a
+    :class:`~repro.resilience.CheckpointManager` to the inverse-chase
+    phase, making the expensive enumeration crash-safe and resumable;
+    the query-evaluation phase recomputes from the restored recoveries.
 
     Resource governance: ``deadline`` bounds both phases under one
     budget.  With ``mode="raise"`` (default) expiry raises
@@ -152,6 +157,7 @@ def certain_answer(
             executor=runner,
             deadline=deadline,
             on_budget=on_budget,
+            checkpoint=checkpoint,
         )
         if not recoveries:
             raise NotRecoverableError(

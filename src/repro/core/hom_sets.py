@@ -148,6 +148,23 @@ def hom_set(
     return list(_HOM_SET_CACHE.get_or_compute((mapping, target), compute))
 
 
+def seed_hom_set(
+    mapping: Mapping, target: Instance, homs: Sequence[TargetHomomorphism]
+) -> None:
+    """Warm the hom-set cache with a precomputed ``HOM(Sigma, J)``.
+
+    The checkpoint resume path calls this with the hom-set recorded in a
+    validated snapshot (the snapshot's mapping/target fingerprints were
+    checked first, so the seed is known to belong to this pair), letting
+    a restarted process skip the full recomputation.  A no-op when
+    memoization is off or the entry is already present.
+    """
+    if not CONFIG.memoize_hom_sets or not homs:
+        return
+    _HOM_SET_CACHE.resize(CONFIG.hom_set_cache_size)
+    _HOM_SET_CACHE.get_or_compute((mapping, target), lambda: tuple(homs))
+
+
 def covered_by(homs: Sequence[TargetHomomorphism]) -> frozenset[Atom]:
     """``J_H``: the union of the facts covered by a set of homomorphisms."""
     facts: set[Atom] = set()

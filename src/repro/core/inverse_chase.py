@@ -41,7 +41,7 @@ and benchmark E14 for the measured effect.
 
 from __future__ import annotations
 
-from itertools import product
+from itertools import islice, product
 from typing import Iterator, Literal, Optional, Sequence
 
 from ..data.instances import Instance
@@ -53,10 +53,17 @@ from ..observability.spans import TRACER
 from ..errors import BudgetExceededError, DeadlineExceededError, NotRecoverableError
 from ..logic.homomorphisms import instance_homomorphisms
 from ..logic.tgds import Mapping
+from ..planner.warm import collect_warm_keys, warm_cache_token, warm_plan_caches
 from ..resilience import AnytimeResult, Deadline
+from ..resilience.checkpoint import (
+    CheckpointManager,
+    instance_fingerprint,
+    mapping_fingerprint,
+    options_fingerprint,
+)
 from ..chase.standard import chase, chase_restricted
 from .covers import CoverMode, enumerate_covers
-from .hom_sets import TargetHomomorphism, hom_set
+from .hom_sets import TargetHomomorphism, hom_set, seed_hom_set
 from .semantics import is_justified
 from .subsumption import SubsumptionConstraint, minimal_subsumers, models_all
 
@@ -126,6 +133,24 @@ class RecoveryCandidate:
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("RecoveryCandidate is immutable")
+
+
+def _unpack_candidate(
+    row: tuple, hom_tuple: Sequence[TargetHomomorphism]
+) -> RecoveryCandidate:
+    """Rebuild a candidate from its snapshot row.
+
+    The covering entries are indices into the snapshot's ``hom_set``
+    tuple (homomorphism objects only as a defensive fallback), so the
+    rebuilt covering is made of the *same* objects the resume path just
+    seeded into the hom-set cache — preserving the identity sharing an
+    uninterrupted run would have.
+    """
+    cover, backward, forward, g, recovery = row
+    covering = tuple(
+        hom_tuple[h] if isinstance(h, int) else h for h in cover
+    )
+    return RecoveryCandidate(covering, backward, forward, g, recovery)
 
 
 #: Bound on the specialization search of :func:`_dangling_completions`:
@@ -266,6 +291,7 @@ def inverse_chase_candidates(
     jobs: Optional[int] = None,
     deadline: Optional[Deadline] = None,
     on_budget: BudgetMode = "raise",
+    checkpoint: Optional[CheckpointManager] = None,
 ) -> Iterator[RecoveryCandidate]:
     """Yield recovery candidates with provenance (lazy Definition 9).
 
@@ -310,7 +336,47 @@ def inverse_chase_candidates(
         :class:`~repro.errors.BudgetExceededError` with the partial
         items attached) or ``"truncate"`` (end the iteration quietly
         with what was produced in budget).
+    :param checkpoint: a
+        :class:`~repro.resilience.checkpoint.CheckpointManager`
+        persisting resumable state at surviving-covering boundaries.
+        With ``resume=True`` the manager validates an existing snapshot
+        against the live mapping/target/options fingerprints; on a
+        match the already-emitted candidates are replayed (and their
+        semantic counters merged) before enumeration continues past the
+        last completed covering — the yielded sequence is bit-identical
+        to an uninterrupted run.  A corrupt or mismatched snapshot
+        falls back to a cold start.
     """
+    resume_payloads = None
+    if checkpoint is not None:
+        resume_payloads = checkpoint.begin(
+            "inverse_chase",
+            scope={
+                "mapping_fp": mapping_fingerprint(mapping),
+                "target_fp": instance_fingerprint(target),
+                "options_fp": options_fingerprint(
+                    {
+                        "cover_mode": cover_mode,
+                        "subsumption_mode": subsumption_mode,
+                        "subsumption": None
+                        if subsumption is None
+                        else sorted(repr(c) for c in subsumption),
+                        "max_covers": max_covers,
+                        "max_recoveries": max_recoveries,
+                        "verify_justification": verify_justification,
+                        "on_budget": on_budget,
+                    }
+                ),
+                "epoch": target.epoch,
+            },
+        )
+        if resume_payloads is not None:
+            # Warm the derived caches before any recomputation: the
+            # snapshot's fingerprints were just validated, so its
+            # hom-set and plan keys are known to belong to this pair.
+            saved_homs = resume_payloads.get("homs") or {}
+            seed_hom_set(mapping, target, saved_homs.get("hom_set") or ())
+            warm_plan_caches(saved_homs.get("plan_keys"), target)
     with TRACER.span("inverse_chase.hom_set"):
         homs = hom_set(mapping, target, deadline)
     if subsumption_mode == "auto":
@@ -336,6 +402,124 @@ def inverse_chase_candidates(
     )
     runner = resolve_executor(executor, jobs)
 
+    # -- checkpoint/resume state --------------------------------------
+    # ``skip_coverings`` surviving coverings were fully processed by a
+    # previous lineage: re-walk the (cheap, deterministic) enumeration
+    # past them and skip their (dominant) per-covering pipelines.
+    # ``checkpointed`` accumulates every candidate yielded this lineage
+    # (replayed + new); ``boundary`` is the persistable state as of the
+    # last *completed* covering — saves never include a half-processed
+    # covering, so a resume can never replay part of one and then
+    # re-derive it.
+    skip_coverings = 0
+    replay: list[RecoveryCandidate] = []
+    resume_complete = False
+    if resume_payloads is not None:
+        saved_enum = resume_payloads.get("enum") or {}
+        saved_hom_tuple = (resume_payloads.get("homs") or {}).get("hom_set") or ()
+        checkpoint.merge_counters(resume_payloads.get("counters"))
+        justified_cache.update(saved_enum.get("verdicts") or {})
+        saved_progress = resume_payloads.get("progress") or {}
+        skip_coverings = int(saved_progress.get("coverings_done", 0))
+        replay = [
+            _unpack_candidate(row, saved_hom_tuple)
+            for row in saved_enum.get("candidates") or ()
+        ]
+        resume_complete = bool(resume_payloads.get("__complete__"))
+    coverings_done = 0
+    checkpointed: list[RecoveryCandidate] = []
+    boundary: Optional[dict] = None
+
+    def mark_boundary() -> None:
+        # O(1) on the hot per-covering path: ``checkpointed`` is
+        # append-only and verdicts settle in insertion order, so prefix
+        # lengths fully determine the state as of this boundary.  The
+        # actual payload lists are materialized in save_checkpoint,
+        # which runs on the (rare) cadence rather than every covering.
+        nonlocal boundary
+        boundary = {
+            "progress": {
+                "coverings_done": coverings_done,
+                "emitted": emitted,
+                "covers_seen": covers_seen,
+            },
+            "n_candidates": len(checkpointed),
+            "n_verdicts": len(justified_cache),
+            "counters": checkpoint.counters_delta(),
+        }
+
+    # Position of each hom in ``homs`` — built lazily at the first save
+    # that has candidates to pack.  ``homs`` is fixed for the whole
+    # enumeration, so the index assignment is stable across saves and
+    # matches the order of the snapshot's ``hom_set`` tuple.
+    hom_pos: dict[TargetHomomorphism, int] = {}
+
+    def pack_candidate(candidate: RecoveryCandidate) -> tuple:
+        # A covering is drawn from ``homs``, so its entries serialize as
+        # plain indices into the hom-set record — re-pickling the (large)
+        # homomorphism objects per candidate would dominate encode time.
+        # The object itself is kept as a fallback for the (never expected)
+        # case of a hom outside the enumeration pool.
+        cover = tuple(hom_pos.get(h, h) for h in candidate.covering)
+        return (
+            cover,
+            candidate.backward_instance,
+            candidate.forward_instance,
+            candidate.homomorphism,
+            candidate.recovery,
+        )
+
+    def save_checkpoint(*, complete: bool = False) -> None:
+        # The bulk state travels as TWO lazy, token-guarded records.
+        # ``homs`` (the hom-set and warm plan keys) is fixed once the
+        # plan caches settle, so after the first cadenced save later
+        # saves — including the final complete-save — reuse its encoded
+        # line verbatim.  ``enum`` holds what actually grows (packed
+        # candidates + verdicts); its verdict keys are the candidates'
+        # recovery instances, so keeping those two in one pickle stores
+        # each shared subgraph once.
+        n_candidates = boundary["n_candidates"]
+        n_verdicts = boundary["n_verdicts"]
+
+        def homs_state() -> dict:
+            return {
+                "hom_set": tuple(homs),
+                "plan_keys": collect_warm_keys(target),
+            }
+
+        def enum_state() -> dict:
+            if not hom_pos and homs:
+                hom_pos.update((h, i) for i, h in enumerate(homs))
+            return {
+                "candidates": [
+                    pack_candidate(c) for c in checkpointed[:n_candidates]
+                ],
+                "verdicts": dict(
+                    islice(justified_cache.items(), n_verdicts)
+                ),
+            }
+
+        payloads = {
+            "progress": boundary["progress"],
+            "counters": boundary["counters"],
+            "homs": homs_state,
+            "enum": enum_state,
+        }
+        tokens = {
+            "homs": (len(homs), warm_cache_token()),
+            "enum": (n_candidates, n_verdicts),
+        }
+        checkpoint.save(payloads, complete=complete, tokens=tokens)
+
+    def covering_finished() -> None:
+        nonlocal coverings_done
+        if checkpoint is None:
+            return
+        coverings_done += 1
+        mark_boundary()
+        if checkpoint.due():
+            save_checkpoint()
+
     def justified(candidate: Instance) -> bool:
         with TRACER.span("inverse_chase.justify", aggregate=True):
             return justified_cache.get_or_compute(
@@ -358,7 +542,7 @@ def inverse_chase_candidates(
         return None
 
     def surviving_coverings() -> Iterator[tuple[TargetHomomorphism, ...]]:
-        nonlocal covers_seen
+        nonlocal covers_seen, skip_coverings
         coverings = enumerate_covers(
             homs, target, mode=cover_mode, limit=max_covers, deadline=deadline
         )
@@ -376,9 +560,28 @@ def inverse_chase_candidates(
                 covering, constraints, conclusion_pool
             ):
                 continue
+            if skip_coverings > 0:
+                # Already fully processed by the lineage that wrote the
+                # snapshot; its candidates were replayed up front.
+                skip_coverings -= 1
+                continue
             yield covering
 
     try:
+        if checkpoint is not None:
+            # Replay the candidates the previous lineage already
+            # emitted, in their original order; their metric increments
+            # arrived via merge_counters, so none are re-counted here.
+            for candidate in replay:
+                emitted += 1
+                checkpointed.append(candidate)
+                yield candidate
+            coverings_done = skip_coverings
+            mark_boundary()
+            if resume_complete:
+                # The snapshot covers the whole enumeration; the file
+                # on disk already says so — nothing left to compute.
+                return
         if runner.is_serial:
             # The serial path stays lazy per homomorphism g: callers like
             # is_valid_for_recovery pull a single candidate and stop.
@@ -424,9 +627,14 @@ def inverse_chase_candidates(
                         if on_budget == "truncate":
                             return
                         raise error
-                    yield RecoveryCandidate(
+                    candidate = RecoveryCandidate(
                         covering, backward, forward, g, recovery
                     )
+                    checkpointed.append(candidate)
+                    yield candidate
+                covering_finished()
+            if checkpoint is not None:
+                save_checkpoint(complete=True)
             return
 
         if runner.chunk_size is None:
@@ -463,9 +671,21 @@ def inverse_chase_candidates(
                     if on_budget == "truncate":
                         return
                     raise error
+                checkpointed.append(candidate)
                 yield candidate
+            covering_finished()
+        if checkpoint is not None:
+            save_checkpoint(complete=True)
     except (BudgetExceededError, DeadlineExceededError) as error:
         enrich(error)
+        if checkpoint is not None and boundary is not None:
+            # Persist the last completed covering so the interrupted
+            # work is resumable; failure to save must not mask the
+            # resource error itself.
+            try:
+                save_checkpoint()
+            except OSError:
+                pass
         raise
 
 
@@ -484,6 +704,7 @@ def inverse_chase(
     deadline: Optional[Deadline] = None,
     mode: ResilienceMode = "raise",
     on_budget: BudgetMode = "raise",
+    checkpoint: Optional[CheckpointManager] = None,
 ):
     """``Chase^{-1}(Sigma, J)``: the deduplicated set of recoveries.
 
@@ -520,6 +741,12 @@ def inverse_chase(
       overruns into quiet truncation instead of
       :class:`~repro.errors.BudgetExceededError` (which, when raised,
       carries the partial recovery list too).
+    * ``checkpoint`` persists resumable enumeration state at covering
+      boundaries and, with ``resume=True``, continues a crashed run
+      from its last snapshot (see
+      :mod:`repro.resilience.checkpoint`).  Under ``mode="degrade"``
+      only the first (requested) enumeration rung checkpoints — the
+      later rungs are already the cheap fallbacks.
     """
     if mode not in ("raise", "degrade"):
         raise ValueError(f"unknown resilience mode {mode!r}")
@@ -535,12 +762,23 @@ def inverse_chase(
     )
     if mode == "degrade":
         return _degraded_inverse_chase(
-            mapping, target, cover_mode=cover_mode, deadline=deadline, **options
+            mapping,
+            target,
+            cover_mode=cover_mode,
+            deadline=deadline,
+            checkpoint=checkpoint,
+            **options,
         )
     result: list[Instance] = []
     try:
         _collect_recoveries(
-            mapping, target, result, cover_mode=cover_mode, deadline=deadline, **options
+            mapping,
+            target,
+            result,
+            cover_mode=cover_mode,
+            deadline=deadline,
+            checkpoint=checkpoint,
+            **options,
         )
     except (BudgetExceededError, DeadlineExceededError) as error:
         # Hand the caller what was already produced: every entry passed
@@ -558,6 +796,7 @@ def _collect_recoveries(
     *,
     cover_mode: CoverMode,
     deadline: Optional[Deadline],
+    checkpoint: Optional[CheckpointManager] = None,
     **options,
 ) -> list[Instance]:
     """Drain the candidate stream into ``into``, deduplicating.
@@ -568,7 +807,12 @@ def _collect_recoveries(
     """
     seen: set[Instance] = set(into)
     for candidate in inverse_chase_candidates(
-        mapping, target, cover_mode=cover_mode, deadline=deadline, **options
+        mapping,
+        target,
+        cover_mode=cover_mode,
+        deadline=deadline,
+        checkpoint=checkpoint,
+        **options,
     ):
         if candidate.recovery not in seen:
             seen.add(candidate.recovery)
@@ -582,9 +826,16 @@ def _degraded_inverse_chase(
     *,
     cover_mode: CoverMode,
     deadline: Optional[Deadline],
+    checkpoint: Optional[CheckpointManager] = None,
     **options,
 ) -> AnytimeResult:
-    """The escalation ladder behind ``inverse_chase(mode="degrade")``."""
+    """The escalation ladder behind ``inverse_chase(mode="degrade")``.
+
+    Only the first rung — the enumeration the caller actually asked
+    for — checkpoints: the later rungs exist to produce *some* answer
+    quickly once that enumeration has already blown its budget, and a
+    rung-specific snapshot would shadow the valuable one.
+    """
     partial: list[Instance] = []
     first_error: Optional[Exception] = None
     try:
@@ -595,6 +846,7 @@ def _degraded_inverse_chase(
                 partial,
                 cover_mode=cover_mode,
                 deadline=deadline,
+                checkpoint=checkpoint,
                 **options,
             )
         return AnytimeResult(

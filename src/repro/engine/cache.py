@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import threading
 import weakref
-from collections import OrderedDict
 from typing import Callable, Hashable, Iterator, Optional, TypeVar
 
 from ..observability.metrics import METRICS
@@ -70,7 +69,13 @@ class LRUCache:
     def __init__(self, name: str, maxsize: int = 128):
         self.name = name
         self._maxsize = maxsize
-        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        # A plain insertion-ordered dict, oldest first.  Recency is
+        # maintained by pop-and-reinsert.  Deliberately NOT an
+        # OrderedDict: the C implementation's items/keys views do a
+        # value lookup per key, which re-hashes every key on every
+        # iteration — ruinous for plan-cache keys that are large atom
+        # tuples (the checkpoint layer iterates keys() at every save).
+        self._data: dict[Hashable, object] = {}
         self._lock = threading.Lock()
         self._hits_key = f"{name}_cache_hits"
         self._misses_key = f"{name}_cache_misses"
@@ -94,7 +99,7 @@ class LRUCache:
 
     def _evict_locked(self) -> None:
         while len(self._data) > self._maxsize:
-            self._data.popitem(last=False)
+            del self._data[next(iter(self._data))]
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], V]) -> V:
         """The cached value for ``key``, computing and storing on a miss.
@@ -123,7 +128,7 @@ class LRUCache:
                         self.hits += 1
                         METRICS.inc(self._hits_key)
                 elif value is not _SENTINEL:
-                    self._data.move_to_end(key)
+                    self._data[key] = self._data.pop(key)  # mark recent
                     self.hits += 1
                     METRICS.inc(self._hits_key)
                     return value  # type: ignore[return-value]
@@ -156,8 +161,11 @@ class LRUCache:
             entry.event.set()
             raise
         with self._lock:
+            # Pop first: plain-dict assignment keeps an existing key's
+            # position, and the fresh value must land at the (most
+            # recent) end.
+            self._data.pop(key, None)
             self._data[key] = value
-            self._data.move_to_end(key)
             self._evict_locked()
         entry.value = value
         entry.event.set()
@@ -172,6 +180,17 @@ class LRUCache:
                 k for k, v in self._data.items() if not isinstance(v, _InFlight)
             ]:
                 del self._data[key]
+
+    def keys(self) -> list:
+        """A point-in-time list of settled keys (in-flight ones excluded).
+
+        Used by the checkpoint layer to record which plan keys were warm
+        at save time, so a resumed process can recompile them up front.
+        """
+        with self._lock:
+            return [
+                k for k, v in self._data.items() if not isinstance(v, _InFlight)
+            ]
 
     def __len__(self) -> int:
         return len(self._data)

@@ -52,6 +52,9 @@ Fault-tolerance knobs for the parallel executor:
 * ``chunk_timeout_s`` / ``chunk_retries`` / ``retry_backoff_s`` —
   per-chunk wall-clock timeout with bounded, backed-off retry before
   the chunk is recomputed in-process.
+* ``worker_heartbeat_s`` — cadence at which the parent polls process
+  workers for liveness while a chunk is pending; a detected death
+  orphans the chunk, which is deterministically reassigned.
 * ``inject_faults`` — a test-only hook run in the worker before each
   chunk; used by the fault-injection suite to kill workers, delay
   chunks and poison pickles.
@@ -88,6 +91,7 @@ class EngineConfig:
         "chunk_timeout_s",
         "chunk_retries",
         "retry_backoff_s",
+        "worker_heartbeat_s",
         "inject_faults",
     )
 
@@ -121,6 +125,14 @@ class EngineConfig:
         #: Base backoff between chunk retries, in seconds; attempt ``k``
         #: sleeps ``k * retry_backoff_s``.
         self.retry_backoff_s = 0.05
+        #: Heartbeat cadence for process workers, in seconds.  While a
+        #: chunk is pending, the parent wakes at this interval and
+        #: checks the pool's worker processes for liveness; a dead
+        #: worker marks the chunk orphaned and it is deterministically
+        #: reassigned (same chunk, same order slot) to a healthy pool.
+        #: ``0`` / ``None`` disables the polling and leaves crash
+        #: detection to the pool's own broken-executor signal.
+        self.worker_heartbeat_s = 0.1
         #: Fault-injection hook for tests: a picklable callable invoked
         #: in the worker as ``hook(chunk)`` before the chunk is
         #: evaluated.  It may sleep (delaying the chunk past a

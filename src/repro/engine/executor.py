@@ -36,10 +36,16 @@ Fault model — two failure classes with opposite handling:
   always get a complete, correctly-ordered result.
 
 Per-chunk timeouts (``CONFIG.chunk_timeout_s``) count as
-infrastructure failures (``COUNTERS.chunk_timeouts``).  The
-fault-injection hook ``CONFIG.inject_faults`` — a picklable callable
-run in the worker before each chunk — lets tests kill workers, delay
-chunks and poison pickles to exercise all of the above.
+infrastructure failures (``COUNTERS.chunk_timeouts``).  While a chunk
+is pending on a process pool, the parent polls worker liveness every
+``CONFIG.worker_heartbeat_s`` seconds: a worker found dead orphans the
+chunk (``COUNTERS.worker_crashes``), which is then deterministically
+reassigned — same chunk, same order slot — to a restarted pool
+(``COUNTERS.orphans_reassigned``), so a killed worker costs one chunk
+of latency, never the run.  The fault-injection hook
+``CONFIG.inject_faults`` — a picklable callable run in the worker
+before each chunk — lets tests kill workers, delay chunks and poison
+pickles to exercise all of the above.
 
 Pool shutdown is deterministic: the pool is torn down with
 ``wait=True`` in the generator's ``finally``, so no worker process
@@ -141,6 +147,27 @@ _PERMANENT_ERRORS = (pickle.PickleError, TypeError, AttributeError, ImportError)
 
 #: Sentinel returned by ``_await_chunk`` for deterministic failures.
 _PERMANENT = object()
+
+
+class _WorkerCrashed(Exception):
+    """Internal: the heartbeat saw a dead worker while a chunk was pending.
+
+    Raised (and caught) entirely inside :meth:`Executor._await_chunk`;
+    it marks the pending chunk as *orphaned* so its reassignment is
+    counted separately from garden-variety retries.
+    """
+
+
+def _dead_workers(pool) -> int:
+    """How many of a process pool's workers are no longer alive."""
+    processes = getattr(pool, "_processes", None)
+    if not processes:
+        return 0
+    return sum(
+        1
+        for proc in list(processes.values())
+        if proc is not None and not proc.is_alive()
+    )
 
 
 class Executor:
@@ -288,37 +315,89 @@ class Executor:
         backoff = CONFIG.retry_backoff_s or 0
         attempt = 0
         while True:
+            orphaned = False
             try:
-                payload, delta = future.result(timeout=timeout)
+                payload, delta = self._heartbeat_result(holder[0], future, timeout)
                 METRICS.merge(delta)
                 return payload
+            except _WorkerCrashed:
+                # The heartbeat saw a dead worker while the chunk was
+                # still pending: the chunk is orphaned.
+                METRICS.inc("worker_crashes")
+                orphaned = True
+                future.cancel()
             except FuturesTimeoutError:
                 METRICS.inc("chunk_timeouts")
                 future.cancel()
-            except _TRANSIENT_ERRORS:
-                if isinstance(holder[0], ProcessPoolExecutor):
-                    # A broken process pool poisons every later submit;
-                    # replace it before retrying.  (Thread pools stay
-                    # healthy across worker exceptions.)
-                    try:
-                        if getattr(holder[0], "_broken", False):
-                            holder[0].shutdown(wait=False, cancel_futures=True)
-                            holder[0] = self._make_pool()
-                            METRICS.inc("pool_restarts")
-                    except Exception:
-                        return None
+            except _TRANSIENT_ERRORS as exc:
+                if isinstance(exc, BrokenExecutor):
+                    # The pool noticed the death before the heartbeat
+                    # did; same orphan, different messenger.
+                    METRICS.inc("worker_crashes")
+                    orphaned = True
             except _PERMANENT_ERRORS:
                 return _PERMANENT
+            if isinstance(holder[0], ProcessPoolExecutor):
+                # A broken process pool poisons every later submit;
+                # replace it before retrying.  (Thread pools stay
+                # healthy across worker exceptions.)
+                try:
+                    if getattr(holder[0], "_broken", False) or _dead_workers(
+                        holder[0]
+                    ):
+                        holder[0].shutdown(wait=False, cancel_futures=True)
+                        holder[0] = self._make_pool()
+                        METRICS.inc("pool_restarts")
+                except Exception:
+                    return None
             if attempt >= max_retries:
                 return None
             attempt += 1
             METRICS.inc("chunk_retries")
+            if orphaned:
+                # Deterministic reassignment: the identical chunk goes
+                # back out and its results land in the original order
+                # slot, so a killed worker costs one chunk of latency,
+                # never the run and never the ordering.
+                METRICS.inc("orphans_reassigned")
             if backoff:
                 time.sleep(backoff * attempt)
             try:
                 future = holder[0].submit(_run_chunk, fn, chunk, fault, capture)
             except Exception:
                 return None
+
+    def _heartbeat_result(self, pool, future: Future, timeout: Optional[float]):
+        """``future.result`` with liveness polling of process workers.
+
+        Waits in ``CONFIG.worker_heartbeat_s`` slices; between slices,
+        checks the pool's worker processes.  A worker found dead while
+        the chunk is still pending raises :class:`_WorkerCrashed`
+        immediately instead of waiting out the full chunk timeout —
+        with :class:`ProcessPoolExecutor` any worker death breaks the
+        whole pool, so the pending chunk can never complete.  Thread
+        pools (whose workers cannot die independently) and a disabled
+        heartbeat fall through to a plain blocking wait.
+        """
+        heartbeat = CONFIG.worker_heartbeat_s or 0
+        if heartbeat <= 0 or not isinstance(pool, ProcessPoolExecutor):
+            return future.result(timeout=timeout)
+        expires_at = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = heartbeat
+            if expires_at is not None:
+                wait = min(wait, max(expires_at - time.monotonic(), 0.001))
+            try:
+                return future.result(timeout=wait)
+            except FuturesTimeoutError:
+                if expires_at is not None and time.monotonic() >= expires_at:
+                    raise
+                # Re-check completion before declaring a crash: the
+                # worker may have finished the chunk and then died.
+                if not future.done() and (
+                    getattr(pool, "_broken", False) or _dead_workers(pool)
+                ):
+                    raise _WorkerCrashed() from None
 
     def _make_pool(self):
         if self.backend == "process":

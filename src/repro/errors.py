@@ -28,9 +28,17 @@ class ParseError(ReproError):
     def __init__(self, message: str, text: str = "", position: int = -1):
         self.text = text
         self.position = position
+        self._message = message
         if position >= 0:
             message = f"{message} (at offset {position} in {text!r})"
         super().__init__(message)
+
+    def __reduce__(self):
+        # Rebuild from the original constructor arguments: the default
+        # exception reduction re-invokes __init__ with the *formatted*
+        # message, which would re-append the offset suffix and drop
+        # ``text``/``position`` on the far side of a pickle boundary.
+        return (ParseError, (self._message, self.text, self.position))
 
 
 class DependencyError(ReproError):
@@ -75,6 +83,16 @@ class BudgetExceededError(ReproError):
         self.progress: dict = {}
         super().__init__(f"{what} exceeded configured limit of {limit}")
 
+    def __reduce__(self):
+        # ``partial``/``progress`` are enriched after construction (the
+        # inverse chase stamps running totals onto an escaping error);
+        # the default reduction would rebuild from ``args`` — the
+        # formatted message — losing all of it across a process pool.
+        return (
+            _rebuild_budget_error,
+            (self.what, self.limit, self.partial, self.progress),
+        )
+
 
 class DeadlineExceededError(ReproError):
     """A cooperative resource deadline expired mid-computation.
@@ -113,3 +131,70 @@ class DeadlineExceededError(ReproError):
         if limit:
             message = f"{message} ({limit})"
         super().__init__(message)
+
+    def __reduce__(self):
+        return (
+            _rebuild_deadline_error,
+            (self.what, self.limit, self.progress, self.partial),
+        )
+
+
+def _rebuild_budget_error(what, limit, partial, progress) -> BudgetExceededError:
+    error = BudgetExceededError(what, limit, partial=partial)
+    error.progress = dict(progress)
+    return error
+
+
+def _rebuild_deadline_error(what, limit, progress, partial) -> DeadlineExceededError:
+    return DeadlineExceededError(what, limit, progress=progress, partial=partial)
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint/resume failures (see
+    :mod:`repro.resilience.checkpoint`)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A snapshot file failed structural or checksum validation.
+
+    Raised by the snapshot reader when the file is truncated, a record's
+    CRC does not match its payload, the footer record count disagrees
+    with the records present, or the header is not a recognizable
+    snapshot at all.  The resume path treats this as "no usable
+    checkpoint" and falls back to a cold start.
+    """
+
+    def __init__(self, path: str, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"corrupt checkpoint {self.path}: {reason}")
+
+    def __reduce__(self):
+        return (CheckpointCorruptError, (self.path, self.reason))
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A structurally-valid snapshot does not match the live computation.
+
+    Raised when the snapshot's version, kind, mapping fingerprint,
+    target fingerprint or options fingerprint disagree with the run
+    being resumed.  Resuming from it could silently splice state from a
+    different computation, so the resume path discards it and falls
+    back to a cold start instead.
+    """
+
+    def __init__(self, path: str, field: str, expected: str, found: str):
+        self.path = str(path)
+        self.field = field
+        self.expected = expected
+        self.found = found
+        super().__init__(
+            f"checkpoint {self.path} does not match this run: "
+            f"{field} is {found!r}, expected {expected!r}"
+        )
+
+    def __reduce__(self):
+        return (
+            CheckpointMismatchError,
+            (self.path, self.field, self.expected, self.found),
+        )

@@ -23,11 +23,13 @@ from .vectorized import (
     vector_homomorphisms,
     vector_query_tuples,
 )
+from .warm import collect_warm_keys, warm_plan_caches
 
 __all__ = [
     "Plan",
     "VectorPlan",
     "canonicalize",
+    "collect_warm_keys",
     "compile_plan",
     "compile_vector_plan",
     "plan_for",
@@ -36,4 +38,5 @@ __all__ = [
     "vector_has_homomorphism",
     "vector_homomorphisms",
     "vector_query_tuples",
+    "warm_plan_caches",
 ]

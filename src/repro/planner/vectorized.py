@@ -57,7 +57,16 @@ _UNKNOWN = -1
 
 
 class _Meter:
-    """Batched deadline accounting, one tick per candidate row visited."""
+    """Batched deadline accounting, one tick per candidate row visited.
+
+    Ticks accumulate and are charged in batches of 32 to keep the
+    per-row overhead negligible; :meth:`flush` charges the remainder at
+    component boundaries so small components (under one batch of rows)
+    still count against the step budget.  :meth:`charge_rows` feeds the
+    deadline's *memory* estimate from the materialized intermediate
+    sizes — the only allocations in this kernel that can grow beyond
+    the input.
+    """
 
     __slots__ = ("deadline", "pending")
 
@@ -72,6 +81,17 @@ class _Meter:
         if self.pending >= 32:
             self.deadline.step(self.pending, "join kernel")
             self.pending = 0
+
+    def flush(self) -> None:
+        if self.deadline is not None and self.pending:
+            self.deadline.step(self.pending, "join kernel")
+            self.pending = 0
+
+    def charge_rows(self, count: int, width: int) -> None:
+        """Charge ``count`` materialized int tuples of ``width`` slots."""
+        if self.deadline is not None and count:
+            # CPython small-tuple overhead is ~56 bytes + 8 per slot.
+            self.deadline.charge_memory(count * (56 + 8 * width), "join kernel")
 
 
 class VectorAtom:
@@ -458,6 +478,8 @@ def _component_rows(
             pos_of = {vid: p for p, vid in enumerate(order)}
             next_partial = list({tuple(t[p] for p in keep) for t in next_partial})
         partial = next_partial
+        meter.charge_rows(len(partial), len(order))
+    meter.flush()
     out = [pos_of[vid] for vid in target_vids]
     if out == list(range(len(order))) and len(order) == len(target_vids):
         return partial
@@ -565,11 +587,14 @@ def vector_has_homomorphism(
         return False
     meter = _Meter(deadline)
     with TRACER.span("planner.vector_execute", aggregate=True):
-        for component in plan.components:
-            if not _component_exists(component, bound_ids, meter):
-                return False
-            METRICS.inc("plan_existence_shortcircuits")
-        return True
+        try:
+            for component in plan.components:
+                if not _component_exists(component, bound_ids, meter):
+                    return False
+                METRICS.inc("plan_existence_shortcircuits")
+            return True
+        finally:
+            meter.flush()
 
 
 def vector_query_tuples(
@@ -606,6 +631,7 @@ def vector_query_tuples(
                 component, bound_ids, var_terms, project_set, meter
             )
             if not tuples:
+                meter.flush()
                 return set()
             solved.append((terms, tuples))
     position: dict[Term, int] = {}
@@ -613,6 +639,7 @@ def vector_query_tuples(
         for term in terms:
             position.setdefault(term, len(position))
     if any(v not in position for v in head_vars):
+        meter.flush()
         return None
     order = [position[v] for v in head_vars]
     lists = [tuples for _, tuples in solved]
@@ -620,13 +647,19 @@ def vector_query_tuples(
     explored = 0
     if len(lists) == 1:
         explored = len(lists[0])
+        meter.tick(explored)
         for values in lists[0]:
             answers.add(tuple(decode(values[i]) for i in order))
     else:
+        # The cross product of component solutions can dwarf any single
+        # component: meter every combination and its materialization.
         for combo in product(*lists):
             explored += 1
+            meter.tick()
             values = tuple(v for vs in combo for v in vs)
             answers.add(tuple(decode(values[i]) for i in order))
+    meter.flush()
+    meter.charge_rows(len(answers), len(order))
     METRICS.inc("homomorphisms_explored", explored)
     return answers
 
@@ -668,18 +701,22 @@ def vector_homomorphisms(
                 component, bound_ids, var_terms, project_set, meter
             )
             if not tuples:
+                meter.flush()
                 return
             solved.append((terms, tuples))
     if not solved:
+        meter.flush()
         METRICS.inc("homomorphisms_explored")
         yield Substitution(kept_base)
         return
     all_terms = tuple(term for terms, _ in solved for term in terms)
     lists = [tuples for _, tuples in solved]
     for combo in product(*lists):
+        meter.tick()
         raw = dict(kept_base)
         raw.update(
             zip(all_terms, (decode(v) for values in combo for v in values))
         )
         METRICS.inc("homomorphisms_explored")
         yield Substitution(raw)
+    meter.flush()

@@ -99,6 +99,12 @@ class RunReport:
     result_size: int = 0
     counters: dict = field(default_factory=dict)
     trace: Optional[list] = None
+    #: Snapshot file the run checkpointed to ("" when checkpointing was
+    #: off) and what happened on resume: "cold" (no resume requested),
+    #: "no-snapshot", "resumed", "complete", "rejected-corrupt" or
+    #: "rejected-mismatch" (see repro.resilience.checkpoint).
+    checkpoint: str = ""
+    resume_outcome: str = ""
 
     def to_dict(self) -> dict:
         """A JSON-serialisable view (counters copied, not shared)."""
@@ -111,6 +117,9 @@ class RunReport:
             "result_size": self.result_size,
             "counters": dict(self.counters),
         }
+        if self.checkpoint:
+            result["checkpoint"] = self.checkpoint
+            result["resume_outcome"] = self.resume_outcome
         if self.trace is not None:
             result["trace"] = self.trace
         return result
@@ -127,6 +136,9 @@ def format_run_report(report: RunReport) -> str:
     ]
     if report.detail:
         rows.append(("detail", report.detail))
+    if report.checkpoint:
+        rows.append(("checkpoint", report.checkpoint))
+        rows.append(("resume_outcome", report.resume_outcome))
     for name in sorted(report.counters):
         value = report.counters[name]
         if value:  # only counters that moved; zeros are noise here

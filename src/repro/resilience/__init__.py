@@ -13,18 +13,67 @@ up on adversarial inputs.  This package is the answer:
 * :class:`~repro.resilience.anytime.AnytimeResult` — the tagged output
   of ``mode="degrade"`` runs, which escalate down a ladder of cheaper
   semantics (full enumeration → minimal covers → the PTIME Section 6.1
-  constructions) instead of failing.
+  constructions) instead of failing;
+* :class:`~repro.resilience.checkpoint.CheckpointManager` — durable,
+  versioned snapshots of resumable enumeration state, so a crash or
+  restart costs the delta since the last save instead of the run;
+* :mod:`~repro.resilience.chaos` — a seeded fault-schedule harness
+  that injects worker kills, delays, checkpoint corruption, clock skew
+  and pickling failures to *prove* the recovery guarantees hold.
 
 The executor-level fault tolerance (per-chunk timeouts, bounded retry,
-worker-fault recovery, fault injection) lives with the executor in
-:mod:`repro.engine.executor`; this package holds the algorithmic side.
+worker-fault recovery, heartbeat crash detection, fault injection)
+lives with the executor in :mod:`repro.engine.executor`; this package
+holds the algorithmic side.
 
-This package deliberately imports only :mod:`repro.errors` and
-:mod:`repro.engine` so that :mod:`repro.core` and :mod:`repro.logic`
-can depend on it without cycles.
+This package deliberately imports only :mod:`repro.errors`,
+:mod:`repro.engine` and :mod:`repro.observability` so that
+:mod:`repro.core` and :mod:`repro.logic` can depend on it without
+cycles.
 """
 
 from .anytime import AnytimeResult, Rung, Status
+from .chaos import (
+    FAULT_KINDS,
+    SERIAL_FAULT_KINDS,
+    ChaosReport,
+    Fault,
+    FaultSchedule,
+    InjectedCrash,
+    chaos_run,
+)
+from .checkpoint import (
+    SEMANTIC_COUNTERS,
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    CheckpointManager,
+    instance_fingerprint,
+    mapping_fingerprint,
+    options_fingerprint,
+    read_snapshot,
+    write_snapshot,
+)
 from .deadline import Deadline
 
-__all__ = ["AnytimeResult", "Deadline", "Rung", "Status"]
+__all__ = [
+    "AnytimeResult",
+    "ChaosReport",
+    "CheckpointManager",
+    "Deadline",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultSchedule",
+    "InjectedCrash",
+    "Rung",
+    "SEMANTIC_COUNTERS",
+    "SERIAL_FAULT_KINDS",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "Status",
+    "chaos_run",
+    "instance_fingerprint",
+    "mapping_fingerprint",
+    "options_fingerprint",
+    "read_snapshot",
+    "write_snapshot",
+]

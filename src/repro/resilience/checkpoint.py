@@ -1,0 +1,548 @@
+"""Durable, versioned snapshots for crash-safe long recoveries.
+
+The hard paths of this library — covering enumeration, the inverse
+chase, certain-answer evaluation — are worst-case exponential, so
+production runs are *long*.  Before this module, any worker crash, OOM
+kill or process restart discarded all progress; the only safety net
+was the in-memory degradation ladder.  A :class:`CheckpointManager`
+closes that gap: the enumeration layers periodically serialize their
+resumable state into a snapshot file, and a restarted process picks up
+from the last completed covering instead of from zero.
+
+Snapshot format (version 1)
+---------------------------
+
+A snapshot is a UTF-8 text file of JSON lines:
+
+* a **header** line — magic, format version, snapshot kind, the
+  mapping/target/options fingerprints that scope it, the live
+  ``Instance.epoch`` at save time, and whether the run completed;
+* one **record** line per named payload — the payload pickled and
+  base64-encoded, with a CRC-32 checksum of the raw pickle bytes;
+* a **footer** line carrying the record count.
+
+Writes are atomic: the snapshot is written to a temporary file in the
+same directory, flushed and fsynced, then moved over the destination
+with ``os.replace``.  A crash mid-write can therefore never destroy
+the previous good snapshot — the worst case is losing the delta since
+the last save.
+
+Validation on resume
+--------------------
+
+``load`` re-reads and re-checksums every record and raises
+:class:`~repro.errors.CheckpointCorruptError` on any structural or
+checksum failure, and :class:`~repro.errors.CheckpointMismatchError`
+when a structurally-valid snapshot belongs to a different computation
+(different mapping, target, options or format version).  The
+``begin`` entry point used by the enumeration layers converts both
+into a **cold start** (returning ``None``) while counting the event —
+a bad checkpoint costs the saved progress, never correctness.
+
+Epochs vs fingerprints: ``Instance.epoch`` is process-local, so it can
+only authenticate a snapshot within the process that wrote it.  Across
+process restarts — the whole point of durability — scoping rests on
+content fingerprints (:func:`instance_fingerprint`,
+:func:`mapping_fingerprint`); the stored epoch is kept for
+observability and for the in-process fast path where matching epochs
+prove the target is the very same object.
+
+Compatibility policy
+--------------------
+
+``SNAPSHOT_VERSION`` names the on-disk format.  A reader accepts only
+its own version: the state inside a snapshot (enumeration frontiers,
+verdict caches) is tightly coupled to the algorithms that wrote it, so
+cross-version resume would be false economy.  Bumping the version is
+the explicit signal that old snapshots are cold-start-only — which is
+always safe, because a snapshot is a pure accelerator, never the
+source of truth.
+
+This module deliberately knows nothing about coverings or recoveries:
+payloads are opaque named blobs.  The enumeration layers
+(:mod:`repro.core.inverse_chase`) decide what state to store and how
+to splice it back in, keeping the dependency direction
+``core → resilience`` intact.
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import gc
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+import zlib
+from typing import Callable, Optional
+
+from ..errors import CheckpointCorruptError, CheckpointMismatchError
+from ..observability.metrics import METRICS
+from ..observability.spans import TRACER
+
+SNAPSHOT_MAGIC = "repro-checkpoint"
+SNAPSHOT_VERSION = 1
+
+#: Counters whose totals are part of a run's *semantic* outcome — the
+#: ones the chaos suite asserts parity on.  A snapshot stores their
+#: deltas since the run began; resuming merges the delta back, so a
+#: crashed-and-resumed lineage reports the same totals as an
+#: uninterrupted run.  (Work counters like ``covers_enumerated`` are
+#: deliberately excluded: the resume re-walks the enumeration tree to
+#: its frontier, regenerating them exactly.)
+SEMANTIC_COUNTERS = (
+    "coverings_evaluated",
+    "recoveries_emitted",
+    "justification_hits",
+    "justification_misses",
+)
+
+
+def _sha256(parts) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+#: Fingerprints memoized by ``Instance.epoch``: epochs are
+#: process-unique construction stamps and instances are immutable, so
+#: an epoch hit can only ever serve the very object it was computed
+#: for.  Bounded by wholesale clearing — entries are tiny but the
+#: instances they describe may be long gone.
+_FINGERPRINT_CACHE: dict[int, str] = {}
+_FINGERPRINT_CACHE_MAX = 256
+
+
+def instance_fingerprint(instance) -> str:
+    """A content fingerprint of an instance, stable across processes.
+
+    Hashes the sorted textual facts, so equal fact sets fingerprint
+    equally no matter which process (or which construction path) built
+    them — unlike ``Instance.epoch``, which is a process-local stamp.
+    Memoized per epoch: repeated checkpointed runs against the same
+    instance (chaos lineages, benchmark sweeps) pay the O(n log n)
+    stringify-and-sort once.
+    """
+    epoch = getattr(instance, "epoch", None)
+    if epoch is not None:
+        cached = _FINGERPRINT_CACHE.get(epoch)
+        if cached is not None:
+            return cached
+    fingerprint = _sha256(sorted(str(fact) for fact in instance.facts))
+    if epoch is not None:
+        if len(_FINGERPRINT_CACHE) >= _FINGERPRINT_CACHE_MAX:
+            _FINGERPRINT_CACHE.clear()
+        _FINGERPRINT_CACHE[epoch] = fingerprint
+    return fingerprint
+
+
+def mapping_fingerprint(mapping) -> str:
+    """A content fingerprint of a mapping's dependencies."""
+    return _sha256(sorted(repr(tgd) for tgd in mapping))
+
+
+def options_fingerprint(options: dict) -> str:
+    """Fingerprint of the option values that change enumeration state.
+
+    Two runs may only share a snapshot when they would enumerate the
+    same sequence of coverings and apply the same gates; the caller
+    passes exactly the options that influence that.
+    """
+    return _sha256(f"{k}={options[k]!r}" for k in sorted(options))
+
+
+# -- the on-disk format ------------------------------------------------------
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Suspend (and on exit restore) the cyclic garbage collector.
+
+    Snapshot encoding allocates megabytes of short-lived buffers; the
+    collections that burst triggers scan the caller's entire live heap
+    — for a large enumeration, hundreds of milliseconds spread over the
+    run.  Nothing encoding allocates outlives the save, so deferring
+    collection is free.  Nested pauses are fine: only the outermost
+    re-enables.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def encode_record(name: str, payload) -> str:
+    """One snapshot record line: the payload pickled, deflated, CRC'd.
+
+    Exposed separately from :func:`write_snapshot` so a caller can
+    encode an expensive payload once and reuse the line across saves
+    (see ``CheckpointManager.save``'s ``tokens``).
+
+    The pickle is zlib-compressed (fastest level — pickled term graphs
+    deflate 3-4x, and the time saved base64-ing and fsyncing the
+    smaller payload covers the compression cost) and the checksum is
+    taken over the stored bytes, so corruption is detected before any
+    decompression is attempted.
+
+    Collection is paused for the whole encode: a multi-megabyte
+    snapshot allocates a large pickle memo, compression and base64
+    buffers, and the garbage collections that burst triggers scan the
+    caller's entire (large, live) enumeration heap — observed to double
+    encode latency and to keep slowing the run *after* the save
+    returns.  Nothing allocated here survives except the returned line.
+    """
+    with _gc_paused():
+        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        packed = zlib.compress(raw, 1)
+        return json.dumps(
+            {
+                "record": name,
+                "crc32": zlib.crc32(packed),
+                "z64": base64.b64encode(packed).decode("ascii"),
+            },
+            sort_keys=True,
+        )
+
+
+def write_snapshot(
+    path,
+    *,
+    kind: str,
+    scope: dict,
+    payloads: dict,
+    complete: bool = False,
+    encoded: Optional[dict] = None,
+) -> int:
+    """Atomically write one snapshot; returns the bytes written.
+
+    ``scope`` holds the fingerprints (and the live epoch) that
+    authenticate the snapshot on resume; ``payloads`` maps record names
+    to picklable state blobs.  ``encoded`` optionally maps a payload
+    name to its pre-encoded record line (from :func:`encode_record`),
+    skipping the pickle for that payload — the write itself still
+    rewrites the whole file atomically.
+    """
+    header = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "kind": kind,
+        "complete": bool(complete),
+        "saved_at_unix": round(time.time(), 3),
+        **scope,
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    for name in sorted(payloads):
+        if encoded is not None and name in encoded:
+            lines.append(encoded[name])
+        else:
+            lines.append(encode_record(name, payloads[name]))
+    lines.append(json.dumps({"footer": len(payloads)}, sort_keys=True))
+    data = ("\n".join(lines) + "\n").encode("utf-8")
+
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp.", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+def read_snapshot(path) -> tuple[dict, dict]:
+    """Read and validate a snapshot: ``(header, payloads)``.
+
+    :raises CheckpointCorruptError: on any structural or checksum
+        failure — a missing file, a truncated record set, a CRC
+        mismatch, undecodable JSON/base64/pickle.
+    """
+    path = os.fspath(path)
+    try:
+        text = open(path, "r", encoding="utf-8").read()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise CheckpointCorruptError(path, f"unreadable: {exc}") from exc
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise CheckpointCorruptError(path, "empty file")
+
+    def parse(line: str, what: str) -> dict:
+        try:
+            parsed = json.loads(line)
+        except ValueError as exc:
+            raise CheckpointCorruptError(path, f"undecodable {what}") from exc
+        if not isinstance(parsed, dict):
+            raise CheckpointCorruptError(path, f"malformed {what}")
+        return parsed
+
+    header = parse(lines[0], "header")
+    if header.get("magic") != SNAPSHOT_MAGIC:
+        raise CheckpointCorruptError(path, "not a repro checkpoint")
+    footer = parse(lines[-1], "footer")
+    if "footer" not in footer:
+        raise CheckpointCorruptError(path, "missing footer (truncated write?)")
+    records = lines[1:-1]
+    if footer["footer"] != len(records):
+        raise CheckpointCorruptError(
+            path,
+            f"footer promises {footer['footer']} record(s), found {len(records)}",
+        )
+    payloads: dict = {}
+    for line in records:
+        entry = parse(line, "record")
+        name = entry.get("record")
+        compressed = "z64" in entry
+        body_key = "z64" if compressed else "b64"
+        if not isinstance(name, str) or "crc32" not in entry or body_key not in entry:
+            raise CheckpointCorruptError(path, "malformed record")
+        try:
+            raw = base64.b64decode(entry[body_key], validate=True)
+        except (ValueError, TypeError) as exc:
+            raise CheckpointCorruptError(
+                path, f"record {name!r} payload undecodable"
+            ) from exc
+        if zlib.crc32(raw) != entry["crc32"]:
+            raise CheckpointCorruptError(path, f"record {name!r} checksum mismatch")
+        if compressed:
+            try:
+                raw = zlib.decompress(raw)
+            except zlib.error as exc:
+                raise CheckpointCorruptError(
+                    path, f"record {name!r} does not inflate: {exc}"
+                ) from exc
+        try:
+            payloads[name] = pickle.loads(raw)
+        except Exception as exc:
+            raise CheckpointCorruptError(
+                path, f"record {name!r} does not unpickle: {exc}"
+            ) from exc
+    return header, payloads
+
+
+# -- the manager -------------------------------------------------------------
+
+
+class CheckpointManager:
+    """Cadenced durable snapshots for one resumable computation.
+
+    Constructed once per run (typically from the CLI flags) and handed
+    to the enumeration layer, which calls :meth:`begin` before
+    enumerating, :meth:`due`/:meth:`save` at safe boundaries, and lets
+    :meth:`begin`'s returned payloads seed its state when resuming.
+
+    ``resume=False`` (the default) ignores any existing snapshot and
+    overwrites it on the first save; ``resume=True`` validates the
+    existing snapshot and returns its payloads — or ``None`` for a cold
+    start when the file is absent, corrupt, or belongs to a different
+    computation (mismatch).  Both degraded cases are counted
+    (``checkpoint_corruptions`` / ``checkpoint_mismatches``) so chaos
+    runs can assert the safety net actually engaged.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        every_ms: float = 1000.0,
+        resume: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if every_ms <= 0:
+            raise ValueError("every_ms must be positive")
+        self.path = os.fspath(path)
+        self.every_ms = float(every_ms)
+        self.resume = bool(resume)
+        self._clock = clock
+        self._last_save: Optional[float] = None
+        self._kind: Optional[str] = None
+        self._scope: dict = {}
+        self._baseline: Optional[dict] = None
+        #: Encoded-record reuse across saves: name -> (token, line).
+        self._encoded_cache: dict = {}
+        #: Filled by :meth:`begin` for reporting: "cold", "resumed",
+        #: "complete", or the rejection reason.
+        self.resume_outcome: str = "cold"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(
+        self, kind: str, *, scope: dict, counters_baseline: Optional[dict] = None
+    ) -> Optional[dict]:
+        """Open the run; returns the snapshot payloads when resuming.
+
+        ``scope`` carries the fingerprints authenticating the snapshot
+        (``mapping_fp``/``target_fp``/``options_fp``) plus the live
+        ``epoch``.  ``counters_baseline`` is the METRICS snapshot taken
+        at run start; deltas of :data:`SEMANTIC_COUNTERS` are measured
+        against it (see :meth:`counters_delta`).
+        """
+        self._kind = kind
+        self._scope = dict(scope)
+        self._encoded_cache = {}
+        self._baseline = (
+            dict(counters_baseline)
+            if counters_baseline is not None
+            else METRICS.snapshot()
+        )
+        self._last_save = self._clock()
+        if not self.resume:
+            return None
+        if not os.path.exists(self.path):
+            # Nothing to resume from — an ordinary first run, not a
+            # degraded one, so no corruption counter.
+            self.resume_outcome = "no-snapshot"
+            return None
+        try:
+            with TRACER.span("checkpoint.load"):
+                header, payloads = self.load(kind=kind, scope=self._scope)
+        except CheckpointCorruptError:
+            METRICS.inc("checkpoint_corruptions")
+            self.resume_outcome = "rejected-corrupt"
+            return None
+        except CheckpointMismatchError:
+            METRICS.inc("checkpoint_mismatches")
+            self.resume_outcome = "rejected-mismatch"
+            return None
+        METRICS.inc("checkpoint_restores")
+        self.resume_outcome = "complete" if header.get("complete") else "resumed"
+        payloads["__complete__"] = bool(header.get("complete"))
+        return payloads
+
+    def load(self, *, kind: str, scope: dict) -> tuple[dict, dict]:
+        """Read the snapshot and verify it belongs to this computation.
+
+        Public for tests and tooling; :meth:`begin` is the forgiving
+        wrapper that converts failures into a cold start.
+        """
+        if not os.path.exists(self.path):
+            raise CheckpointCorruptError(self.path, "no such file")
+        header, payloads = read_snapshot(self.path)
+        checks = [
+            ("version", str(SNAPSHOT_VERSION), str(header.get("version"))),
+            ("kind", kind, str(header.get("kind"))),
+        ]
+        # Fingerprints scope the snapshot; the epoch is process-local
+        # and deliberately not compared (see the module docstring).
+        for field in ("mapping_fp", "target_fp", "options_fp"):
+            if field in scope:
+                checks.append((field, str(scope[field]), str(header.get(field))))
+        for field, expected, found in checks:
+            if expected != found:
+                raise CheckpointMismatchError(self.path, field, expected, found)
+        return header, payloads
+
+    # -- cadence ------------------------------------------------------------
+
+    def due(self) -> bool:
+        """Whether the configured interval elapsed since the last save."""
+        if self._last_save is None:
+            return True
+        return (self._clock() - self._last_save) * 1000.0 >= self.every_ms
+
+    # -- persistence --------------------------------------------------------
+
+    def save(
+        self,
+        payloads: dict,
+        *,
+        complete: bool = False,
+        tokens: Optional[dict] = None,
+    ) -> None:
+        """Write a snapshot of ``payloads`` atomically (see module docs).
+
+        ``tokens`` optionally maps a payload name to a cheap hashable
+        value that uniquely identifies its content within this run
+        (e.g. a prefix length of an append-only list).  When the token
+        matches the one from the previous save, the already-encoded
+        record line is reused instead of re-pickling the payload —
+        serialization cost then scales with what *changed* between
+        saves, not with total accumulated state.
+
+        A payload value may be a zero-argument callable: it is treated
+        as a lazy factory, invoked only when its record actually needs
+        encoding.  Combined with a token this makes a cache hit skip
+        both the serialization *and* the materialization of bulk state.
+        """
+        if self._kind is None:
+            raise RuntimeError("CheckpointManager.save before begin")
+        tokens = tokens or {}
+        encoded: dict = {}
+        resolved: dict = {}
+        # One collector pause spans materialization and every record
+        # encode — the factories and pickles allocate only scratch, and
+        # letting collections interleave would re-scan the live
+        # enumeration heap once per record.
+        with _gc_paused():
+            for name, value in payloads.items():
+                if name in tokens:
+                    cached = self._encoded_cache.get(name)
+                    if cached is not None and cached[0] == tokens[name]:
+                        encoded[name] = cached[1]
+                        resolved[name] = None  # line reused; value never read
+                        continue
+                if callable(value):
+                    value = value()
+                if name in tokens:
+                    line = encode_record(name, value)
+                    self._encoded_cache[name] = (tokens[name], line)
+                    encoded[name] = line
+                resolved[name] = value
+        with TRACER.span("checkpoint.save"):
+            nbytes = write_snapshot(
+                self.path,
+                kind=self._kind,
+                scope=self._scope,
+                payloads=resolved,
+                complete=complete,
+                encoded=encoded or None,
+            )
+        self._last_save = self._clock()
+        METRICS.inc("checkpoint_saves")
+        METRICS.inc("checkpoint_bytes_written", nbytes)
+
+    # -- counters -----------------------------------------------------------
+
+    def counters_delta(self) -> dict:
+        """Deltas of the semantic counters since the run's baseline."""
+        if self._baseline is None:
+            return {}
+        now = METRICS.snapshot()
+        return {
+            name: now.get(name, 0) - self._baseline.get(name, 0)
+            for name in SEMANTIC_COUNTERS
+            if now.get(name, 0) != self._baseline.get(name, 0)
+        }
+
+    def merge_counters(self, saved: Optional[dict]) -> None:
+        """Merge a snapshot's semantic-counter deltas into METRICS.
+
+        Called once on resume, *before* any new work: the baseline was
+        taken earlier in :meth:`begin`, so subsequent
+        :meth:`counters_delta` calls include the merged head plus the
+        new tail — exactly what the next snapshot must carry.
+        """
+        if saved:
+            METRICS.merge({name: int(n) for name, n in saved.items() if n})
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointManager({self.path!r}, every_ms={self.every_ms}, "
+            f"resume={self.resume})"
+        )

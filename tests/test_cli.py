@@ -324,3 +324,130 @@ class TestObservability:
         serial = counters_of(["--jobs", "1"], "serial.json")
         parallel = counters_of(["--jobs", "4"], "parallel.json")
         assert parity_diff(serial, parallel, backend="thread") == {}
+
+
+class TestArgumentValidation:
+    """Non-positive resource knobs are rejected up front with exit code 2."""
+
+    @pytest.mark.parametrize(
+        "flag, value",
+        [
+            ("--deadline-ms", "0"),
+            ("--deadline-ms", "-5"),
+            ("--retries", "0"),
+            ("--retries", "-1"),
+            ("--jobs", "0"),
+            ("--jobs", "-2"),
+            ("--checkpoint-every-ms", "0"),
+            ("--checkpoint-every-ms", "-100"),
+        ],
+    )
+    def test_non_positive_values_exit_2(self, workspace, capsys, flag, value):
+        _, mapping_path, _, target_path = workspace
+        argv = [
+            "recover",
+            "--mapping",
+            str(mapping_path),
+            "--target",
+            str(target_path),
+            flag,
+            value,
+        ]
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_non_numeric_value_exit_2(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "recover",
+                    "--mapping",
+                    str(mapping_path),
+                    "--target",
+                    str(target_path),
+                    "--jobs",
+                    "many",
+                ]
+            )
+        assert exc.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, workspace, capsys):
+        _, mapping_path, _, target_path = workspace
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "recover",
+                    "--mapping",
+                    str(mapping_path),
+                    "--target",
+                    str(target_path),
+                    "--resume",
+                ]
+            )
+        assert exc.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+class TestCheckpointFlags:
+    def test_recover_writes_snapshot(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, target_path = workspace
+        snap = tmp_path / "run.ckpt"
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--checkpoint",
+                str(snap),
+            ]
+        )
+        assert code == 0
+        assert snap.exists()
+
+    def test_resume_reports_outcome_and_matches(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, target_path = workspace
+        snap = tmp_path / "run.ckpt"
+        base = [
+            "recover",
+            "--mapping",
+            str(mapping_path),
+            "--target",
+            str(target_path),
+            "--checkpoint",
+            str(snap),
+        ]
+        assert main(base) == 0
+        first_out = capsys.readouterr().out
+        assert main(base + ["--resume", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first_out
+        assert "resume_outcome" in captured.err
+        assert "complete" in captured.err
+
+    def test_certain_accepts_checkpoint(self, workspace, tmp_path, capsys):
+        _, mapping_path, _, target_path = workspace
+        query_path = tmp_path / "q.query"
+        query_path.write_text("q(c) :- Order(c, i)\n")
+        snap = tmp_path / "certain.ckpt"
+        argv = [
+            "certain",
+            "--mapping",
+            str(mapping_path),
+            "--target",
+            str(target_path),
+            "--query",
+            str(query_path),
+            "--checkpoint",
+            str(snap),
+        ]
+        assert main(argv) == 0
+        first_out = capsys.readouterr().out
+        assert snap.exists()
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first_out
