@@ -36,9 +36,18 @@ regression gate requiring the columnar backend to win by
 ``--min-columnar-speedup`` at the largest size with bit-identical
 results at every size.
 
+A service section (skip with ``--no-service``) measures what the
+long-running service exists to amortize: repeat ``/recover`` requests
+against a warm in-process server (mapping registered once, per-tenant
+caches and the result cache hot) versus cold one-shot CLI invocations
+in a fresh process per request, on a ``scaled_recovery_workload``
+fixture.  The gate requires warm repeat requests to beat cold runs by
+``--min-service-speedup`` with service responses bit-identical to
+direct library calls.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR7.json
+    PYTHONPATH=src python benchmarks/quick_bench.py --out BENCH_PR8.json
 """
 
 from __future__ import annotations
@@ -604,9 +613,130 @@ def measure_counter_parity(jobs: int):
     return serial, parallel, parity_diff(serial, parallel, backend="thread")
 
 
+#: Fact count for the service warm-vs-cold fixture: big enough that the
+#: cold run is dominated by real recovery work (not just interpreter
+#: startup), small enough that a handful of repeats stays under a
+#: minute.
+SERVICE_FACTS = 2_000
+
+
+def measure_service_warm_vs_cold(
+    repeats: int, min_speedup: float, facts: int = SERVICE_FACTS
+):
+    """Repeat-request latency against a warm server vs cold one-shots.
+
+    Cold: ``python -m repro recover`` in a fresh subprocess per request
+    — every invocation re-parses Σ, re-derives ``SUB(Σ)`` and
+    recompiles every plan.  Warm: the same mapping and target served by
+    an in-process :func:`repro.service.running_server` over real HTTP,
+    registered (and precompiled) once; ``warm_repeat`` is the service's
+    actual repeat-request latency (result cache eligible), and
+    ``warm_compute`` forces recomputation with ``no_cache`` to isolate
+    what the warm engine caches alone buy.  Every service response is
+    checked bit-identical to a direct library call.
+    """
+    import subprocess
+    import urllib.request
+
+    from repro.data.io import save_instance, save_mapping
+    from repro.service import ServiceConfig, running_server
+    from repro.service.wire import render_instances
+
+    mapping, target = scaled_recovery_workload(7, facts=facts)
+    direct = render_instances(inverse_chase(mapping, target))
+    src_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmpdir:
+        mapping_path = os.path.join(tmpdir, "bench.mapping")
+        target_path = os.path.join(tmpdir, "bench.instance")
+        save_mapping(mapping, mapping_path)
+        save_instance(target, target_path)
+        with open(target_path, encoding="utf-8") as handle:
+            target_text = handle.read()
+        with open(mapping_path, encoding="utf-8") as handle:
+            mapping_text = handle.read()
+
+        cold = []
+        command = [
+            sys.executable, "-m", "repro", "recover",
+            "--mapping", mapping_path, "--target", target_path,
+        ]
+        env = {**os.environ, "PYTHONPATH": src_dir}
+        for _ in range(repeats):
+            start = time.perf_counter()
+            proc = subprocess.run(
+                command, env=env, capture_output=True, text=True
+            )
+            cold.append(time.perf_counter() - start)
+            assert proc.returncode == 0, proc.stderr
+
+        def post(base, path, body):
+            request = urllib.request.Request(
+                base + path, data=json.dumps(body).encode(), method="POST"
+            )
+            start = time.perf_counter()
+            with urllib.request.urlopen(request, timeout=600) as response:
+                payload = json.loads(response.read())
+            return time.perf_counter() - start, payload
+
+        warm_compute, warm_repeat = [], []
+        identical = True
+        with running_server(ServiceConfig(port=0)) as (_service, base):
+            register_s, _ = post(
+                base, "/mappings",
+                {
+                    "tgds": mapping_text,
+                    "name": "bench",
+                    "warm_targets": [target_text],
+                },
+            )
+            body = {"mapping": "bench", "target": target_text}
+            for _ in range(repeats):
+                elapsed, payload = post(
+                    base, "/recover", {**body, "no_cache": True}
+                )
+                warm_compute.append(elapsed)
+                identical &= payload["result"]["recoveries"] == direct
+            post(base, "/recover", body)  # populate the result cache
+            for _ in range(repeats):
+                elapsed, payload = post(base, "/recover", body)
+                warm_repeat.append(elapsed)
+                identical &= payload["result"]["recoveries"] == direct
+                identical &= payload["cached"] is True
+
+    speedups = {
+        "warm_repeat_vs_cold": round(min(cold) / min(warm_repeat), 2),
+        "warm_compute_vs_cold": round(min(cold) / min(warm_compute), 2),
+    }
+    section = {
+        "facts": facts,
+        "recoveries": len(direct),
+        "repeats": repeats,
+        "register_s": round(register_s, 4),
+        "cold_best_s": round(min(cold), 4),
+        "warm_compute_best_s": round(min(warm_compute), 4),
+        "warm_repeat_best_s": round(min(warm_repeat), 4),
+        "speedups": speedups,
+        "results_identical_with_library": identical,
+        "gate": {
+            "min_required": min_speedup,
+            "achieved": speedups["warm_repeat_vs_cold"],
+            "passed": identical
+            and speedups["warm_repeat_vs_cold"] >= min_speedup,
+        },
+    }
+    if not identical:
+        failures.append("service_results")
+    if speedups["warm_repeat_vs_cold"] < min_speedup:
+        failures.append("service_speedup")
+    return section, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR7.json", help="report path")
+    parser.add_argument("--out", default="BENCH_PR8.json", help="report path")
     parser.add_argument(
         "--metrics-json",
         metavar="PATH",
@@ -669,6 +799,26 @@ def main(argv=None) -> int:
         "--no-scaling",
         action="store_true",
         help="skip the columnar scaling curve (minutes of runtime)",
+    )
+    parser.add_argument(
+        "--min-service-speedup",
+        type=float,
+        default=2.0,
+        help=(
+            "fail unless warm repeat requests against the service beat "
+            "cold one-shot CLI invocations by this factor"
+        ),
+    )
+    parser.add_argument(
+        "--service-facts",
+        type=int,
+        default=SERVICE_FACTS,
+        help="fact count for the service warm-vs-cold fixture",
+    )
+    parser.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the service warm-vs-cold benchmark",
     )
     args = parser.parse_args(argv)
 
@@ -785,6 +935,26 @@ def main(argv=None) -> int:
         failures.append("counter_parity")
     else:
         print("counter parity: serial and parallel totals identical")
+
+    if not args.no_service:
+        service, service_failures = measure_service_warm_vs_cold(
+            max(args.repeats, 3), args.min_service_speedup, args.service_facts
+        )
+        report["service"] = service
+        failures.extend(service_failures)
+        print(
+            f"service ({service['facts']} facts):"
+            f" cold={service['cold_best_s']:.3f}s"
+            f" warm-compute={service['warm_compute_best_s']:.3f}s"
+            f" ({service['speedups']['warm_compute_vs_cold']}x)"
+            f" warm-repeat={service['warm_repeat_best_s']:.3f}s"
+            f" ({service['speedups']['warm_repeat_vs_cold']}x)"
+            + (
+                ""
+                if service["results_identical_with_library"]
+                else "  RESULTS DIFFER"
+            )
+        )
 
     if not args.no_scaling:
         sizes = sorted(int(s) for s in args.scale_sizes.split(",") if s.strip())

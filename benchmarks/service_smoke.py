@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve``: boot, register, exercise, scrape.
+
+Boots the real server as a subprocess (the same entry point a user
+runs), registers a mapping, drives every endpoint — synchronous
+``/recover``, ``/certain`` and ``/repair``, an async job polled to
+completion, ``/metrics`` and ``/healthz`` — and fails on any
+unexpected status code or malformed payload.  This is a correctness
+smoke, not a benchmark: it exists so CI catches a service that boots
+but cannot serve.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+TGDS = "S(x, y) -> T(x, y)\nR(x) -> T(x, x)"
+TARGET = "T(a, b)\nT(c, c)"
+
+_checks = 0
+
+
+def call(base, method, path, body=None, tenant="smoke"):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    request.add_header("X-Tenant", tenant)
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def expect(condition, label):
+    global _checks
+    _checks += 1
+    if not condition:
+        print(f"FAIL: {label}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {label}")
+
+
+def main() -> int:
+    src_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env = {**os.environ, "PYTHONPATH": src_dir}
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = server.stderr.readline()
+        match = re.search(r"(http://[\d.]+:\d+)", line)
+        expect(match is not None, f"server announced its address ({line.strip()!r})")
+        base = match.group(1)
+
+        status, payload = call(
+            base, "POST", "/mappings",
+            {"tgds": TGDS, "name": "m", "warm_targets": [TARGET]},
+        )
+        expect(status == 201, f"register mapping -> 201 (got {status})")
+        expect(payload["mapping"]["warmed_targets"] == 1, "warm target precompiled")
+
+        status, payload = call(
+            base, "POST", "/recover", {"mapping": "m", "target": TARGET}
+        )
+        expect(status == 200, f"recover -> 200 (got {status})")
+        expect(payload["status"] == "exact", "recover is exact")
+        expect(payload["result"]["count"] == 2, "recover found both recoveries")
+
+        status, repeat = call(
+            base, "POST", "/recover", {"mapping": "m", "target": TARGET}
+        )
+        expect(
+            status == 200 and repeat["result"] == payload["result"],
+            "repeat recover identical",
+        )
+        expect(repeat["cached"] is True, "repeat recover served from cache")
+
+        status, payload = call(
+            base, "POST", "/certain",
+            {"mapping": "m", "target": "T(a, b)", "query": "q(x) :- S(x, y)"},
+        )
+        expect(status == 200, f"certain -> 200 (got {status})")
+        expect(payload["result"]["answers"] == [["a"]], "certain answer is {a}")
+
+        status, payload = call(
+            base, "POST", "/repair", {"mapping": "m", "target": TARGET}
+        )
+        expect(status == 200, f"repair -> 200 (got {status})")
+        expect(payload["result"]["repaired"] is True, "repair found a repair")
+
+        status, payload = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(x, y)", "mode": "async"},
+        )
+        expect(status == 202, f"async recover -> 202 (got {status})")
+        job_id = payload["job"]["job_id"]
+        deadline = time.monotonic() + 30
+        state = "queued"
+        while time.monotonic() < deadline and state not in ("done", "failed"):
+            status, payload = call(base, "GET", f"/jobs/{job_id}")
+            state = payload["job"]["state"]
+            time.sleep(0.1)
+        expect(state == "done", f"async job completed (state={state})")
+
+        status, payload = call(base, "GET", "/metrics")
+        expect(status == 200, f"metrics -> 200 (got {status})")
+        expect(
+            payload["counters"].get("service_requests", 0) >= 6,
+            "metrics counted the requests",
+        )
+        expect(
+            "tenant:smoke" in payload["service"]["cache_partitions"].get(
+                "service_instance", {}
+            ),
+            "metrics expose the tenant's cache partition",
+        )
+
+        status, payload = call(base, "GET", "/healthz")
+        expect(status == 200 and payload["ok"] is True, "healthz ok")
+
+        print(f"service smoke passed ({_checks} checks)")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

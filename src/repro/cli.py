@@ -1,13 +1,14 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five commands cover the library's main workflows, all operating on DSL
+Six commands cover the library's main workflows, all operating on DSL
 files (see :mod:`repro.data.io`):
 
 * ``exchange``  — chase a source instance forward into a target;
 * ``recover``   — compute ``Chase^{-1}(Sigma, J)``, optionally cored;
 * ``validate``  — decide J-validity, reporting uncoverable facts;
 * ``certain``   — certain answers of a source query over the target;
-* ``repair``    — repair an altered target and recover from it.
+* ``repair``    — repair an altered target and recover from it;
+* ``serve``     — run the long-running recovery service (HTTP).
 
 Example::
 
@@ -210,6 +211,58 @@ def _build_parser() -> argparse.ArgumentParser:
     resilience(p_repair)
     p_repair.add_argument("--target", required=True)
     p_repair.add_argument("--max-removals", type=int, default=3)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the recovery service (long-running HTTP server)",
+        description=(
+            "Serve /mappings, /recover, /certain, /repair, /jobs/<id>, "
+            "/metrics and /healthz over HTTP with warm per-tenant caches, "
+            "admission control and per-request QoS (see docs/API.md)."
+        ),
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--max-inflight", type=_positive_int, default=8,
+        help="executing requests across all tenants (default 8)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=_positive_int, default=16,
+        help="requests allowed to wait for a slot (default 16)",
+    )
+    p_serve.add_argument(
+        "--max-inflight-per-tenant", type=_positive_int, default=2,
+        help="admitted (queued or executing) requests per tenant (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-timeout-s", type=_positive_float, default=5.0,
+        help="longest a request may wait for a slot before a 429 (default 5)",
+    )
+    p_serve.add_argument(
+        "--tenant-cache-budget", type=_positive_int, default=64,
+        help="per-tenant entry budget for each engine cache (default 64)",
+    )
+    p_serve.add_argument(
+        "--result-cache-size", type=int, default=256,
+        help="exact responses cached per tenant; 0 disables (default 256)",
+    )
+    p_serve.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="checkpoint spool for async jobs (enables crash-resume)",
+    )
+    p_serve.add_argument(
+        "--job-workers", type=_positive_int, default=2,
+        help="worker threads draining async jobs (default 2)",
+    )
+    p_serve.add_argument(
+        "--max-recoveries", type=_positive_int, default=1000,
+        help="server-side ceiling on any request's max_recoveries",
+    )
+    p_serve.add_argument(
+        "--default-deadline-ms", type=_positive_float, default=None,
+        help="deadline applied to requests that name none (default: unbounded)",
+    )
     return parser
 
 
@@ -376,12 +429,44 @@ def _cmd_repair(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import ServiceConfig, create_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_inflight_per_tenant=args.max_inflight_per_tenant,
+        queue_timeout_s=args.queue_timeout_s,
+        tenant_cache_budget=args.tenant_cache_budget,
+        result_cache_size=args.result_cache_size,
+        spool_dir=args.spool_dir,
+        job_workers=args.job_workers,
+        max_recoveries=args.max_recoveries,
+        default_deadline_ms=args.default_deadline_ms,
+    )
+    server = create_server(config)
+    host, port = server.server_address[:2]
+    print(f"repro service listening on http://{host}:{port}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.shutdown()
+    return 0
+
+
 _COMMANDS = {
     "exchange": _cmd_exchange,
     "recover": _cmd_recover,
     "validate": _cmd_validate,
     "certain": _cmd_certain,
     "repair": _cmd_repair,
+    "serve": _cmd_serve,
 }
 
 
@@ -440,29 +525,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         elapsed_ms = (time.perf_counter() - started) * 1000
         trace = TRACER.to_dict() if tracing else None
+        # One RunReport serves every output surface: --stats renders it
+        # as a table, --metrics-json writes report.to_dict() — the same
+        # serializer the service's response envelopes use, so a CLI
+        # metrics document and a service response never disagree on
+        # shape.
+        report = RunReport(
+            command=args.command,
+            elapsed_ms=elapsed_ms,
+            counters=COUNTERS.snapshot(),
+            trace=trace,
+            **args._report,
+        )
         if getattr(args, "stats", False):
-            report = RunReport(
-                command=args.command,
-                elapsed_ms=elapsed_ms,
-                counters=COUNTERS.snapshot(),
-                trace=trace,
-                **args._report,
-            )
             print(format_run_report(report), file=sys.stderr)
-            print(format_counters(COUNTERS.snapshot()), file=sys.stderr)
+            print(format_counters(report.counters), file=sys.stderr)
         if getattr(args, "trace", False):
             print(format_trace(), file=sys.stderr)
         if getattr(args, "metrics_json", None):
-            write_metrics_json(
-                args.metrics_json,
-                counters=COUNTERS.snapshot(),
-                trace=trace,
-                command=args.command,
-                elapsed_ms=round(elapsed_ms, 3),
-                status=args._report.get("status", "exact"),
-                rung=args._report.get("rung", "enumeration"),
-                result_size=args._report.get("result_size", 0),
-            )
+            write_metrics_json(args.metrics_json, **report.to_dict())
         if tracing:
             TRACER.disable()
 

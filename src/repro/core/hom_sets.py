@@ -19,7 +19,7 @@ from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.substitutions import Substitution
 from ..data.terms import Term
-from ..engine.cache import LRUCache
+from ..engine.cache import PartitionedLRUCache
 from ..engine.config import CONFIG
 from ..logic.homomorphisms import homomorphisms
 from ..logic.tgds import TGD, Mapping
@@ -117,7 +117,9 @@ def tgd_homomorphisms(
 #: mapping/target pair.  The inverse chase, the certainty pipeline and
 #: the baselines all recompute the same hom-set for a scenario; caching
 #: it removes that redundancy (see ``CONFIG.memoize_hom_sets``).
-_HOM_SET_CACHE = LRUCache("hom_set", maxsize=CONFIG.hom_set_cache_size)
+#: Partitioned so multi-tenant callers (the service layer) keep
+#: per-tenant warm state that no other tenant can evict.
+_HOM_SET_CACHE = PartitionedLRUCache("hom_set", maxsize=CONFIG.hom_set_cache_size)
 
 
 def hom_set(

@@ -39,7 +39,7 @@ from typing import Iterable, Optional, Sequence
 from ..data.atoms import Atom
 from ..data.substitutions import Substitution
 from ..data.terms import Constant, Term, Variable
-from ..engine.cache import LRUCache
+from ..engine.cache import PartitionedLRUCache
 from ..engine.config import CONFIG
 from ..errors import BudgetExceededError
 from ..logic.tgds import TGD, Mapping
@@ -352,7 +352,9 @@ def _canonical_constraint(
 #: Memo for ``SUB(Sigma)``.  The constraint derivation depends only on
 #: the mapping, so the inverse chase pays it once per scenario instead
 #: of once per call (see ``CONFIG.memoize_subsumers``).
-_SUBSUMERS_CACHE = LRUCache("subsumers", maxsize=CONFIG.subsumers_cache_size)
+_SUBSUMERS_CACHE = PartitionedLRUCache(
+    "subsumers", maxsize=CONFIG.subsumers_cache_size
+)
 
 
 def minimal_subsumers(

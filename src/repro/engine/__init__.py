@@ -20,10 +20,16 @@ This package deliberately never imports ``repro.data`` / ``repro.core``
 
 from .cache import (
     LRUCache,
+    PartitionedLRUCache,
     SingleFlightMap,
+    cache_partition,
     clear_registered_caches,
+    configure_partition,
+    current_partition,
+    drop_cache_partition,
+    partition_budget,
+    partitioned_cache_stats,
     registered_cache_names,
-    registered_cache_stats,
 )
 from .config import CONFIG, EngineConfig, configure, engine_options
 from .counters import COUNTERS, KNOWN_COUNTERS, EngineCounters
@@ -38,13 +44,19 @@ __all__ = [
     "Executor",
     "KNOWN_COUNTERS",
     "LRUCache",
+    "PartitionedLRUCache",
     "SERIAL",
     "SingleFlightMap",
+    "cache_partition",
     "clear_registered_caches",
     "configure",
+    "configure_partition",
+    "current_partition",
     "default_jobs",
+    "drop_cache_partition",
     "engine_options",
+    "partition_budget",
+    "partitioned_cache_stats",
     "registered_cache_names",
-    "registered_cache_stats",
     "resolve_executor",
 ]

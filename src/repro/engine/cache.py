@@ -21,14 +21,35 @@ registers itself in a module-level registry so the benchmark harness
 can flush everything between measured configurations via
 :func:`clear_registered_caches`.
 
-:func:`registered_cache_stats` is deprecated — read the same keys from
-``METRICS.snapshot()`` (or ``COUNTERS.snapshot()``) instead.
+Multi-tenant partitioning
+-------------------------
+
+The service layer (:mod:`repro.service`) shares one process across
+tenants, and a shared LRU is a noisy-neighbour channel: one tenant's
+burst of distinct keys evicts every other tenant's warm state.
+:class:`PartitionedLRUCache` closes that channel.  It looks exactly
+like an :class:`LRUCache`, but internally keeps one independent LRU
+per *partition*; the active partition is ambient, thread-local state
+set with :func:`cache_partition`::
+
+    with cache_partition("tenant:acme"):
+        hom_set(mapping, target)   # hits/evicts only acme's partition
+
+Code that never enters a partition uses the default partition (``""``)
+and behaves byte-for-byte like the old shared cache — the library and
+CLI paths are unchanged.  Per-partition capacity budgets are pinned
+with :func:`configure_partition` (a pinned partition ignores global
+``resize`` calls, so ``CONFIG``-driven resizes cannot lift a tenant's
+budget), and :func:`drop_cache_partition` releases a tenant's state
+wholesale.  All partitions of a cache share its metric keys, so
+process-wide counter totals aggregate across tenants unchanged.
 """
 
 from __future__ import annotations
 
 import threading
 import weakref
+from contextlib import contextmanager
 from typing import Callable, Hashable, Iterator, Optional, TypeVar
 
 from ..observability.metrics import METRICS
@@ -325,24 +346,202 @@ def registered_cache_names() -> list[str]:
     return sorted({cache.name for cache in list(_REGISTRY)})
 
 
-def registered_cache_stats() -> dict[str, int]:
-    """``{"<name>_cache_hits": ..., "<name>_cache_misses": ...}``.
-
-    .. deprecated::
-        Statistics now live in the unified metrics registry; read
-        ``<name>_cache_hits`` / ``<name>_cache_misses`` from
-        ``METRICS.snapshot()`` (or ``COUNTERS.snapshot()``).  This
-        shim reports the registry's totals for live caches.
-    """
-    snapshot = METRICS.snapshot()
-    stats: dict[str, int] = {}
-    for name in registered_cache_names():
-        stats[f"{name}_cache_hits"] = snapshot.get(f"{name}_cache_hits", 0)
-        stats[f"{name}_cache_misses"] = snapshot.get(f"{name}_cache_misses", 0)
-    return stats
-
-
 def clear_registered_caches() -> None:
     """Flush every registered cache (statistics are kept)."""
     for cache in list(_REGISTRY):
         cache.clear()
+
+
+# ---------------------------------------------------------------------------
+# Tenant partitioning
+# ---------------------------------------------------------------------------
+
+_PARTITION_LOCAL = threading.local()
+_PARTITIONED: "weakref.WeakSet[PartitionedLRUCache]" = weakref.WeakSet()
+_PARTITION_BUDGETS: dict[str, int] = {}
+_PARTITION_LOCK = threading.Lock()
+
+
+def current_partition() -> str:
+    """The calling thread's active cache partition (``""`` = default)."""
+    return getattr(_PARTITION_LOCAL, "name", "")
+
+
+@contextmanager
+def cache_partition(name: str) -> Iterator[str]:
+    """Route this thread's partitioned-cache traffic to ``name``.
+
+    Nests and restores on exit; the empty string is the default
+    partition every non-service caller implicitly uses.
+    """
+    previous = getattr(_PARTITION_LOCAL, "name", "")
+    _PARTITION_LOCAL.name = name
+    try:
+        yield name
+    finally:
+        _PARTITION_LOCAL.name = previous
+
+
+def configure_partition(name: str, maxsize: int) -> None:
+    """Pin a capacity budget for partition ``name`` on every
+    partitioned cache.
+
+    A pinned partition keeps ``maxsize`` entries per cache regardless
+    of later global ``resize`` calls — the mechanism the service layer
+    uses to give each tenant a fixed cache budget that a config-driven
+    resize cannot silently lift.
+    """
+    if not name:
+        raise ValueError("the default partition's size is the cache maxsize")
+    if maxsize <= 0:
+        raise ValueError(f"partition budget must be positive, got {maxsize}")
+    with _PARTITION_LOCK:
+        _PARTITION_BUDGETS[name] = maxsize
+        caches = list(_PARTITIONED)
+    for cache in caches:
+        cache._apply_budget(name, maxsize)
+
+
+def partition_budget(name: str) -> Optional[int]:
+    """The pinned budget for partition ``name``, or ``None``."""
+    with _PARTITION_LOCK:
+        return _PARTITION_BUDGETS.get(name)
+
+
+def drop_cache_partition(name: str) -> None:
+    """Discard partition ``name`` (entries and budget) everywhere.
+
+    Used when a tenant is retired — their warm state is released
+    without touching any other partition.  Dropping the default
+    partition is equivalent to clearing the caches.
+    """
+    with _PARTITION_LOCK:
+        _PARTITION_BUDGETS.pop(name, None)
+        caches = list(_PARTITIONED)
+    for cache in caches:
+        cache._drop(name)
+
+
+def partitioned_cache_stats() -> dict[str, dict[str, dict[str, int]]]:
+    """``{cache: {partition: {size, maxsize, hits, misses}}}`` across
+    every live :class:`PartitionedLRUCache` — the ``/metrics`` view of
+    which tenants hold warm state and how full their budgets are."""
+    with _PARTITION_LOCK:
+        caches = list(_PARTITIONED)
+    return {
+        cache.name: cache.partition_stats()
+        for cache in sorted(caches, key=lambda c: c.name)
+    }
+
+
+class PartitionedLRUCache:
+    """An :class:`LRUCache` facade with one independent LRU per partition.
+
+    Every method operates on the calling thread's *active* partition
+    (see :func:`cache_partition`), except :meth:`clear`, which flushes
+    all of them — matching what ``clear_registered_caches`` means for
+    a shared cache.  Inner caches share the outer ``name`` so metric
+    keys (``<name>_cache_hits`` / ``_misses``) aggregate across
+    partitions, and each registers itself like any other cache.
+    """
+
+    __slots__ = ("name", "_default_maxsize", "_parts", "_lock", "__weakref__")
+
+    def __init__(self, name: str, maxsize: int = 128):
+        self.name = name
+        self._default_maxsize = maxsize
+        # The default partition exists from birth so the cache's metric
+        # names are registered at import time, exactly like the shared
+        # caches this class replaced; tenant partitions appear lazily.
+        self._parts: dict[str, LRUCache] = {"": LRUCache(name, maxsize=maxsize)}
+        self._lock = threading.Lock()
+        _PARTITIONED.add(self)
+
+    def _part(self) -> LRUCache:
+        partition = current_partition()
+        cache = self._parts.get(partition)
+        if cache is None:
+            with self._lock:
+                cache = self._parts.get(partition)
+                if cache is None:
+                    size = _PARTITION_BUDGETS.get(partition) if partition else None
+                    cache = LRUCache(
+                        self.name,
+                        maxsize=size if size is not None else self._default_maxsize,
+                    )
+                    self._parts[partition] = cache
+        return cache
+
+    def _apply_budget(self, partition: str, maxsize: int) -> None:
+        cache = self._parts.get(partition)
+        if cache is not None:
+            cache.resize(maxsize)
+
+    def _drop(self, partition: str) -> None:
+        with self._lock:
+            self._parts.pop(partition, None)
+
+    # -- the LRUCache surface, scoped to the active partition ---------------
+
+    @property
+    def maxsize(self) -> int:
+        return self._part().maxsize
+
+    def resize(self, maxsize: int) -> None:
+        """Resize the active partition — unless its budget is pinned.
+
+        Config-driven resizes (``CONFIG.plan_cache_size`` checks on the
+        hot path) flow through here; a tenant partition with a pinned
+        budget ignores them, so tuning the global knob never grows or
+        shrinks a tenant's allocation.
+        """
+        partition = current_partition()
+        if partition and partition_budget(partition) is not None:
+            return
+        if not partition:
+            self._default_maxsize = maxsize
+        self._part().resize(maxsize)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], V]) -> V:
+        return self._part().get_or_compute(key, compute)
+
+    def keys(self) -> list:
+        return self._part().keys()
+
+    def clear(self) -> None:
+        with self._lock:
+            parts = list(self._parts.values())
+        for cache in parts:
+            cache.clear()
+
+    @property
+    def hits(self) -> int:
+        return self._part().hits
+
+    @property
+    def misses(self) -> int:
+        return self._part().misses
+
+    def __len__(self) -> int:
+        return len(self._part())
+
+    # -- introspection for isolation tests and /metrics ---------------------
+
+    def partitions(self) -> list[str]:
+        with self._lock:
+            return sorted(self._parts)
+
+    def partition_stats(self) -> dict[str, dict[str, int]]:
+        """``{partition: {size, maxsize, hits, misses}}`` for every
+        partition this cache has materialized."""
+        with self._lock:
+            parts = dict(self._parts)
+        return {
+            partition: {
+                "size": len(cache),
+                "maxsize": cache.maxsize,
+                "hits": cache.hits,
+                "misses": cache.misses,
+            }
+            for partition, cache in sorted(parts.items())
+        }

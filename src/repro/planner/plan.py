@@ -36,7 +36,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 from ..data.atoms import Atom
 from ..data.instances import Instance
 from ..data.terms import Constant, Term
-from ..engine.cache import LRUCache
+from ..engine.cache import LRUCache, PartitionedLRUCache
 from ..engine.config import CONFIG
 from ..observability.metrics import METRICS
 from ..observability.spans import TRACER
@@ -48,7 +48,7 @@ _ARC_PASSES = 4
 #: the probe index will narrow their candidates at evaluation time.
 _PROBE_DISCOUNT = 0.25
 
-_PLAN_CACHE = LRUCache("plan", maxsize=512)
+_PLAN_CACHE = PartitionedLRUCache("plan", maxsize=512)
 
 
 def _mappable(term: Term, frozen: frozenset[Term]) -> bool:

@@ -38,7 +38,7 @@ from ..data.atoms import Atom
 from ..data.columnar import ColumnarRelation, ColumnarStore
 from ..data.substitutions import Substitution
 from ..data.terms import Term
-from ..engine.cache import LRUCache
+from ..engine.cache import PartitionedLRUCache
 from ..engine.config import CONFIG
 from ..observability.metrics import METRICS
 from ..observability.spans import TRACER
@@ -48,7 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..data.instances import Instance
     from ..resilience import Deadline
 
-_VECTOR_PLAN_CACHE = LRUCache("vector_plan", maxsize=512)
+_VECTOR_PLAN_CACHE = PartitionedLRUCache("vector_plan", maxsize=512)
 
 #: Sentinel id for a bound value that was never interned: no column can
 #: hold it, so every comparison against it fails (bound ids are only

@@ -1,0 +1,43 @@
+"""Recovery-as-a-service: a long-running multi-tenant HTTP front end.
+
+The service turns the library's one-shot entry points into a process
+that *keeps its caches*: mappings are registered once (parsed,
+``SUB(Σ)`` derived, hom-sets warmed), and every later ``/recover``,
+``/certain`` or ``/repair`` request runs against warm per-tenant cache
+partitions.  Admission control bounds concurrency and queueing (429 +
+``Retry-After``), per-request QoS maps deadlines onto the resilience
+ladder with rung provenance in every response, and ``mode: "async"``
+requests become checkpoint-backed jobs that survive a service restart.
+
+Transport is the stdlib's threaded ``http.server`` — the service has
+no dependency the library itself does not have.  See ``docs/API.md``
+for the endpoint reference and ``repro serve`` for the CLI entry.
+"""
+
+from .admission import AdmissionController, AdmissionRejected
+from .app import RecoveryService, ServiceConfig, create_server, running_server
+from .jobs import Job, JobManager
+from .qos import QoS, provenance, qos_from
+from .registry import MappingRegistry, RegisteredMapping, tenant_partition
+from .wire import WireError, content_key, error_payload, parse_json_body
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "Job",
+    "JobManager",
+    "MappingRegistry",
+    "QoS",
+    "RecoveryService",
+    "RegisteredMapping",
+    "ServiceConfig",
+    "WireError",
+    "content_key",
+    "create_server",
+    "error_payload",
+    "parse_json_body",
+    "provenance",
+    "qos_from",
+    "running_server",
+    "tenant_partition",
+]

@@ -1,0 +1,135 @@
+"""Admission control: bounded queueing and per-tenant in-flight caps.
+
+The enumeration engine's worst case is exponential, so an unbounded
+request intake is an unbounded memory/CPU commitment.  The controller
+enforces three limits, checked in order:
+
+1. **per-tenant cap** — a tenant may hold at most
+   ``max_inflight_per_tenant`` admitted slots (queued *or* executing).
+   Over the cap the request is rejected immediately: waiting cannot
+   help, because only that tenant's own completions free its slots,
+   and counting queued requests against the cap is what stops one
+   tenant from filling the shared queue.
+2. **bounded queue** — when all ``max_inflight`` execution slots are
+   busy, up to ``max_queue`` requests wait; a full queue rejects
+   immediately.
+3. **queue timeout** — a queued request that does not get a slot
+   within ``queue_timeout_s`` is rejected, so clients see bounded
+   worst-case latency instead of an unbounded stall.
+
+Every rejection carries ``retry_after_s``, surfaced as the HTTP
+``Retry-After`` header with a 429 status.  Admission order among
+waiters follows the condition variable's FIFO wakeup; fairness beyond
+that is deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..errors import ReproError
+from ..observability.metrics import METRICS
+
+
+class AdmissionRejected(ReproError):
+    """Raised when a request is refused at the door (HTTP 429)."""
+
+    def __init__(self, reason: str, tenant: str, retry_after_s: float):
+        super().__init__(
+            f"request rejected ({reason}) for tenant {tenant!r}; "
+            f"retry after {retry_after_s:g}s"
+        )
+        self.reason = reason
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """Counting-semaphore admission with per-tenant bookkeeping."""
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        max_inflight_per_tenant: int = 2,
+        queue_timeout_s: float = 5.0,
+        retry_after_s: float = 1.0,
+    ):
+        if min(max_inflight, max_queue, max_inflight_per_tenant) < 1:
+            raise ValueError("admission limits must be positive")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        self.queue_timeout_s = queue_timeout_s
+        self.retry_after_s = retry_after_s
+        self._cond = threading.Condition()
+        self._executing = 0
+        self._queued = 0
+        self._per_tenant: dict[str, int] = {}
+
+    def _reject(self, reason: str, tenant: str) -> AdmissionRejected:
+        METRICS.inc("service_rejections")
+        METRICS.inc(f"service_rejected_{reason}")
+        METRICS.inc(f"tenant[{tenant}].rejections")
+        return AdmissionRejected(
+            reason.replace("_", "-"), tenant, self.retry_after_s
+        )
+
+    @contextmanager
+    def admit(self, tenant: str) -> Iterator[None]:
+        """Hold one execution slot for the duration of the block."""
+        deadline = time.monotonic() + self.queue_timeout_s
+        with self._cond:
+            held = self._per_tenant.get(tenant, 0)
+            if held >= self.max_inflight_per_tenant:
+                raise self._reject("tenant_limit", tenant)
+            if self._executing >= self.max_inflight:
+                if self._queued >= self.max_queue:
+                    raise self._reject("queue_full", tenant)
+                # Queue: the tenant slot is claimed while waiting, so a
+                # single tenant cannot occupy the whole shared queue.
+                self._queued += 1
+                self._per_tenant[tenant] = held + 1
+                try:
+                    while self._executing >= self.max_inflight:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            raise self._reject("queue_timeout", tenant)
+                except AdmissionRejected:
+                    self._release_tenant_locked(tenant)
+                    raise
+                finally:
+                    self._queued -= 1
+            else:
+                self._per_tenant[tenant] = held + 1
+            self._executing += 1
+        METRICS.inc("service_admitted")
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._executing -= 1
+                self._release_tenant_locked(tenant)
+                self._cond.notify()
+
+    def _release_tenant_locked(self, tenant: str) -> None:
+        remaining = self._per_tenant.get(tenant, 1) - 1
+        if remaining <= 0:
+            self._per_tenant.pop(tenant, None)
+        else:
+            self._per_tenant[tenant] = remaining
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "executing": self._executing,
+                "queued": self._queued,
+                "per_tenant": dict(sorted(self._per_tenant.items())),
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "max_inflight_per_tenant": self.max_inflight_per_tenant,
+            }

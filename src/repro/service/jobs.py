@@ -1,0 +1,177 @@
+"""Checkpoint-backed asynchronous jobs for long-running requests.
+
+A request with ``"mode": "async"`` is accepted with 202 and executed
+on a small dedicated worker pool; ``GET /jobs/<id>`` polls it.  Jobs
+exist because the interesting recoveries are the *long* ones — the
+worst-case-exponential enumerations a synchronous request would time
+out on — and those are exactly the runs that want the PR-7 durability
+story: when the service is configured with a spool directory, every
+job gets a :class:`~repro.resilience.CheckpointManager` on its own
+snapshot file with ``resume=True``, so a crashed-and-restarted service
+re-submits the job and continues from the last completed covering
+instead of from zero (fingerprint validation on resume makes a changed
+input a safe cold start).
+
+Job ids are content-derived (tenant, endpoint, a monotone sequence),
+records are tenant-scoped — one tenant cannot read another's job — and
+the pending queue is bounded: a full queue is an admission rejection
+(429), not an unbounded backlog.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..observability.metrics import METRICS
+from ..resilience import CheckpointManager
+from .admission import AdmissionRejected
+from .wire import WireError
+
+#: A job executes as ``fn(checkpoint_manager) -> (http_status, payload)``.
+JobFn = Callable[[Optional[CheckpointManager]], tuple[int, dict[str, Any]]]
+
+_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One asynchronous request and (eventually) its response."""
+
+    job_id: str
+    tenant: str
+    endpoint: str
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    http_status: Optional[int] = None
+    response: Optional[dict[str, Any]] = None
+    error: str = ""
+    checkpoint_path: str = ""
+
+    def describe(self, *, include_response: bool = True) -> dict[str, Any]:
+        info: dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "endpoint": self.endpoint,
+            "state": self.state,
+            "submitted_at": round(self.submitted_at, 3),
+        }
+        if self.checkpoint_path:
+            info["checkpoint"] = self.checkpoint_path
+        if self.started_at is not None:
+            info["started_at"] = round(self.started_at, 3)
+        if self.finished_at is not None:
+            info["finished_at"] = round(self.finished_at, 3)
+        if self.state == "failed":
+            info["error"] = self.error
+        if include_response and self.state == "done":
+            info["http_status"] = self.http_status
+            info["response"] = self.response
+        return info
+
+
+class JobManager:
+    """A bounded queue of jobs drained by daemon worker threads."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        max_pending: int = 32,
+        spool_dir: Optional[str] = None,
+        retry_after_s: float = 1.0,
+    ):
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._fns: dict[str, JobFn] = {}
+        self._lock = threading.Lock()
+        self._sequence = itertools.count(1)
+        self._max_pending = max_pending
+        self._retry_after_s = retry_after_s
+        self.spool_dir = spool_dir
+        if spool_dir:
+            os.makedirs(spool_dir, exist_ok=True)
+        self._workers = [
+            threading.Thread(
+                target=self._drain, name=f"repro-job-{i}", daemon=True
+            )
+            for i in range(max(1, workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def submit(self, tenant: str, endpoint: str, fn: JobFn) -> Job:
+        with self._lock:
+            pending = sum(
+                1 for job in self._jobs.values() if job.state in ("queued", "running")
+            )
+            if pending >= self._max_pending:
+                METRICS.inc("service_rejections")
+                METRICS.inc("service_rejected_job_backlog")
+                raise AdmissionRejected("job-backlog", tenant, self._retry_after_s)
+            job_id = f"{tenant}-{endpoint}-{next(self._sequence)}"
+            job = Job(job_id=job_id, tenant=tenant, endpoint=endpoint)
+            if self.spool_dir:
+                job.checkpoint_path = os.path.join(
+                    self.spool_dir, f"job-{job_id}.ckpt"
+                )
+            self._jobs[job_id] = job
+            self._fns[job_id] = fn
+        METRICS.inc("service_jobs_submitted")
+        METRICS.inc(f"tenant[{tenant}].jobs_submitted")
+        self._queue.put(job)
+        return job
+
+    def get(self, tenant: str, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None or job.tenant != tenant:
+            # A foreign tenant's probe gets the same 404 as a missing
+            # id: job existence is itself tenant-scoped information.
+            raise WireError(f"unknown job {job_id!r}", http_status=404)
+        return job
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in _STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return counts
+
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                fn = self._fns.pop(job.job_id, None)
+            if fn is None:  # pragma: no cover - shutdown race
+                continue
+            job.state = "running"
+            job.started_at = time.time()
+            manager = None
+            if job.checkpoint_path:
+                manager = CheckpointManager(job.checkpoint_path, resume=True)
+            try:
+                job.http_status, job.response = fn(manager)
+                job.state = "done"
+                METRICS.inc("service_jobs_completed")
+            except Exception as error:  # noqa: BLE001 - job boundary
+                job.error = f"{type(error).__name__}: {error}"
+                job.state = "failed"
+                METRICS.inc("service_jobs_failed")
+            finally:
+                job.finished_at = time.time()
+
+    def shutdown(self, *, timeout_s: float = 5.0) -> None:
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=timeout_s)

@@ -1,0 +1,66 @@
+"""Per-request QoS: deadlines mapped onto the resilience ladder.
+
+A request's quality-of-service contract is two fields:
+
+* ``deadline_ms`` — a wall-clock budget for the whole computation,
+  turned into a fresh :class:`repro.resilience.Deadline` at execution
+  time (deadlines start ticking at construction, so the object is
+  built *after* admission — queueing time does not eat the budget);
+* ``qos`` — ``"exact"`` (the default: expiry is a 504 with progress
+  attached) or ``"degrade"`` (expiry walks the PR-2 degradation
+  ladder and returns a sound-but-possibly-incomplete answer).
+
+Either way the response carries rung provenance: ``status`` is
+``"exact"`` or ``"sound-incomplete"`` and ``rung`` names the ladder
+rung that produced the value, exactly as
+:class:`~repro.resilience.AnytimeResult` reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..resilience import AnytimeResult, Deadline
+from .wire import WireError, get_number
+
+QOS_MODES = ("exact", "degrade")
+
+
+@dataclass(frozen=True)
+class QoS:
+    """One request's deadline/degradation contract."""
+
+    deadline_ms: Optional[float] = None
+    degrade: bool = False
+
+    @property
+    def mode(self) -> str:
+        """The resilience ``mode=`` argument for the core entry points."""
+        return "degrade" if self.degrade else "raise"
+
+    def deadline(self) -> Optional[Deadline]:
+        """A fresh deadline, started now (call after admission)."""
+        if self.deadline_ms is None:
+            return None
+        return Deadline(wall_ms=self.deadline_ms)
+
+
+def qos_from(body: dict[str, Any], default_deadline_ms: Optional[float]) -> QoS:
+    """Validate and extract the QoS fields of a request body."""
+    deadline_ms = get_number(body, "deadline_ms", default_deadline_ms)
+    mode = body.get("qos", "exact")
+    if mode not in QOS_MODES:
+        raise WireError(f"field 'qos' must be one of {QOS_MODES}, got {mode!r}")
+    return QoS(deadline_ms=deadline_ms, degrade=(mode == "degrade"))
+
+
+def provenance(result: Any) -> tuple[Any, str, str, str]:
+    """``(value, status, rung, detail)`` for any core-layer result.
+
+    Unwraps :class:`AnytimeResult` (degraded runs); plain values are
+    exact answers produced by full enumeration.
+    """
+    if isinstance(result, AnytimeResult):
+        return result.value, result.status, result.rung, result.detail
+    return result, "exact", "enumeration", ""

@@ -1,0 +1,168 @@
+"""The mapping registry: named, fingerprinted, precompiled mappings.
+
+Registration is where the service earns its keep.  Parsing Σ, deriving
+``SUB(Σ)`` (:func:`repro.core.subsumption.minimal_subsumers`) and
+enumerating ``HOM(Σ, J)`` for declared warm targets all happen once,
+at ``POST /mappings`` time, inside the tenant's cache partition — so
+the first ``/recover`` request hits warm caches instead of paying the
+compile cost on the latency path.
+
+Identity is content-based: a mapping's fingerprint is the SHA-256 of
+its dependencies (the same :func:`repro.resilience.mapping_fingerprint`
+that scopes checkpoint snapshots), so re-registering identical text is
+idempotent and registering *different* text under a taken name is a
+409 conflict rather than a silent overwrite.
+
+The registry also owns the per-tenant **parsed-target cache**: request
+bodies address instances by content (SHA-256 of the DSL text), and a
+repeat request gets back the *same* :class:`Instance` object.  That
+object identity is what keeps ``Instance.epoch`` stable across
+requests, which is what lets the epoch-keyed plan caches
+(:mod:`repro.planner`) hit instead of recompiling — re-parsing equal
+text would produce an equal instance with a fresh epoch and cold
+plans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.hom_sets import hom_set
+from ..core.subsumption import minimal_subsumers
+from ..data.instances import Instance
+from ..engine.cache import PartitionedLRUCache, cache_partition
+from ..logic.parser import parse_instance, parse_tgds
+from ..logic.tgds import Mapping
+from ..observability.metrics import METRICS
+from ..resilience.checkpoint import instance_fingerprint, mapping_fingerprint
+from .wire import WireError, content_key
+
+
+def tenant_partition(tenant: str) -> str:
+    """The cache-partition name backing ``tenant``'s warm state."""
+    return f"tenant:{tenant}"
+
+
+@dataclass
+class RegisteredMapping:
+    """One tenant's registered mapping plus its precompiled artifacts."""
+
+    mapping_id: str
+    tenant: str
+    mapping: Mapping
+    fingerprint: str
+    source_text: str
+    subsumer_count: int = 0
+    warmed_targets: int = 0
+    registered_at: float = field(default_factory=time.time)
+
+    def describe(self) -> dict:
+        return {
+            "mapping_id": self.mapping_id,
+            "tenant": self.tenant,
+            "fingerprint": self.fingerprint,
+            "tgds": len(list(self.mapping)),
+            "subsumers": self.subsumer_count,
+            "warmed_targets": self.warmed_targets,
+        }
+
+
+class MappingRegistry:
+    """Thread-safe, tenant-namespaced store of registered mappings."""
+
+    def __init__(self, *, instance_cache_size: int = 32):
+        self._lock = threading.Lock()
+        self._by_tenant: dict[str, dict[str, RegisteredMapping]] = {}
+        #: Content-addressed parsed targets, partitioned per tenant so
+        #: one tenant's distinct-target churn cannot evict another's.
+        self._instances = PartitionedLRUCache(
+            "service_instance", maxsize=instance_cache_size
+        )
+
+    def register(
+        self,
+        tenant: str,
+        text: str,
+        *,
+        name: Optional[str] = None,
+        precompile: bool = True,
+        warm_targets: tuple[str, ...] = (),
+    ) -> tuple[RegisteredMapping, bool]:
+        """Parse, fingerprint and precompile a mapping for ``tenant``.
+
+        Returns ``(entry, created)``; re-registering identical content
+        under the same id is idempotent (``created=False``), identical
+        content under a *new* name makes a fresh entry, and different
+        content under a taken name is a 409 :class:`WireError`.
+        """
+        mapping = Mapping(parse_tgds(text))
+        fingerprint = mapping_fingerprint(mapping)
+        mapping_id = name if name is not None else fingerprint[:12]
+        with self._lock:
+            entries = self._by_tenant.setdefault(tenant, {})
+            existing = entries.get(mapping_id)
+            if existing is not None:
+                if existing.fingerprint != fingerprint:
+                    raise WireError(
+                        f"mapping {mapping_id!r} is already registered for "
+                        f"tenant {tenant!r} with different content "
+                        f"(fingerprint {existing.fingerprint[:12]})",
+                        http_status=409,
+                    )
+                return existing, False
+            entry = RegisteredMapping(
+                mapping_id=mapping_id,
+                tenant=tenant,
+                mapping=mapping,
+                fingerprint=fingerprint,
+                source_text=text,
+            )
+            entries[mapping_id] = entry
+        # Precompilation happens outside the registry lock (it can be
+        # expensive) but inside the tenant's partition, so every cache
+        # it warms is the one this tenant's requests will read.
+        if precompile or warm_targets:
+            with cache_partition(tenant_partition(tenant)):
+                if precompile:
+                    entry.subsumer_count = len(minimal_subsumers(mapping))
+                for target_text in warm_targets:
+                    target = self.target_for(tenant, target_text)
+                    hom_set(mapping, target)
+                    instance_fingerprint(target)
+                    entry.warmed_targets += 1
+        METRICS.inc("service_mappings_registered")
+        return entry, True
+
+    def get(self, tenant: str, mapping_id: str) -> RegisteredMapping:
+        with self._lock:
+            entry = self._by_tenant.get(tenant, {}).get(mapping_id)
+        if entry is None:
+            raise WireError(
+                f"unknown mapping {mapping_id!r} for tenant {tenant!r}",
+                http_status=404,
+            )
+        return entry
+
+    def describe(self, tenant: str) -> list[dict]:
+        with self._lock:
+            entries = list(self._by_tenant.get(tenant, {}).values())
+        return [entry.describe() for entry in sorted(entries, key=lambda e: e.mapping_id)]
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._by_tenant)
+
+    def target_for(self, tenant: str, text: str) -> Instance:
+        """The parsed instance for ``text``, content-addressed per tenant.
+
+        Must be called inside the tenant's cache partition (the service
+        layer and :meth:`register` both arrange this); the single-flight
+        LRU guarantees concurrent requests for the same content share
+        one parse and one Instance object.
+        """
+        return self._instances.get_or_compute(
+            content_key(text), lambda: parse_instance(text)
+        )

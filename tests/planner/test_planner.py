@@ -249,16 +249,17 @@ class TestCounters:
         assert COUNTERS.plans_compiled == compiled + 1
         assert COUNTERS.plan_components_evaluated >= evaluated + 2
 
-    def test_plan_cache_stats_are_registered(self):
-        from repro.engine.cache import registered_cache_stats
+    def test_plan_cache_stats_reach_metrics(self):
+        from repro.observability import METRICS
 
         target = Instance([R(a, b)])
         clear_registered_caches()
+        base = METRICS.snapshot()
         plan_for([R(x, y)], target)
         plan_for([R(x, y)], target)
-        stats = registered_cache_stats()
-        assert stats["plan_cache_hits"] >= 1
-        assert stats["plan_cache_misses"] >= 1
+        delta = METRICS.delta_since(base)
+        assert delta.get("plan_cache_hits", 0) >= 1
+        assert delta.get("plan_cache_misses", 0) >= 1
 
 
 class TestConfigToggle:

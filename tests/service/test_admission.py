@@ -1,0 +1,170 @@
+"""Admission control: caps, queueing, timeouts and slot accounting."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import AdmissionController, AdmissionRejected
+
+
+def controller(**overrides):
+    defaults = dict(
+        max_inflight=2,
+        max_queue=2,
+        max_inflight_per_tenant=1,
+        queue_timeout_s=0.2,
+        retry_after_s=0.5,
+    )
+    defaults.update(overrides)
+    return AdmissionController(**defaults)
+
+
+class TestCaps:
+    def test_admit_and_release(self):
+        ctl = controller()
+        with ctl.admit("a"):
+            assert ctl.stats()["executing"] == 1
+            assert ctl.stats()["per_tenant"] == {"a": 1}
+        assert ctl.stats()["executing"] == 0
+        assert ctl.stats()["per_tenant"] == {}
+
+    def test_tenant_cap_rejects_immediately(self):
+        ctl = controller()
+        with ctl.admit("a"):
+            with pytest.raises(AdmissionRejected) as excinfo:
+                with ctl.admit("a"):
+                    pass
+        assert excinfo.value.reason == "tenant-limit"
+        assert excinfo.value.retry_after_s == 0.5
+
+    def test_other_tenant_unaffected_by_tenant_cap(self):
+        ctl = controller()
+        with ctl.admit("a"), ctl.admit("b"):
+            assert ctl.stats()["executing"] == 2
+
+    def test_queue_full_rejects(self):
+        ctl = controller(max_inflight=1, max_queue=1, queue_timeout_s=2.0)
+        release = threading.Event()
+        entered = threading.Event()
+        queued_done = threading.Event()
+
+        def holder():
+            with ctl.admit("holder"):
+                entered.set()
+                release.wait(5)
+
+        def queuer():
+            with ctl.admit("queued"):
+                pass
+            queued_done.set()
+
+        t_hold = threading.Thread(target=holder)
+        t_hold.start()
+        entered.wait(5)
+        t_queue = threading.Thread(target=queuer)
+        t_queue.start()
+        for _ in range(100):  # wait for the queuer to be counted
+            if ctl.stats()["queued"] == 1:
+                break
+            time.sleep(0.01)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            with ctl.admit("third"):
+                pass
+        assert excinfo.value.reason == "queue-full"
+        release.set()
+        t_hold.join(5)
+        t_queue.join(5)
+        assert queued_done.is_set()
+        assert ctl.stats()["executing"] == 0
+
+    def test_queue_timeout_rejects_and_releases_slot(self):
+        ctl = controller(max_inflight=1, queue_timeout_s=0.05)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with ctl.admit("holder"):
+                entered.set()
+                release.wait(5)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        entered.wait(5)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            with ctl.admit("waiter"):
+                pass
+        assert excinfo.value.reason == "queue-timeout"
+        # The waiter's tenant slot must not leak on rejection.
+        assert "waiter" not in ctl.stats()["per_tenant"]
+        assert ctl.stats()["queued"] == 0
+        release.set()
+        thread.join(5)
+
+    def test_queued_request_runs_after_release(self):
+        ctl = controller(max_inflight=1, queue_timeout_s=5.0)
+        order = []
+        entered = threading.Event()
+
+        def holder():
+            with ctl.admit("a"):
+                entered.set()
+                time.sleep(0.05)
+                order.append("holder")
+
+        def waiter():
+            entered.wait(5)
+            with ctl.admit("b"):
+                order.append("waiter")
+
+        threads = [
+            threading.Thread(target=holder),
+            threading.Thread(target=waiter),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5)
+        assert order == ["holder", "waiter"]
+
+    def test_limits_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+
+
+class TestConcurrentLoad:
+    def test_slots_never_exceed_cap_under_contention(self):
+        ctl = controller(
+            max_inflight=3,
+            max_queue=32,
+            max_inflight_per_tenant=32,
+            queue_timeout_s=5.0,
+        )
+        peak = []
+        lock = threading.Lock()
+        active = [0]
+
+        def worker():
+            try:
+                with ctl.admit("shared"):
+                    with lock:
+                        active[0] += 1
+                        peak.append(active[0])
+                    time.sleep(0.005)
+                    with lock:
+                        active[0] -= 1
+            except AdmissionRejected:
+                pass
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert max(peak) <= 3
+        stats = ctl.stats()
+        assert stats["executing"] == 0
+        assert stats["queued"] == 0
+        assert stats["per_tenant"] == {}

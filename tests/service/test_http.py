@@ -1,0 +1,320 @@
+"""End-to-end HTTP: real sockets through ``http.server`` to the core.
+
+Each test boots the threaded server on an OS-assigned port via
+:func:`repro.service.running_server` and speaks actual HTTP with
+``urllib`` — the same path ``repro serve`` exposes.  Error mapping
+(400/404/405/409/422/429/504), response envelopes, async jobs and the
+metrics document are all pinned here.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceConfig, running_server
+
+TGDS = "S(x, y) -> T(x, y)\nR(x) -> T(x, x)"
+
+
+def call(base, method, path, body=None, tenant=None, timeout=10):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    request.add_header("Content-Type", "application/json")
+    if tenant:
+        request.add_header("X-Tenant", tenant)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+@pytest.fixture(scope="class")
+def server():
+    with running_server(ServiceConfig(port=0)) as (service, base):
+        call(base, "POST", "/mappings", {"tgds": TGDS, "name": "m"}, tenant="t1")
+        yield service, base
+
+
+class TestEndpoints:
+    def test_register_and_reregister(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/mappings", {"tgds": TGDS, "name": "m2"}, tenant="t1"
+        )
+        assert status == 201
+        assert payload["created"] is True
+        assert payload["mapping"]["mapping_id"] == "m2"
+        status, payload, _ = call(
+            base, "POST", "/mappings", {"tgds": TGDS, "name": "m2"}, tenant="t1"
+        )
+        assert status == 200
+        assert payload["created"] is False
+
+    def test_conflicting_registration_is_409(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/mappings", {"tgds": "A(x) -> B(x)", "name": "m"},
+            tenant="t1",
+        )
+        assert status == 409
+        assert payload["error"]["kind"] == "conflict"
+
+    def test_recover_envelope(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(a, b)\nT(c, c)"}, tenant="t1",
+        )
+        assert status == 200
+        assert payload["status"] == "exact"
+        assert payload["rung"] == "enumeration"
+        assert payload["result"]["valid"] is True
+        assert payload["result"]["recoveries"] == [
+            ["R(c)", "S(a, b)"],
+            ["S(a, b)", "S(c, c)"],
+        ]
+        report = payload["report"]
+        assert report["command"] == "service.recover"
+        assert report["result_size"] == 2
+
+    def test_repeat_request_is_served_from_result_cache(self, server):
+        _, base = server
+        body = {"mapping": "m", "target": "T(x, y)"}
+        status, first, _ = call(base, "POST", "/recover", body, tenant="t1")
+        status, second, _ = call(base, "POST", "/recover", body, tenant="t1")
+        assert first["cached"] is False or second["cached"] is True
+        assert second["result"] == first["result"]
+
+    def test_no_cache_bypasses_result_cache(self, server):
+        _, base = server
+        body = {"mapping": "m", "target": "T(p, q)", "no_cache": True}
+        for _ in range(2):
+            status, payload, _ = call(base, "POST", "/recover", body, tenant="t1")
+            assert payload["cached"] is False
+
+    def test_certain_answers(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/certain",
+            {"mapping": "m", "target": "T(a, b)", "query": "q(x) :- S(x, y)"},
+            tenant="t1",
+        )
+        assert status == 200
+        assert payload["result"]["answers"] == [["a"]]
+
+    def test_repair(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/repair", {"mapping": "m", "target": "T(a, b)"},
+            tenant="t1",
+        )
+        assert status == 200
+        assert payload["result"]["repaired"] is True
+
+    def test_async_job_lifecycle(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(j, k)", "mode": "async"}, tenant="t1",
+        )
+        assert status == 202
+        job_id = payload["job"]["job_id"]
+        assert payload["poll"] == f"/jobs/{job_id}"
+        for _ in range(100):
+            status, payload, _ = call(base, "GET", f"/jobs/{job_id}", tenant="t1")
+            if payload["job"]["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        assert payload["job"]["state"] == "done"
+        assert payload["job"]["response"]["result"]["valid"] is True
+
+    def test_job_is_tenant_scoped(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(u, v)", "mode": "async"}, tenant="t1",
+        )
+        job_id = payload["job"]["job_id"]
+        status, payload, _ = call(base, "GET", f"/jobs/{job_id}", tenant="other")
+        assert status == 404
+
+    def test_metrics_document(self, server):
+        _, base = server
+        status, payload, _ = call(base, "GET", "/metrics")
+        assert status == 200
+        assert payload["counters"]["service_requests"] >= 1
+        service = payload["service"]
+        assert "t1" in service["tenants"]
+        partitions = service["cache_partitions"]
+        assert "tenant:t1" in partitions["service_instance"]
+
+    def test_healthz(self, server):
+        _, base = server
+        status, payload, _ = call(base, "GET", "/healthz")
+        assert status == 200
+        assert payload["ok"] is True
+
+    def test_list_mappings(self, server):
+        _, base = server
+        status, payload, _ = call(base, "GET", "/mappings", tenant="t1")
+        assert status == 200
+        assert any(m["mapping_id"] == "m" for m in payload["mappings"])
+
+
+class TestErrorMapping:
+    def test_unknown_path_404(self, server):
+        _, base = server
+        status, payload, _ = call(base, "GET", "/nope")
+        assert status == 404
+
+    def test_method_not_allowed_405(self, server):
+        _, base = server
+        status, payload, _ = call(base, "GET", "/recover")
+        assert status == 404  # GET /recover is not a resource
+        request = urllib.request.Request(
+            base + "/healthz", data=b"{}", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 404
+
+    def test_malformed_json_400(self, server):
+        _, base = server
+        request = urllib.request.Request(
+            base + "/recover", data=b"{not json", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                status, payload = response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            status, payload = error.code, json.loads(error.read())
+        assert status == 400
+        assert payload["error"]["kind"] == "bad-request"
+
+    def test_unknown_mapping_404(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover", {"mapping": "ghost", "target": "T(a, b)"},
+            tenant="t1",
+        )
+        assert status == 404
+
+    def test_bad_tenant_name_400(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(a, b)", "tenant": "no/slashes"},
+        )
+        assert status == 400
+
+    def test_bad_query_400(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/certain",
+            {"mapping": "m", "target": "T(a, b)", "query": "q(x) -> S(x, y)"},
+            tenant="t1",
+        )
+        assert status == 400
+        assert payload["error"]["kind"] == "parse-error"
+
+    def test_exact_deadline_expiry_504(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {
+                "mapping": "m",
+                "target": "T(d1, d2)\nT(d3, d4)\nT(d5, d6)",
+                "deadline_ms": 1e-4,
+                "no_cache": True,
+            },
+            tenant="t1",
+        )
+        assert status == 504
+        assert payload["error"]["kind"] == "deadline"
+        assert "progress" in payload["error"]
+
+    def test_degrade_mode_returns_rung_provenance(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {
+                "mapping": "m",
+                "target": "T(g1, g2)\nT(g3, g4)\nT(g5, g6)",
+                "deadline_ms": 1e-4,
+                "qos": "degrade",
+                "no_cache": True,
+            },
+            tenant="t1",
+        )
+        assert status == 200
+        assert payload["status"] in ("exact", "sound-incomplete")
+        assert payload["rung"] != ""
+
+    def test_invalid_qos_400(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(a, b)", "qos": "best-effort"},
+            tenant="t1",
+        )
+        assert status == 400
+
+
+class TestAdmissionOverHTTP:
+    def test_tenant_cap_is_429_with_retry_after(self):
+        config = ServiceConfig(
+            port=0,
+            max_inflight=1,
+            max_queue=1,
+            max_inflight_per_tenant=1,
+            queue_timeout_s=0.05,
+            retry_after_s=2.0,
+        )
+        with running_server(config) as (service, base):
+            call(base, "POST", "/mappings", {"tgds": TGDS, "name": "m"}, tenant="a")
+            import threading
+
+            results = []
+
+            # Self-join facts each have two coverings (S(c,c) or R(c)),
+            # so 8 of them force a 256-recovery enumeration — slow
+            # enough that the threads genuinely overlap.
+            target = "\n".join(f"T(c{i}, c{i})" for i in range(8))
+
+            def slow_request():
+                results.append(
+                    call(
+                        base, "POST", "/recover",
+                        {"mapping": "m", "target": target, "no_cache": True},
+                        tenant="a",
+                    )
+                )
+
+            threads = [threading.Thread(target=slow_request) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            statuses = sorted(status for status, _, _ in results)
+            assert statuses.count(200) >= 1
+            rejected = [
+                (status, payload, headers)
+                for status, payload, headers in results
+                if status == 429
+            ]
+            assert rejected, f"expected at least one 429, got {statuses}"
+            status, payload, headers = rejected[0]
+            assert headers["Retry-After"] == "2"
+            assert payload["error"]["kind"] == "rejected"
+            assert payload["error"]["reason"] in (
+                "tenant-limit", "queue-full", "queue-timeout"
+            )

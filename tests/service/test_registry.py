@@ -1,0 +1,94 @@
+"""Mapping registry: fingerprints, idempotence, conflicts, warm state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import cache_partition
+from repro.service import MappingRegistry, WireError, tenant_partition
+from repro.service.wire import content_key
+
+TGDS = "S(x, y) -> T(x, y)\nR(x) -> T(x, x)"
+
+
+@pytest.fixture
+def registry():
+    return MappingRegistry(instance_cache_size=8)
+
+
+class TestRegister:
+    def test_register_parses_and_fingerprints(self, registry):
+        entry, created = registry.register("t1", TGDS, name="m")
+        assert created
+        assert entry.mapping_id == "m"
+        assert len(entry.fingerprint) == 64
+        assert entry.describe()["tgds"] == 2
+
+    def test_anonymous_id_is_fingerprint_prefix(self, registry):
+        entry, _ = registry.register("t1", TGDS)
+        assert entry.mapping_id == entry.fingerprint[:12]
+
+    def test_identical_reregistration_is_idempotent(self, registry):
+        first, created_first = registry.register("t1", TGDS, name="m")
+        second, created_second = registry.register("t1", TGDS, name="m")
+        assert created_first and not created_second
+        assert second is first
+
+    def test_conflicting_content_is_409(self, registry):
+        registry.register("t1", TGDS, name="m")
+        with pytest.raises(WireError) as excinfo:
+            registry.register("t1", "A(x) -> B(x)", name="m")
+        assert excinfo.value.http_status == 409
+
+    def test_tenants_are_separate_namespaces(self, registry):
+        registry.register("t1", TGDS, name="m")
+        entry, created = registry.register("t2", "A(x) -> B(x)", name="m")
+        assert created
+        assert entry.tenant == "t2"
+
+    def test_unknown_mapping_is_404(self, registry):
+        with pytest.raises(WireError) as excinfo:
+            registry.get("t1", "missing")
+        assert excinfo.value.http_status == 404
+
+    def test_foreign_tenant_cannot_see_mapping(self, registry):
+        registry.register("t1", TGDS, name="m")
+        with pytest.raises(WireError) as excinfo:
+            registry.get("t2", "m")
+        assert excinfo.value.http_status == 404
+
+
+class TestPrecompile:
+    def test_precompile_counts_subsumers(self, registry):
+        # xi: S(x,y) -> T(x); rho: T(x) -> T(x) gives a subsuming pair.
+        text = "S(x, y) -> U(x, y)\nS(x, x) -> U(x, x)"
+        entry, _ = registry.register("t1", text)
+        assert entry.subsumer_count >= 0  # derived, not defaulted
+
+    def test_warm_targets_are_parsed_and_counted(self, registry):
+        entry, _ = registry.register(
+            "t1", TGDS, name="m", warm_targets=("T(a, b)",)
+        )
+        assert entry.warmed_targets == 1
+
+    def test_target_for_returns_same_object_for_same_content(self, registry):
+        registry.register("t1", TGDS, name="m")
+        with cache_partition(tenant_partition("t1")):
+            first = registry.target_for("t1", "T(a, b)\nT(c, c)")
+            second = registry.target_for("t1", "T(a, b)\nT(c, c)")
+        # Object identity keeps Instance.epoch stable, which is what
+        # lets the epoch-keyed plan caches hit on repeat requests.
+        assert second is first
+
+    def test_equivalent_spellings_share_a_parse(self, registry):
+        text_a = "\n".join(["T(a, b)", "T(c, c)"])
+        assert content_key(text_a) == content_key("T(a, b)\nT(c, c)")
+
+    def test_target_cache_is_partitioned_per_tenant(self, registry):
+        registry.register("t1", TGDS, name="m")
+        registry.register("t2", TGDS, name="m")
+        with cache_partition(tenant_partition("t1")):
+            for_t1 = registry.target_for("t1", "T(a, b)")
+        with cache_partition(tenant_partition("t2")):
+            for_t2 = registry.target_for("t2", "T(a, b)")
+        assert for_t1 is not for_t2
