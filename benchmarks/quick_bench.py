@@ -36,6 +36,16 @@ regression gate requiring the columnar backend to win by
 ``--min-columnar-speedup`` at the largest size with bit-identical
 results at every size.
 
+A churn section (skip with ``--no-churn``) is the incremental-recovery
+gate: at each scaling size it bootstraps a maintained
+``repro.incremental.RecoveryState`` and drives it through single-fact
+deltas (alternating fresh-fact inserts with deletions of existing
+facts), timing delta maintenance — ``apply_delta`` plus refreshed
+recoveries plus certain answers — against a cold recompute on the very
+same evolved target.  Results must be bit-identical at every step, and
+at the largest size the maintained path must beat cold recompute by
+``--min-churn-speedup``.
+
 A service section (skip with ``--no-service``) measures what the
 long-running service exists to amortize: repeat ``/recover`` requests
 against a warm in-process server (mapping registered once, per-tenant
@@ -67,8 +77,11 @@ from conftest import lemma1_fixture
 from repro.core.certain import certain_answer
 from repro.core.inverse_chase import inverse_chase
 from repro.core.validity import is_valid_for_recovery
+from repro.data.atoms import Atom
+from repro.data.terms import Constant
 from repro.engine import CONFIG, COUNTERS, Executor, engine_options
 from repro.engine.cache import clear_registered_caches
+from repro.incremental import RecoveryState
 from repro.logic.parser import parse_instance, parse_query, parse_tgds
 from repro.logic.tgds import Mapping
 from repro.observability import (
@@ -460,6 +473,151 @@ def run_scaling(sizes, repeats: int, min_speedup: float):
     return section, failures
 
 
+# --------------------------------------------------------------------
+# Churn: semi-naive delta maintenance against cold recompute.  The
+# maintained state and the from-scratch pipeline answer for the *same*
+# evolved target object at every step, so the comparison is pure
+# algorithm (O(Δ) maintenance vs O(|J|) recompute), not fixture drift.
+# --------------------------------------------------------------------
+
+def measure_churn_point(facts: int, deltas: int):
+    """One churn cell: bootstrap, then ``deltas`` single-fact deltas.
+
+    Odd steps delete a random fact of the original exchange (retiring
+    the covering hom it supports), even steps insert a fresh fact over
+    unseen constants (admitting a new hom).  The incremental pass is
+    traced as a whole; the cold pass re-times ``inverse_chase`` +
+    ``certain_answer`` on each evolved child with cleared caches (the
+    maintained state seeds the hom-set cache for its epoch, which a
+    cold consumer must not inherit).
+    """
+    mapping, target, query, _ = scale_workload(facts)
+    rng = random.Random(23)
+    original = sorted(target.facts)
+
+    clear_registered_caches()
+    TRACER.reset()
+    TRACER.enable()
+    steps = []
+    try:
+        start = time.perf_counter()
+        with TRACER.span("bench.churn_bootstrap"):
+            state = RecoveryState(mapping, target, verify_justification=False)
+        bootstrap_s = time.perf_counter() - start
+        for i in range(deltas):
+            if i % 2 == 0:
+                add = [Atom("F", [Constant(f"churn{i}x"), Constant(f"churn{i}y")])]
+                remove = []
+            else:
+                add = []
+                remove = [original.pop(rng.randrange(len(original)))]
+            start = time.perf_counter()
+            with TRACER.span("bench.churn_delta"):
+                state.apply_delta(add=add, remove=remove)
+                recoveries = state.recoveries
+                answers = state.certain(query)
+            elapsed = time.perf_counter() - start
+            steps.append(
+                {
+                    "target": state.target,
+                    "recoveries": canonical(recoveries),
+                    "answers": answers,
+                    "incremental_s": elapsed,
+                }
+            )
+    finally:
+        TRACER.disable()
+    incremental_phases = phase_wall_times(TRACER.to_dict())
+
+    TRACER.reset()
+    TRACER.enable()
+    identical = True
+    try:
+        for step in steps:
+            clear_registered_caches()
+            start = time.perf_counter()
+            with TRACER.span("bench.churn_cold"):
+                cold_recoveries = inverse_chase(
+                    mapping, step["target"], verify_justification=False
+                )
+                cold_answers = certain_answer(
+                    query, mapping, step["target"], verify_justification=False
+                )
+            step["cold_s"] = time.perf_counter() - start
+            identical = (
+                identical
+                and canonical(cold_recoveries) == step["recoveries"]
+                and cold_answers == step["answers"]
+            )
+    finally:
+        TRACER.disable()
+    cold_phases = phase_wall_times(TRACER.to_dict())
+
+    incremental_total = sum(s["incremental_s"] for s in steps)
+    cold_total = sum(s["cold_s"] for s in steps)
+    return {
+        "facts": facts,
+        "deltas": deltas,
+        "bootstrap_s": round(bootstrap_s, 4),
+        "incremental_total_s": round(incremental_total, 4),
+        "cold_total_s": round(cold_total, 4),
+        "per_delta": [
+            {
+                "incremental_s": round(s["incremental_s"], 4),
+                "cold_s": round(s["cold_s"], 4),
+                "speedup": round(s["cold_s"] / s["incremental_s"], 2),
+            }
+            for s in steps
+        ],
+        "speedup": round(cold_total / incremental_total, 2),
+        "incremental_phases_ms": {
+            name: round(ms, 3) for name, ms in sorted(incremental_phases.items())
+        },
+        "cold_phases_ms": {
+            name: round(ms, 3) for name, ms in sorted(cold_phases.items())
+        },
+        "results_identical_with_cold": identical,
+    }
+
+
+def run_churn(sizes, deltas: int, min_speedup: float):
+    """Delta maintenance vs cold recompute across ``sizes``."""
+    section = {
+        "query": f"path length {SCALE_QUERY_LENGTH}, project=source",
+        "deltas_per_size": deltas,
+        "points": [],
+    }
+    failures = []
+    identical = True
+    gate_speedup = 0.0
+    for facts in sizes:
+        point = measure_churn_point(facts, deltas)
+        identical = identical and point["results_identical_with_cold"]
+        if facts == max(sizes):
+            gate_speedup = point["speedup"]
+        section["points"].append(point)
+        print(
+            f"churn {facts} facts ({deltas} deltas):"
+            f" bootstrap={point['bootstrap_s']:.2f}s"
+            f" incremental={point['incremental_total_s']:.3f}s"
+            f" cold={point['cold_total_s']:.2f}s"
+            f" ({point['speedup']}x)"
+            + ("" if point["results_identical_with_cold"] else "  RESULTS DIFFER")
+        )
+    section["results_identical_with_cold"] = identical
+    section["gate"] = {
+        "largest_facts": max(sizes),
+        "speedup": gate_speedup,
+        "min_required": min_speedup,
+        "passed": identical and gate_speedup >= min_speedup,
+    }
+    if not identical:
+        failures.append("churn_results")
+    if gate_speedup < min_speedup:
+        failures.append("churn_speedup")
+    return section, failures
+
+
 def measure_deadline_overhead(repeats: int) -> dict:
     """Cost of the cooperative checks: generous deadline vs none.
 
@@ -736,7 +894,7 @@ def measure_service_warm_vs_cold(
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR8.json", help="report path")
+    parser.add_argument("--out", default="BENCH_PR9.json", help="report path")
     parser.add_argument(
         "--metrics-json",
         metavar="PATH",
@@ -799,6 +957,26 @@ def main(argv=None) -> int:
         "--no-scaling",
         action="store_true",
         help="skip the columnar scaling curve (minutes of runtime)",
+    )
+    parser.add_argument(
+        "--churn-deltas",
+        type=int,
+        default=6,
+        help="single-fact deltas per churn point (alternating insert/delete)",
+    )
+    parser.add_argument(
+        "--min-churn-speedup",
+        type=float,
+        default=5.0,
+        help=(
+            "fail unless delta maintenance beats cold recompute by this "
+            "factor at the largest churn size"
+        ),
+    )
+    parser.add_argument(
+        "--no-churn",
+        action="store_true",
+        help="skip the incremental churn benchmark (minutes of runtime)",
     )
     parser.add_argument(
         "--min-service-speedup",
@@ -956,8 +1134,15 @@ def main(argv=None) -> int:
             )
         )
 
+    sizes = sorted(int(s) for s in args.scale_sizes.split(",") if s.strip())
+    if not args.no_churn:
+        churn, churn_failures = run_churn(
+            sizes, args.churn_deltas, args.min_churn_speedup
+        )
+        report["churn"] = churn
+        failures.extend(churn_failures)
+
     if not args.no_scaling:
-        sizes = sorted(int(s) for s in args.scale_sizes.split(",") if s.strip())
         scaling, scaling_failures = run_scaling(
             sizes, args.scale_repeats, args.min_columnar_speedup
         )

@@ -105,6 +105,40 @@ def main() -> int:
         expect(payload["result"]["repaired"] is True, "repair found a repair")
 
         status, payload = call(
+            base, "POST", "/mappings/m/facts", {"target": TARGET}
+        )
+        expect(status == 200, f"facts: materialize view -> 200 (got {status})")
+        expect(payload["view"]["valid"] is True, "materialized view is valid")
+
+        status, payload = call(base, "POST", "/recover", {"mapping": "m"})
+        expect(status == 200, f"view recover -> 200 (got {status})")
+        expect(payload["rung"] == "incremental", "view recover rung incremental")
+        expect(payload["result"]["count"] == 2, "view recover matches explicit")
+
+        status, payload = call(
+            base, "POST", "/certain", {"mapping": "m", "query": "q(x) :- S(x, y)"}
+        )
+        expect(status == 200, f"view certain -> 200 (got {status})")
+        before = payload["result"]["answers"]
+
+        status, payload = call(
+            base, "POST", "/mappings/m/facts", {"add": "T(z, w)"}
+        )
+        expect(status == 200, f"facts: delta -> 200 (got {status})")
+        expect(payload["applied"]["added"] == 1, "delta applied one fact")
+        expect(payload["view"]["deltas"] == 1, "view counted the delta")
+
+        status, payload = call(
+            base, "POST", "/certain", {"mapping": "m", "query": "q(x) :- S(x, y)"}
+        )
+        expect(status == 200, f"post-delta certain -> 200 (got {status})")
+        expect(payload["cached"] is False, "delta invalidated the cached answer")
+        expect(
+            payload["result"]["answers"] == sorted(before + [["z"]]),
+            "post-delta certain sees the new fact",
+        )
+
+        status, payload = call(
             base, "POST", "/recover",
             {"mapping": "m", "target": "T(x, y)", "mode": "async"},
         )

@@ -23,7 +23,7 @@ answers every CQ soundly.  The construction (Definitions 11-12):
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from ..data.atoms import Atom
 from ..data.instances import Instance
@@ -34,6 +34,9 @@ from ..logic.tgds import Mapping
 from ..chase.standard import chase_restricted
 from .glb import glb
 from .hom_sets import TargetHomomorphism, hom_set
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, no runtime import
+    from ..resilience.deadline import Deadline
 
 
 def minimal_coverings_for(
@@ -132,6 +135,7 @@ def per_hom_glb(
     hom: TargetHomomorphism,
     homs: Sequence[TargetHomomorphism],
     factory: Optional[NullFactory] = None,
+    deadline: Optional["Deadline"] = None,
 ) -> Instance:
     """``glb(I_{H(h,Sigma)} : H in COV_h(Sigma, J))`` for one anchor ``h``."""
     factory = factory or NullFactory(prefix="C")
@@ -139,23 +143,29 @@ def per_hom_glb(
         generalized_source_instance(covering, hom, factory)
         for covering in minimal_coverings_for(hom, homs)
     ]
-    return glb(_dedup_isomorphic(generalized), factory=factory)
+    return glb(_dedup_isomorphic(generalized), factory=factory, deadline=deadline)
 
 
-def cq_sound_instance(mapping: Mapping, target: Instance) -> Instance:
+def cq_sound_instance(
+    mapping: Mapping,
+    target: Instance,
+    deadline: Optional["Deadline"] = None,
+) -> Instance:
     """``I_{Sigma,J}`` (Definition 12): the CQ sub-universal source instance.
 
     Theorem 9: ``I_{Sigma,J}`` maps homomorphically into every recovery
     of ``J``, so ``Q(I_{Sigma,J})↓ subseteq CERT(Q, Sigma, J)`` for every
-    CQ ``Q``.  Computed in time polynomial in ``|J|`` for a fixed
-    mapping (Theorem 8).
+    CQ ``Q``.  Computed in time polynomial in ``|J|`` for a *fixed*
+    mapping (Theorem 8); the constant is exponential in the mapping, so
+    ``deadline`` bounds the glb products cooperatively for adversarial
+    mappings (duplicate tgds over null-rich targets).
     """
-    homs = hom_set(mapping, target)
+    homs = hom_set(mapping, target, deadline)
     factory = NullFactory(prefix="C")
     factory.avoid(target.domain())
     pieces: list[Instance] = []
     for hom in homs:
-        pieces.append(per_hom_glb(hom, homs, factory))
+        pieces.append(per_hom_glb(hom, homs, factory, deadline))
     result = Instance.empty()
     for piece in pieces:
         result = result | piece

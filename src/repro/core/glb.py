@@ -15,11 +15,14 @@ produced.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..data.atoms import Atom
 from ..data.instances import Instance, InstanceBuilder
 from ..data.terms import NullFactory, Term
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, no runtime import
+    from ..resilience.deadline import Deadline
 
 
 class PairingFunction:
@@ -48,13 +51,21 @@ def glb2(
     left: Instance,
     right: Instance,
     pairing: Optional[PairingFunction] = None,
+    deadline: Optional["Deadline"] = None,
 ) -> Instance:
-    """``glb(I_1, I_2)`` by the direct-product construction."""
+    """``glb(I_1, I_2)`` by the direct-product construction.
+
+    The product has ``|I_1| * |I_2|`` candidate pairs, so a folded glb
+    can grow exponentially in the number of operands; ``deadline``
+    charges one cooperative step per pair, bounding the blowup.
+    """
     pairing = pairing or _fresh_pairing(left, right)
     facts = InstanceBuilder()
     for relation in left.relation_names & right.relation_names:
         for l_fact in left.facts_for(relation):
             for r_fact in right.facts_for(relation):
+                if deadline is not None:
+                    deadline.step(1, "glb product")
                 if l_fact.arity != r_fact.arity:
                     continue
                 facts.add(
@@ -79,7 +90,9 @@ def _fresh_pairing(
 
 
 def glb(
-    instances: Sequence[Instance], factory: Optional[NullFactory] = None
+    instances: Sequence[Instance],
+    factory: Optional[NullFactory] = None,
+    deadline: Optional["Deadline"] = None,
 ) -> Instance:
     """``glb(I_1, ..., I_n)`` by folding :func:`glb2` left to right.
 
@@ -95,7 +108,7 @@ def glb(
     result = instances[0]
     for other in instances[1:]:
         pairing = _fresh_pairing(result, other, factory=factory)
-        result = glb2(result, other, pairing)
+        result = glb2(result, other, pairing, deadline)
         if result.is_empty:
             return result
     return result

@@ -240,7 +240,7 @@ def _evaluate_covering(
 
     def justified(candidate: Instance) -> bool:
         def compute() -> bool:
-            verdict = is_justified(mapping, candidate, target)
+            verdict = is_justified(mapping, candidate, target, deadline=deadline)
             verdicts[candidate] = verdict
             return verdict
 
@@ -523,7 +523,8 @@ def inverse_chase_candidates(
     def justified(candidate: Instance) -> bool:
         with TRACER.span("inverse_chase.justify", aggregate=True):
             return justified_cache.get_or_compute(
-                candidate, lambda: is_justified(mapping, candidate, target)
+                candidate,
+                lambda: is_justified(mapping, candidate, target, deadline=deadline),
             )
 
     def progress() -> dict:

@@ -28,7 +28,10 @@ carries a budget.
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, no runtime import
+    from ..resilience.deadline import Deadline
 
 from ..data.atoms import Atom
 from ..data.instances import Instance
@@ -245,6 +248,7 @@ def is_justified(
     target: Instance,
     *,
     max_search: int = 200000,
+    deadline: Optional["Deadline"] = None,
 ) -> bool:
     """Definition 2: ``J`` is justified by ``I`` under ``Sigma``.
 
@@ -254,6 +258,11 @@ def is_justified(
 
     :raises BudgetExceededError: when the completion phase would exceed
         ``max_search`` assignments for some placement.
+    :raises DeadlineExceededError: when ``deadline`` expires; each
+        placement attempt and completion assignment charges one
+        cooperative step, so a step budget bounds the whole search
+        deterministically (``max_search`` alone still admits minutes of
+        wall time on null-rich targets).
     """
     if not satisfies(source, target, mapping):
         return False
@@ -286,6 +295,11 @@ def is_justified(
             if budget[0] <= 0:
                 raise BudgetExceededError("justification completions", max_search)
             budget[0] -= 1
+            if deadline is not None:
+                # One completion costs O(|canonical|): map_terms rebuilds
+                # every chase fact.  Charge accordingly so step budgets
+                # calibrated on cheap enumeration steps stay honest here.
+                deadline.step(1 + len(canonical), "justification completions")
             assignment: dict[Term, Term] = {}
             for root, value in zip(free, choice):
                 if value is not None:
@@ -307,6 +321,8 @@ def is_justified(
             return completions_ok()
         fact = facts[index]
         for candidate in sorted(canonical.facts_for(fact.relation)):
+            if deadline is not None:
+                deadline.step(1, "justification placement")
             mark = spec.mark()
             bound: list[Term] = []
             if _place_fact(fact, candidate, spec, j_binding, bound):
@@ -326,6 +342,7 @@ def is_recovery(
     target: Instance,
     *,
     max_search: int = 200000,
+    deadline: Optional["Deadline"] = None,
 ) -> bool:
     """Definition 3: ``I in REC(Sigma, J)``.
 
@@ -334,4 +351,6 @@ def is_recovery(
     non-empty target: with no triggers the only minimal solution is
     empty, and a non-empty ``J`` has no homomorphism into it.
     """
-    return is_justified(mapping, source, target, max_search=max_search)
+    return is_justified(
+        mapping, source, target, max_search=max_search, deadline=deadline
+    )

@@ -147,6 +147,76 @@ class ColumnarStore:
             METRICS.inc("columnar_facts_stored", count)
             return cls(table, relations)
 
+    def evolved(
+        self, added: Iterable[Atom], removed: Iterable[Atom]
+    ) -> "ColumnarStore":
+        """A store for this store's facts plus/minus a delta.
+
+        Relations untouched by the delta share their
+        :class:`ColumnarRelation` objects (columns *and* already-built
+        indexes) with the receiver, so compiled vector plans carried
+        forward across an :meth:`Instance.evolve` keep pointing at live
+        data.  Touched relations are rebuilt by splicing the delta into
+        the existing sorted row list — the structural row order is a
+        total order (term sort keys are injective), so the result is
+        bit-identical to a cold :meth:`build` of the same fact set.
+        """
+        from bisect import bisect_left, insort
+
+        with _BUILD_LOCK, TRACER.span("columnar.evolve", aggregate=True):
+            table = self.table
+            intern = table.intern
+            term = table.term
+            key_of: dict[int, tuple[int, str]] = {}
+
+            def term_key(v: int) -> tuple[int, str]:
+                k = key_of.get(v)
+                if k is None:
+                    k = term(v).sort_key
+                    key_of[v] = k
+                return k
+
+            def row_key(row: tuple[int, ...]) -> tuple[tuple[int, str], ...]:
+                return tuple(term_key(v) for v in row)
+
+            touched: dict[
+                tuple[str, int], tuple[list[tuple[int, ...]], list[tuple[int, ...]]]
+            ] = {}
+            for fact in added:
+                adds, _ = touched.setdefault(
+                    (fact.relation, fact.arity), ([], [])
+                )
+                adds.append(tuple(intern(t) for t in fact.args))
+            for fact in removed:
+                _, dels = touched.setdefault(
+                    (fact.relation, fact.arity), ([], [])
+                )
+                dels.append(tuple(intern(t) for t in fact.args))
+            relations = dict(self._relations)
+            for key, (adds, dels) in touched.items():
+                name, arity = key
+                rel = relations.get(key)
+                rows = (
+                    [] if rel is None else list(zip(*rel.columns))
+                    if rel.arity
+                    else [()] * rel.size
+                )
+                for row in dels:
+                    i = bisect_left(rows, row_key(row), key=row_key)
+                    if i < len(rows) and rows[i] == row:
+                        del rows[i]
+                for row in adds:
+                    insort(rows, row, key=row_key)
+                if rows:
+                    relations[key] = ColumnarRelation(name, arity, rows, table)
+                else:
+                    relations.pop(key, None)
+            METRICS.inc("columnar_stores_evolved")
+            METRICS.inc(
+                "columnar_relations_carried", len(relations) - len(touched)
+            )
+            return ColumnarStore(table, relations)
+
     def get(self, relation: str, arity: int) -> Optional[ColumnarRelation]:
         return self._relations.get((relation, arity))
 

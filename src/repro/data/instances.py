@@ -50,6 +50,41 @@ from .terms import Constant, Null, Term, Variable
 _EPOCHS = count(1)
 
 
+class InstanceDelta:
+    """Epoch lineage of an evolved instance: parent plus fact delta.
+
+    ``Instance.evolve`` stamps its child with one of these, so caches
+    keyed on epochs can carry entries forward selectively (anything
+    untouched by ``added``/``removed`` relations is still valid for the
+    child) instead of recomputing wholesale under churn.
+    """
+
+    __slots__ = ("parent_epoch", "added", "removed")
+
+    def __init__(
+        self,
+        parent_epoch: int,
+        added: frozenset[Atom],
+        removed: frozenset[Atom],
+    ):
+        self.parent_epoch = parent_epoch
+        self.added = added
+        self.removed = removed
+
+    @property
+    def relations(self) -> frozenset[str]:
+        """Relations touched by the delta (for cache carry-forward)."""
+        return frozenset(f.relation for f in self.added) | frozenset(
+            f.relation for f in self.removed
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InstanceDelta(parent_epoch={self.parent_epoch}, "
+            f"+{len(self.added)}, -{len(self.removed)})"
+        )
+
+
 class Instance:
     """An immutable set of facts with lookup indexes."""
 
@@ -60,6 +95,7 @@ class Instance:
         "_hash",
         "_epoch",
         "_store",
+        "_lineage",
     )
 
     def __init__(self, facts: Iterable[Atom] = (), schema: Optional[Schema] = None):
@@ -77,6 +113,7 @@ class Instance:
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_epoch", next(_EPOCHS))
         object.__setattr__(self, "_store", None)
+        object.__setattr__(self, "_lineage", None)
         METRICS.inc("instances_built")
         if not CONFIG.lazy_indexes:
             self._ensure_indexes()
@@ -104,6 +141,7 @@ class Instance:
         object.__setattr__(inst, "_hash", None)
         object.__setattr__(inst, "_epoch", next(_EPOCHS))
         object.__setattr__(inst, "_store", None)
+        object.__setattr__(inst, "_lineage", None)
         METRICS.inc("instances_built")
         if not CONFIG.lazy_indexes:
             inst._ensure_indexes()
@@ -128,6 +166,7 @@ class Instance:
         object.__setattr__(inst, "_hash", None)
         object.__setattr__(inst, "_epoch", next(_EPOCHS))
         object.__setattr__(inst, "_store", None)
+        object.__setattr__(inst, "_lineage", None)
         METRICS.inc("instances_built")
         return inst
 
@@ -197,6 +236,57 @@ class Instance:
                     store = ColumnarStore.build(self._facts)
                     object.__setattr__(self, "_store", store)
         return store
+
+    @property
+    def lineage(self) -> Optional[InstanceDelta]:
+        """The delta this instance was evolved from, or ``None``.
+
+        Only :meth:`evolve` records lineage; every other construction
+        path (including unpickling) yields a root instance.
+        """
+        return self._lineage
+
+    def evolve(
+        self, *, add: Iterable[Atom] = (), remove: Iterable[Atom] = ()
+    ) -> "Instance":
+        """A child instance with ``add`` inserted and ``remove`` retracted.
+
+        The child records epoch lineage (:class:`InstanceDelta`), shares
+        the receiver's incrementally-patched indexes, and — when the
+        receiver already built a columnar store — adopts a delta-evolved
+        store (bit-identical to a cold build) instead of re-sorting
+        every row.  A fact listed in both ``add`` and ``remove`` ends up
+        present (adds win); an empty effective delta returns ``self``.
+        """
+        added = frozenset(add) - self._facts
+        removed = (frozenset(remove) & self._facts) - frozenset(add)
+        if not added and not removed:
+            return self
+        for fact in added:
+            if not fact.is_fact:
+                raise SchemaError(
+                    f"instances may not contain variables, got {fact}"
+                )
+        # Build (and thereby share) the indexes up front: churn workloads
+        # probe the child immediately, and the builder can only patch
+        # index tiers that exist.
+        self._ensure_indexes()
+        builder = InstanceBuilder(self)
+        builder.discard_all(removed)
+        builder.add_validated(added)
+        child = builder.build()
+        object.__setattr__(
+            child, "_lineage", InstanceDelta(self._epoch, added, removed)
+        )
+        parent_store = self._store
+        if parent_store is not None:
+            object.__setattr__(
+                child, "_store", parent_store.evolved(added, removed)
+            )
+        METRICS.inc("incremental_evolves")
+        METRICS.inc("incremental_facts_added", len(added))
+        METRICS.inc("incremental_facts_removed", len(removed))
+        return child
 
     @property
     def epoch(self) -> int:

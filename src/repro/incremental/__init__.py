@@ -1,0 +1,5 @@
+"""Semi-naive delta maintenance of recovery under fact churn."""
+
+from .state import RecoveryState
+
+__all__ = ["RecoveryState"]

@@ -306,9 +306,11 @@ def instance_homomorphisms(
     )
 
 
-def maps_into(source: Instance, target: Instance) -> bool:
+def maps_into(
+    source: Instance, target: Instance, deadline: Optional["Deadline"] = None
+) -> bool:
     """``source -> target`` in the paper's notation (some hom exists)."""
-    return has_homomorphism(list(source.facts), target)
+    return has_homomorphism(list(source.facts), target, deadline=deadline)
 
 
 def homomorphically_equivalent(left: Instance, right: Instance) -> bool:

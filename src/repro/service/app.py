@@ -55,7 +55,7 @@ from ..errors import (
     ParseError,
     ReproError,
 )
-from ..logic.parser import parse_query
+from ..logic.parser import parse_instance, parse_query
 from ..observability import TRACER
 from ..observability.export import metrics_document
 from ..observability.metrics import METRICS
@@ -254,6 +254,11 @@ class RecoveryService:
             body = parse_json_body(raw_body)
             if path == "/mappings":
                 return self._register(body, headers)
+            if path.startswith("/mappings/") and path.endswith("/facts"):
+                name = path[len("/mappings/") : -len("/facts")]
+                return self._facts(
+                    valid_name(name, "mapping name"), body, headers
+                )
             if path in ("/recover", "/certain", "/repair"):
                 return self._compute_endpoint(path[1:], body, headers)
             raise WireError(f"no such resource {path!r}", http_status=404)
@@ -298,6 +303,84 @@ class RecoveryService:
             "report": report.to_dict(),
         }
         return (201 if created else 200), payload, {}
+
+    # -- endpoint: POST /mappings/<name>/facts ------------------------------
+
+    def _facts(
+        self, mapping_id: str, body: dict, headers: dict[str, str]
+    ) -> Response:
+        """Apply a fact delta to the mapping's materialized recovery view.
+
+        ``target`` (DSL text or a fact list) initializes or replaces
+        the view's base instance; ``add``/``remove`` are fact deltas
+        maintained semi-naively through
+        :class:`repro.incremental.RecoveryState`.  Every effective
+        delta advances the view's epoch, which versions the result
+        cache: entries computed against the old target can no longer
+        be addressed, so no stale exact result survives a mutation.
+        """
+        tenant = tenant_of(body, headers)
+        self._count_request(tenant, "facts")
+        self._enter_tenant(tenant)
+        entry = self.registry.get(tenant, mapping_id)
+        add_text = instance_text(body, "add") if "add" in body else ""
+        remove_text = instance_text(body, "remove") if "remove" in body else ""
+        verify = get_bool(body, "verify_justification", True)
+        qos = qos_from(body, self.config.default_deadline_ms)
+        started = time.perf_counter()
+        with self.admission.admit(tenant):
+            with cache_partition(tenant_partition(tenant)):
+                with TRACER.span("service.facts"):
+                    add = (
+                        parse_instance(add_text).facts if add_text else frozenset()
+                    )
+                    remove = (
+                        parse_instance(remove_text).facts
+                        if remove_text
+                        else frozenset()
+                    )
+                    view = self.registry.view_of(tenant, mapping_id)
+                    if "target" in body:
+                        base = self.registry.target_for(
+                            tenant, instance_text(body)
+                        )
+                        view = self.registry.materialize(
+                            tenant, mapping_id, base, verify=verify
+                        )
+                    elif view is None:
+                        raise WireError(
+                            f"mapping {mapping_id!r} has no materialized "
+                            "target; supply 'target' to initialize the view",
+                            http_status=409,
+                        )
+                    elif view.verify != verify:
+                        raise WireError(
+                            "materialized view was built with "
+                            f"verify_justification={view.verify}; "
+                            "re-send 'target' to rebuild it differently"
+                        )
+                    before = view.state.target
+                    child = view.state.apply_delta(
+                        add=add, remove=remove, deadline=qos.deadline()
+                    )
+                    if child is not before:
+                        view.deltas += 1
+                    valid = bool(view.state.recoveries)
+        report = RunReport(
+            command="service.facts",
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            result_size=len(child.facts),
+        )
+        payload = {
+            "ok": True,
+            "tenant": tenant,
+            "mapping": entry.mapping_id,
+            "fingerprint": entry.fingerprint,
+            "applied": {"added": len(add), "removed": len(remove)},
+            "view": {**view.describe(), "valid": valid},
+            "report": report.to_dict(),
+        }
+        return 200, payload, {}
 
     # -- endpoints: POST /recover | /certain | /repair ----------------------
 
@@ -353,6 +436,8 @@ class RecoveryService:
         qos: QoS,
         manager: Optional[CheckpointManager],
     ) -> tuple[int, dict]:
+        if endpoint in ("recover", "certain") and "target" not in body:
+            return self._execute_view(endpoint, tenant, entry, body, qos)
         target_text = instance_text(body)
         runner, options = self._plan_run(endpoint, entry, body, qos, manager)
         cache_key = (
@@ -363,28 +448,124 @@ class RecoveryService:
         )
         with cache_partition(tenant_partition(tenant)):
             target = self.registry.target_for(tenant, target_text)
-            if self._results is None or get_bool(body, "no_cache", False):
-                status, payload = runner(tenant, target)
-                return status, {**payload, "cached": False}
-            fresh: list[tuple[int, dict]] = []
+            return self._cached_response(
+                cache_key, body, lambda: runner(tenant, target)
+            )
+
+    def _cached_response(
+        self,
+        cache_key: tuple,
+        body: dict,
+        compute: Callable[[], tuple[int, dict]],
+    ) -> tuple[int, dict]:
+        """Serve from the per-tenant result cache, computing on miss.
+
+        Must run inside the tenant's cache partition.  Only exact 200
+        responses enter the cache; degraded and error responses depend
+        on the deadline that produced them and ride out uncached.
+        """
+        if self._results is None or get_bool(body, "no_cache", False):
+            status, payload = compute()
+            return status, {**payload, "cached": False}
+        fresh: list[tuple[int, dict]] = []
+
+        def guarded() -> tuple[int, dict]:
+            status, payload = compute()
+            fresh.append((status, payload))
+            if status != 200 or payload.get("status") != "exact":
+                raise _Uncacheable(status, payload)
+            return status, payload
+
+        try:
+            status, payload = self._results.get_or_compute(cache_key, guarded)
+        except _Uncacheable as partial:
+            return partial.status, {**partial.payload, "cached": False}
+        return status, {**payload, "cached": not fresh}
+
+    def _execute_view(
+        self,
+        endpoint: str,
+        tenant: str,
+        entry: RegisteredMapping,
+        body: dict,
+        qos: QoS,
+    ) -> tuple[int, dict]:
+        """Serve ``/recover`` or ``/certain`` from the materialized view.
+
+        The result-cache key carries the view's current epoch instead
+        of a target content hash: a delta gives the target a fresh
+        epoch, so entries cached before the mutation are unreachable
+        and warm requests after a small delta are near-cache-hit speed
+        without ever serving a stale answer.
+        """
+        view = self.registry.view_of(tenant, entry.mapping_id)
+        if view is None:
+            raise WireError(
+                "missing required field 'target' and mapping "
+                f"{entry.mapping_id!r} has no materialized view "
+                f"(POST /mappings/{entry.mapping_id}/facts to create one)"
+            )
+        verify = get_bool(body, "verify_justification", True)
+        if verify != view.verify:
+            raise WireError(
+                "materialized view was built with "
+                f"verify_justification={view.verify}"
+            )
+        state = view.state
+        METRICS.inc("service_view_requests")
+        deadline = qos.deadline()
+        if endpoint == "recover":
+            cores = get_bool(body, "cores", False)
+            options: tuple = (verify, cores)
 
             def compute() -> tuple[int, dict]:
-                status, payload = runner(tenant, target)
-                fresh.append((status, payload))
-                if status != 200 or payload.get("status") != "exact":
-                    # Degraded and error responses depend on the deadline
-                    # that produced them; only exact answers are
-                    # deterministic functions of the cache key.
-                    raise _Uncacheable(status, payload)
-                return status, payload
-
-            try:
-                status, payload = self._results.get_or_compute(
-                    cache_key, compute
+                started = time.perf_counter()
+                with TRACER.span("service.recover"):
+                    recoveries = state.recoveries
+                return self._recovery_payload(
+                    "recover",
+                    tenant,
+                    entry,
+                    recoveries,
+                    cores,
+                    None,
+                    started,
+                    rung_override="incremental",
+                    detail_override="materialized view",
                 )
-            except _Uncacheable as partial:
-                return partial.status, {**partial.payload, "cached": False}
-        return status, {**payload, "cached": not fresh}
+
+        else:
+            query_text = get_str(body, "query")
+            query = parse_query(query_text)
+            options = (verify, content_key(query_text))
+
+            def compute() -> tuple[int, dict]:
+                started = time.perf_counter()
+                with TRACER.span("service.certain"):
+                    answers = state.certain(query, deadline)
+                rendered = render_answers(answers)
+                payload = self._envelope(
+                    "certain",
+                    tenant,
+                    entry,
+                    "exact",
+                    "incremental",
+                    "materialized view",
+                    started,
+                    result_size=len(rendered),
+                    manager=None,
+                    result={"answers": rendered, "count": len(rendered)},
+                )
+                return 200, payload
+
+        cache_key = (
+            endpoint,
+            entry.fingerprint,
+            ("view", entry.mapping_id, state.target.epoch),
+            options,
+        )
+        with cache_partition(tenant_partition(tenant)):
+            return self._cached_response(cache_key, body, compute)
 
     def _plan_run(
         self,
@@ -512,8 +693,12 @@ class RecoveryService:
         cores: bool,
         manager: Optional[CheckpointManager],
         started: float,
+        rung_override: Optional[str] = None,
+        detail_override: str = "",
     ) -> tuple[int, dict]:
         recoveries, status, rung, detail = provenance(outcome)
+        if rung_override is not None and status == "exact":
+            rung, detail = rung_override, detail_override
         recoveries = list(recoveries)
         if cores and recoveries:
             recoveries = core_recoveries(recoveries)

@@ -34,6 +34,7 @@ from ..core.hom_sets import hom_set
 from ..core.subsumption import minimal_subsumers
 from ..data.instances import Instance
 from ..engine.cache import PartitionedLRUCache, cache_partition
+from ..incremental import RecoveryState
 from ..logic.parser import parse_instance, parse_tgds
 from ..logic.tgds import Mapping
 from ..observability.metrics import METRICS
@@ -44,6 +45,34 @@ from .wire import WireError, content_key
 def tenant_partition(tenant: str) -> str:
     """The cache-partition name backing ``tenant``'s warm state."""
     return f"tenant:{tenant}"
+
+
+@dataclass
+class MaterializedView:
+    """A maintained recovery pipeline for one mapping's live target.
+
+    The delta endpoint mutates the view's target through
+    :meth:`repro.incremental.RecoveryState.apply_delta`; compute
+    requests that omit an explicit target serve from the maintained
+    state at near-cache-hit cost.  ``state.target.epoch`` doubles as
+    the view's version: it changes on every effective delta, and the
+    service keys view-mode result-cache entries on it, so a mutation
+    can never serve a stale cached answer.
+    """
+
+    state: RecoveryState
+    verify: bool
+    deltas: int = 0
+    created_at: float = field(default_factory=time.time)
+
+    def describe(self) -> dict:
+        target = self.state.target
+        return {
+            "epoch": target.epoch,
+            "facts": len(target.facts),
+            "deltas": self.deltas,
+            "verify_justification": self.verify,
+        }
 
 
 @dataclass
@@ -58,9 +87,10 @@ class RegisteredMapping:
     subsumer_count: int = 0
     warmed_targets: int = 0
     registered_at: float = field(default_factory=time.time)
+    view: Optional[MaterializedView] = None
 
     def describe(self) -> dict:
-        return {
+        described = {
             "mapping_id": self.mapping_id,
             "tenant": self.tenant,
             "fingerprint": self.fingerprint,
@@ -68,6 +98,9 @@ class RegisteredMapping:
             "subsumers": self.subsumer_count,
             "warmed_targets": self.warmed_targets,
         }
+        if self.view is not None:
+            described["view"] = self.view.describe()
+        return described
 
 
 class MappingRegistry:
@@ -154,6 +187,37 @@ class MappingRegistry:
     def tenants(self) -> list[str]:
         with self._lock:
             return sorted(self._by_tenant)
+
+    def materialize(
+        self,
+        tenant: str,
+        mapping_id: str,
+        target: Instance,
+        *,
+        verify: bool = True,
+    ) -> MaterializedView:
+        """(Re)build the mapping's materialized recovery view on ``target``.
+
+        Must be called inside the tenant's cache partition: the
+        bootstrap warms the same hom-set/plan caches the tenant's
+        requests read.  Replaces any previous view wholesale.
+        """
+        entry = self.get(tenant, mapping_id)
+        state = RecoveryState(
+            entry.mapping, target, verify_justification=verify
+        )
+        view = MaterializedView(state=state, verify=verify)
+        with self._lock:
+            entry.view = view
+        METRICS.inc("service_views_materialized")
+        return view
+
+    def view_of(
+        self, tenant: str, mapping_id: str
+    ) -> Optional[MaterializedView]:
+        entry = self.get(tenant, mapping_id)
+        with self._lock:
+            return entry.view
 
     def target_for(self, tenant: str, text: str) -> Instance:
         """The parsed instance for ``text``, content-addressed per tenant.

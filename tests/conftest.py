@@ -46,7 +46,10 @@ def pytest_runtest_call(item):
         raise TimeoutError(f"test exceeded the {seconds:g}s timeout (shim)")
 
     previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    # Interval timer, not one-shot: hypothesis catches the TimeoutError
+    # as a falsifying example and re-runs/shrinks it, so a single alarm
+    # would leave every retry uncapped.  Re-arming caps each retry too.
+    signal.setitimer(signal.ITIMER_REAL, seconds, seconds)
     try:
         return (yield)
     finally:

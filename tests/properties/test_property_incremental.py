@@ -1,0 +1,128 @@
+"""Property: delta maintenance is bit-identical to cold recompute.
+
+Random honest exchanges churned through random insert/delete steps;
+after every step the maintained :class:`repro.incremental.RecoveryState`
+must agree with a from-scratch ``inverse_chase`` (same recoveries, same
+order) and with reference certain answers.  The maintained state seeds
+the hom-set cache for its epoch, so each cold reference clears the
+registered caches first.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.certain import certain_answers
+from repro.core.inverse_chase import inverse_chase
+from repro.data.atoms import Atom
+from repro.data.terms import Constant, Variable
+from repro.engine import clear_registered_caches
+from repro.errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    NotRecoverableError,
+)
+from repro.incremental import RecoveryState
+from repro.logic.queries import ConjunctiveQuery
+from repro.resilience import Deadline
+
+from .strategies import exchanges
+from .test_property_recovery import _MAX_STEPS
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+#: Extra target-schema facts the churn can introduce beyond the honest
+#: exchange — including ones no source can justify, so churn crosses
+#: in and out of recoverability.
+EXTRAS = [
+    Atom("T0", [Constant("a")]),
+    Atom("T0", [Constant("c")]),
+    Atom("T1", [Constant("a"), Constant("b")]),
+    Atom("T1", [Constant("c"), Constant("c")]),
+]
+
+
+@st.composite
+def churned_exchanges(draw):
+    mapping, _, target = draw(exchanges())
+    pool = sorted(set(target.facts) | set(EXTRAS))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from(pool), max_size=2),
+                st.lists(st.sampled_from(pool), max_size=2),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return mapping, target, steps
+
+
+def _probe_queries(mapping):
+    queries = []
+    for relation in mapping.source_schema:
+        head = [Variable(f"q{i}") for i in range(relation.arity)]
+        queries.append(ConjunctiveQuery(head, [Atom(relation.name, head)]))
+    return queries
+
+
+def canon(recovery):
+    return tuple(sorted(str(f) for f in recovery.facts))
+
+
+class TestChurnProperty:
+    @RELAXED
+    @given(churned_exchanges())
+    def test_delta_maintenance_matches_cold_recompute(self, churned):
+        mapping, target, steps = churned
+        if target.is_empty or len(target) > 3:
+            return
+        try:
+            state = RecoveryState(
+                mapping, target, deadline=Deadline(max_steps=_MAX_STEPS)
+            )
+        except (BudgetExceededError, DeadlineExceededError):
+            return
+        for add, remove in steps:
+            try:
+                state.apply_delta(
+                    add=add, remove=remove, deadline=Deadline(max_steps=_MAX_STEPS)
+                )
+            except (BudgetExceededError, DeadlineExceededError):
+                return
+            clear_registered_caches()
+            try:
+                cold = inverse_chase(
+                    mapping, state.target, deadline=Deadline(max_steps=_MAX_STEPS)
+                )
+            except (BudgetExceededError, DeadlineExceededError):
+                return
+            assert [canon(r) for r in state.recoveries] == [
+                canon(r) for r in cold
+            ]
+            for query in _probe_queries(mapping):
+                if cold:
+                    try:
+                        incremental = state.certain(
+                            query, deadline=Deadline(max_steps=_MAX_STEPS)
+                        )
+                        reference = certain_answers(
+                            query, cold, deadline=Deadline(max_steps=_MAX_STEPS)
+                        )
+                    except (BudgetExceededError, DeadlineExceededError):
+                        return
+                    assert incremental == reference
+                else:
+                    try:
+                        state.certain(query)
+                        raise AssertionError(
+                            "certain() must refuse an unrecoverable target"
+                        )
+                    except NotRecoverableError:
+                        pass

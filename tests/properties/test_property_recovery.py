@@ -2,7 +2,7 @@
 
 from hypothesis import HealthCheck, given, settings
 
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, DeadlineExceededError
 from repro.core.certain import certain_answers
 from repro.core.cq_sound import cq_sound_instance
 from repro.core.inverse_chase import inverse_chase
@@ -12,6 +12,8 @@ from repro.logic.homomorphisms import maps_into
 from repro.logic.queries import ConjunctiveQuery
 from repro.data.terms import Variable
 
+from repro.resilience import Deadline
+
 from .strategies import exchanges
 
 RELAXED = settings(
@@ -20,6 +22,15 @@ RELAXED = settings(
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
 )
 
+#: Cooperative step budget for one inverse-chase call.  The
+#: ``max_covers``/``max_recoveries`` budgets only bound *results*: an
+#: example can still spend minutes inside hom-set or chase enumeration
+#: before the first covering materializes, blow a slow CI box's
+#: per-test timeout and stick in ``.hypothesis``, poisoning later
+#: runs.  A step deadline bounds the *work* of those unbudgeted phases
+#: deterministically (no wall clock, so the skip set is stable across
+#: machines); generous enough that ordinary examples never trip it.
+_MAX_STEPS = 2_000_000
 
 
 def _bounded_inverse_chase(mapping, target, **options):
@@ -27,8 +38,22 @@ def _bounded_inverse_chase(mapping, target, **options):
     (duplicate tgds over null-rich targets can explode combinatorially;
     such examples are skipped rather than weakening the property)."""
     try:
-        return inverse_chase(mapping, target, **options)
-    except BudgetExceededError:
+        return inverse_chase(
+            mapping, target, deadline=Deadline(max_steps=_MAX_STEPS), **options
+        )
+    except (BudgetExceededError, DeadlineExceededError):
+        return None
+
+
+def _bounded(fn, *args, **kwargs):
+    """Call a deadline-aware oracle under the same step budget; None
+    when the example blows it.  Every construction a property touches
+    must be bounded this way: one unbudgeted phase is enough for a
+    pathological example to wedge the suite (SIGALRM only fires once
+    per test, so hypothesis' retries of a slow example run uncapped)."""
+    try:
+        return fn(*args, deadline=Deadline(max_steps=_MAX_STEPS), **kwargs)
+    except (BudgetExceededError, DeadlineExceededError):
         return None
 
 def _probe_queries(mapping):
@@ -56,7 +81,10 @@ class TestTheorem1:
             return
         assert recoveries, "honest exchange must be recoverable"
         for recovery in recoveries:
-            assert is_recovery(mapping, recovery, target)
+            verdict = _bounded(is_recovery, mapping, recovery, target)
+            if verdict is None:
+                return
+            assert verdict
 
 
 class TestCoverModeAblation:
@@ -76,7 +104,11 @@ class TestCoverModeAblation:
             return
         assert minimal and full
         for query in _probe_queries(mapping):
-            assert certain_answers(query, minimal) == certain_answers(query, full)
+            minimal_ans = _bounded(certain_answers, query, minimal)
+            full_ans = _bounded(certain_answers, query, full)
+            if minimal_ans is None or full_ans is None:
+                return
+            assert minimal_ans == full_ans
 
 
 class TestTheorem9:
@@ -86,12 +118,17 @@ class TestTheorem9:
         mapping, _, target = exchange
         if target.is_empty or len(target) > 3:
             return
-        sound = cq_sound_instance(mapping, target)
+        sound = _bounded(cq_sound_instance, mapping, target)
+        if sound is None:
+            return
         recoveries = _bounded_inverse_chase(
             mapping, target, max_covers=100, max_recoveries=200
         )
         for recovery in recoveries or []:
-            assert maps_into(sound, recovery)
+            verdict = _bounded(maps_into, sound, recovery)
+            if verdict is None:
+                return
+            assert verdict
 
     @RELAXED
     @given(exchanges())
@@ -99,7 +136,9 @@ class TestTheorem9:
         mapping, _, target = exchange
         if target.is_empty or len(target) > 3:
             return
-        sound = cq_sound_instance(mapping, target)
+        sound = _bounded(cq_sound_instance, mapping, target)
+        if sound is None:
+            return
         recoveries = _bounded_inverse_chase(
             mapping, target, max_covers=100, max_recoveries=200
         )
@@ -107,9 +146,11 @@ class TestTheorem9:
             return
         assert recoveries
         for query in _probe_queries(mapping):
-            assert query.certain_evaluate(sound) <= certain_answers(
-                query, recoveries
-            )
+            sound_ans = _bounded(query.certain_evaluate, sound)
+            certain = _bounded(certain_answers, query, recoveries)
+            if sound_ans is None or certain is None:
+                return
+            assert sound_ans <= certain
 
 
 class TestTheorem7:
@@ -124,4 +165,7 @@ class TestTheorem7:
             mapping, target, max_covers=100, max_recoveries=200
         )
         for recovery in recoveries or []:
-            assert maps_into(sound, recovery)
+            verdict = _bounded(maps_into, sound, recovery)
+            if verdict is None:
+                return
+            assert verdict

@@ -1,0 +1,209 @@
+"""Materialized recovery views: the fact-delta endpoint end to end.
+
+``POST /mappings/<name>/facts`` initializes and mutates a maintained
+:class:`repro.incremental.RecoveryState`; ``/recover`` and ``/certain``
+requests that omit ``target`` serve from it.  The regression pinned
+hardest here is **cache staleness**: a delta must never leave a stale
+exact result reachable in the per-tenant result cache — neither after
+an insert nor after a delete of a covering-supporting fact.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceConfig, running_server
+
+TGDS = "E(x, y) -> F(x, y)"
+
+
+def call(base, method, path, body=None, tenant=None, timeout=30):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    request.add_header("Content-Type", "application/json")
+    if tenant:
+        request.add_header("X-Tenant", tenant)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def server():
+    with running_server(ServiceConfig(port=0)) as (service, base):
+        call(base, "POST", "/mappings", {"tgds": TGDS, "name": "m"}, tenant="t")
+        yield service, base
+
+
+class TestFactsEndpoint:
+    def test_target_initializes_the_view(self, server):
+        _, base = server
+        status, payload = call(
+            base,
+            "POST",
+            "/mappings/m/facts",
+            {"target": "F(a, b)\nF(b, c)"},
+            tenant="t",
+        )
+        assert status == 200
+        assert payload["applied"] == {"added": 0, "removed": 0}
+        assert payload["view"]["facts"] == 2
+        assert payload["view"]["valid"] is True
+        status, payload = call(base, "GET", "/mappings", tenant="t")
+        assert status == 200
+        (entry,) = payload["mappings"]
+        assert entry["view"]["facts"] == 2
+
+    def test_delta_without_view_is_409(self, server):
+        _, base = server
+        status, payload = call(
+            base, "POST", "/mappings/m/facts", {"add": "F(a, b)"}, tenant="t"
+        )
+        assert status == 409
+        assert "no materialized target" in payload["error"]["message"]
+
+    def test_view_mode_request_without_view_is_400(self, server):
+        _, base = server
+        status, payload = call(
+            base, "POST", "/recover", {"mapping": "m"}, tenant="t"
+        )
+        assert status == 400
+        assert "/mappings/m/facts" in payload["error"]["message"]
+
+    def test_verify_mismatch_is_400(self, server):
+        _, base = server
+        call(base, "POST", "/mappings/m/facts", {"target": "F(a, b)"}, tenant="t")
+        status, payload = call(
+            base,
+            "POST",
+            "/mappings/m/facts",
+            {"add": "F(b, c)", "verify_justification": False},
+            tenant="t",
+        )
+        assert status == 400
+        assert "verify_justification" in payload["error"]["message"]
+
+    def test_unknown_mapping_is_404(self, server):
+        _, base = server
+        status, _ = call(
+            base, "POST", "/mappings/nope/facts", {"target": "F(a, b)"},
+            tenant="t",
+        )
+        assert status == 404
+
+
+class TestViewServing:
+    def test_recover_and_certain_serve_from_the_view(self, server):
+        _, base = server
+        call(base, "POST", "/mappings/m/facts", {"target": "F(a, b)"}, tenant="t")
+        status, payload = call(
+            base, "POST", "/recover", {"mapping": "m"}, tenant="t"
+        )
+        assert status == 200
+        assert payload["rung"] == "incremental"
+        assert payload["report"]["detail"] == "materialized view"
+        assert payload["result"]["recoveries"] == [["E(a, b)"]]
+        status, payload = call(
+            base,
+            "POST",
+            "/certain",
+            {"mapping": "m", "query": "q(x, y) :- E(x, y)"},
+            tenant="t",
+        )
+        assert status == 200
+        assert payload["result"]["answers"] == [["a", "b"]]
+
+    def test_explicit_target_bypasses_the_view(self, server):
+        _, base = server
+        call(base, "POST", "/mappings/m/facts", {"target": "F(a, b)"}, tenant="t")
+        status, payload = call(
+            base,
+            "POST",
+            "/recover",
+            {"mapping": "m", "target": "F(x, y)"},
+            tenant="t",
+        )
+        assert status == 200
+        assert payload["rung"] == "enumeration"
+        assert payload["result"]["recoveries"] == [["E(x, y)"]]
+
+    def test_delta_to_unrecoverable_target_is_422_on_compute(self, server):
+        _, base = server
+        call(base, "POST", "/mappings/m/facts", {"target": "F(a, b)"}, tenant="t")
+        status, payload = call(
+            base, "POST", "/mappings/m/facts", {"add": "G(9)"}, tenant="t"
+        )
+        assert status == 200
+        assert payload["view"]["valid"] is False
+        status, payload = call(
+            base,
+            "POST",
+            "/certain",
+            {"mapping": "m", "query": "q(x, y) :- E(x, y)"},
+            tenant="t",
+        )
+        assert status == 422
+        assert payload["error"]["kind"] == "not-recoverable"
+
+
+class TestCacheInvalidation:
+    """A delta must make every stale cached exact result unreachable."""
+
+    QUERY = {"mapping": "m", "query": "q(x, y) :- E(x, y)"}
+
+    def test_insert_invalidates_cached_certain_answers(self, server):
+        _, base = server
+        call(base, "POST", "/mappings/m/facts", {"target": "F(a, b)"}, tenant="t")
+        status, first = call(base, "POST", "/certain", self.QUERY, tenant="t")
+        assert status == 200 and first["cached"] is False
+        status, repeat = call(base, "POST", "/certain", self.QUERY, tenant="t")
+        assert status == 200 and repeat["cached"] is True
+        assert repeat["result"]["answers"] == [["a", "b"]]
+
+        call(base, "POST", "/mappings/m/facts", {"add": "F(b, c)"}, tenant="t")
+        status, after = call(base, "POST", "/certain", self.QUERY, tenant="t")
+        assert status == 200
+        assert after["cached"] is False, "delta must version the cache key"
+        assert after["result"]["answers"] == [["a", "b"], ["b", "c"]]
+
+    def test_delete_of_covering_support_invalidates_the_cache(self, server):
+        _, base = server
+        call(
+            base,
+            "POST",
+            "/mappings/m/facts",
+            {"target": "F(a, b)\nF(b, c)"},
+            tenant="t",
+        )
+        status, before = call(base, "POST", "/certain", self.QUERY, tenant="t")
+        assert before["result"]["answers"] == [["a", "b"], ["b", "c"]]
+        call(base, "POST", "/certain", self.QUERY, tenant="t")  # warm cache
+
+        # F(a, b) supports an existing covering hom; deleting it must
+        # retire the hom AND make the warm cache entry unreachable.
+        call(base, "POST", "/mappings/m/facts", {"remove": "F(a, b)"}, tenant="t")
+        status, after = call(base, "POST", "/certain", self.QUERY, tenant="t")
+        assert status == 200
+        assert after["cached"] is False
+        assert after["result"]["answers"] == [["b", "c"]]
+
+        status, recover = call(
+            base, "POST", "/recover", {"mapping": "m"}, tenant="t"
+        )
+        assert recover["result"]["recoveries"] == [["E(b, c)"]]
+
+    def test_noop_delta_keeps_the_cache_warm(self, server):
+        _, base = server
+        call(base, "POST", "/mappings/m/facts", {"target": "F(a, b)"}, tenant="t")
+        call(base, "POST", "/certain", self.QUERY, tenant="t")
+        # Adding an already-present fact nets to nothing: same epoch,
+        # same cache key, still warm.
+        call(base, "POST", "/mappings/m/facts", {"add": "F(a, b)"}, tenant="t")
+        status, after = call(base, "POST", "/certain", self.QUERY, tenant="t")
+        assert status == 200 and after["cached"] is True
