@@ -1,0 +1,173 @@
+"""Aggregate per-PR benchmark reports into one perf-trajectory document.
+
+Every PR that touches performance leaves a ``BENCH_PR<n>.json`` at the
+repo root (written by ``benchmarks/quick_bench.py``).  Each file is a
+snapshot of *that* PR's machine and fixture set, so absolute seconds
+are not comparable across files — but the *ratios* inside one file
+(speedup vs the seed path, kernel on/off ablation, incremental vs cold
+recompute, warm vs cold service) are, and lining them up over PRs is
+the honest trajectory: it shows whether each optimisation's claimed
+win survived later refactors.
+
+Usage::
+
+    python benchmarks/trajectory.py [--dir .] [--out TRAJECTORY.json]
+
+The output document has one entry per report (sorted by PR number)
+with the comparable ratios extracted, plus ``series`` — per-metric
+time series over PRs — and is printed as a table on stdout.  CI runs
+this after ``quick_bench`` and uploads the JSON as an artifact, so the
+trajectory regenerates from scratch on every push; nothing is
+hand-maintained.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+_REPORT_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def _speedup(section: Optional[dict], *path: str) -> Optional[float]:
+    """Dig ``section[path...]`` defensively; reports grew fields over time."""
+    node: Any = section
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def _scaling_summary(scaling: Optional[dict]) -> Optional[dict]:
+    """Largest-size point per backend: the scale the curve was pushed to."""
+    points = (scaling or {}).get("points") or []
+    if not points:
+        return None
+    top = max(points, key=lambda point: point.get("facts", 0))
+    summary: dict[str, Any] = {"max_facts": top.get("facts")}
+    for backend in ("columnar", "object"):
+        timings = top.get(backend) or {}
+        if "inverse_best_s" in timings:
+            summary[f"{backend}_inverse_best_s"] = timings["inverse_best_s"]
+        if "certain_best_s" in timings:
+            summary[f"{backend}_certain_best_s"] = timings["certain_best_s"]
+    return summary
+
+
+def _churn_summary(churn: Optional[dict]) -> Optional[dict]:
+    """Steady-state delta speedup at the largest churned size."""
+    points = (churn or {}).get("points") or []
+    if not points:
+        return None
+    top = max(points, key=lambda point: point.get("facts", 0))
+    speedups = [
+        delta["speedup"]
+        for delta in top.get("per_delta") or []
+        if isinstance(delta.get("speedup"), (int, float))
+    ]
+    if not speedups:
+        return None
+    # The first delta pays answer-set bootstrap; the tail is steady state.
+    steady = speedups[1:] or speedups
+    return {
+        "max_facts": top.get("facts"),
+        "first_delta_speedup": speedups[0],
+        "steady_state_median_speedup": sorted(steady)[len(steady) // 2],
+    }
+
+
+def summarize_report(path: Path) -> dict:
+    report = json.loads(path.read_text())
+    pr = int(_REPORT_RE.match(path.name).group(1))
+    benchmarks = report.get("benchmarks") or {}
+    entry: dict[str, Any] = {
+        "pr": pr,
+        "file": path.name,
+        "fixture": report.get("fixture", ""),
+        "python": report.get("python", ""),
+        "speedups": {},
+    }
+    for name, section in benchmarks.items():
+        for mode in ("serial", "parallel"):
+            value = _speedup(section, "speedups", f"{mode}_vs_seed")
+            if value is not None:
+                entry["speedups"][f"{name}.{mode}_vs_seed"] = value
+    for name, section in (report.get("kernel_ablation") or {}).items():
+        value = _speedup(section, "speedup")
+        if value is not None:
+            entry["speedups"][f"kernel.{name}"] = value
+    value = _speedup(report.get("service"), "speedups", "warm_repeat_vs_cold")
+    if value is not None:
+        entry["speedups"]["service.warm_repeat_vs_cold"] = value
+    overhead = _speedup(report.get("resilience"), "deadline_overhead", "overhead_pct")
+    if overhead is not None:
+        entry["deadline_overhead_pct"] = overhead
+    scaling = _scaling_summary(report.get("scaling"))
+    if scaling is not None:
+        entry["scaling"] = scaling
+    churn = _churn_summary(report.get("churn"))
+    if churn is not None:
+        entry["churn"] = churn
+    return entry
+
+
+def build_trajectory(reports: list[Path]) -> dict:
+    entries = sorted((summarize_report(path) for path in reports), key=lambda e: e["pr"])
+    series: dict[str, list] = {}
+    for entry in entries:
+        for metric, value in entry["speedups"].items():
+            series.setdefault(metric, []).append({"pr": entry["pr"], "value": value})
+    return {
+        "reports": entries,
+        "series": series,
+        "note": (
+            "absolute seconds are machine-local per report; only the "
+            "within-report ratios collected here are comparable across PRs"
+        ),
+    }
+
+
+def format_table(trajectory: dict) -> str:
+    lines = ["perf trajectory (speedup ratios per PR):"]
+    prs = [entry["pr"] for entry in trajectory["reports"]]
+    header = f"  {'metric':<34}" + "".join(f"PR{pr:>2}".rjust(9) for pr in prs)
+    lines.append(header)
+    for metric in sorted(trajectory["series"]):
+        by_pr = {point["pr"]: point["value"] for point in trajectory["series"][metric]}
+        cells = "".join(
+            (f"{by_pr[pr]:.2f}x" if pr in by_pr else "-").rjust(9) for pr in prs
+        )
+        lines.append(f"  {metric:<34}{cells}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir", default=".", help="directory holding BENCH_PR*.json reports"
+    )
+    parser.add_argument(
+        "--out", default="TRAJECTORY.json", help="where to write the aggregate"
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.dir)
+    reports = sorted(
+        path for path in root.iterdir() if _REPORT_RE.match(path.name)
+    )
+    if not reports:
+        print(f"no BENCH_PR*.json reports under {root}", file=sys.stderr)
+        return 1
+    trajectory = build_trajectory(reports)
+    Path(args.out).write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(format_table(trajectory))
+    print(f"wrote {args.out} ({len(reports)} report(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,12 +23,10 @@ import time
 from typing import Optional, Sequence
 
 from .chase.standard import chase
-from .core.certain import certain_answer
 from .core.cores import core_recoveries
-from .core.inverse_chase import inverse_chase
-from .core.repair import recover_after_alteration, uncoverable_facts
-from .core.validity import is_valid_for_recovery
+from .core.repair import uncoverable_facts
 from .data.io import load_instance, load_mapping, load_query, save_instance
+from .semantics import get_semantics, semantics_names
 from .engine.config import CONFIG, configure
 from .engine.counters import COUNTERS
 from .errors import DeadlineExceededError, NotRecoverableError, ReproError
@@ -114,6 +112,18 @@ def _build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def semantics(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--semantics",
+            default=None,
+            metavar="MODE",
+            help=(
+                "recovery-semantics mode (registered: "
+                + ", ".join(semantics_names())
+                + "; default: the engine config's mode, normally 'paper')"
+            ),
+        )
+
     def parallel(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--jobs",
@@ -180,6 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_recover = sub.add_parser("recover", help="compute Chase^{-1}(Sigma, J)")
     common(p_recover)
+    semantics(p_recover)
     parallel(p_recover)
     resilience(p_recover)
     checkpointing(p_recover)
@@ -195,10 +206,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_validate = sub.add_parser("validate", help="decide validity for recovery")
     common(p_validate)
+    semantics(p_validate)
     p_validate.add_argument("--target", required=True)
 
     p_certain = sub.add_parser("certain", help="certain answers of a source query")
     common(p_certain)
+    semantics(p_certain)
     parallel(p_certain)
     resilience(p_certain)
     checkpointing(p_certain)
@@ -208,6 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_repair = sub.add_parser("repair", help="repair an altered target and recover")
     common(p_repair)
+    semantics(p_repair)
     resilience(p_repair)
     p_repair.add_argument("--target", required=True)
     p_repair.add_argument("--max-removals", type=int, default=3)
@@ -294,6 +308,19 @@ def _mode_from(args) -> str:
     return "degrade" if getattr(args, "degrade", False) else "raise"
 
 
+def _semantics_from(args):
+    """Resolve the run's semantics strategy and record it for --stats.
+
+    An unknown name raises :class:`~repro.semantics.UnknownSemanticsError`
+    (a :class:`~repro.errors.ReproError`), so it exits with code 2 and
+    the registered modes listed — the same failure the service maps to
+    a 422.
+    """
+    strategy = get_semantics(getattr(args, "semantics", None))
+    args._report["semantics"] = strategy.name
+    return strategy
+
+
 def _note_anytime(args, result: AnytimeResult) -> None:
     """Print a degraded result's provenance and record it for --stats."""
     args._report.update(status=result.status, rung=result.rung)
@@ -325,7 +352,7 @@ def _cmd_recover(args) -> int:
         target = load_instance(args.target)
     with TRACER.span("execute"):
         manager = _checkpoint_from(args)
-        result = inverse_chase(
+        result = _semantics_from(args).recoveries(
             mapping,
             target,
             max_recoveries=args.max_recoveries,
@@ -344,7 +371,10 @@ def _cmd_recover(args) -> int:
             if isinstance(result, AnytimeResult) and not result.is_exact:
                 print("no recoveries obtained within the deadline")
             else:
-                print("target is not valid for recovery; no recoveries exist")
+                print(
+                    "target admits no recovery under the "
+                    f"{args._report['semantics']} semantics"
+                )
             return 1
         if args.cores:
             recoveries = core_recoveries(recoveries)
@@ -360,8 +390,15 @@ def _cmd_validate(args) -> int:
         mapping = load_mapping(args.mapping)
         target = load_instance(args.target)
     with TRACER.span("execute"):
-        if is_valid_for_recovery(mapping, target):
-            print("valid: some source instance justifies every target fact")
+        strategy = _semantics_from(args)
+        if strategy.is_valid(mapping, target):
+            if strategy.name == "paper":
+                print("valid: some source instance justifies every target fact")
+            else:
+                print(
+                    f"valid: target admits a solution under the "
+                    f"{strategy.name} semantics"
+                )
             return 0
         print("INVALID: no source instance can justify this target")
         orphans = uncoverable_facts(mapping, target)
@@ -377,8 +414,9 @@ def _cmd_certain(args) -> int:
         query = load_query(args.query)
     with TRACER.span("execute"):
         manager = _checkpoint_from(args)
+        strategy = _semantics_from(args)
         try:
-            answers = certain_answer(
+            answers = strategy.certain(
                 query,
                 mapping,
                 target,
@@ -389,7 +427,10 @@ def _cmd_certain(args) -> int:
                 checkpoint=manager,
             )
         except NotRecoverableError:
-            print("target is not valid for recovery; certain answers undefined")
+            print(
+                "target admits no solution under the "
+                f"{strategy.name} semantics; certain answers undefined"
+            )
             return 1
         _note_checkpoint(args, manager)
         if isinstance(answers, AnytimeResult):
@@ -405,24 +446,25 @@ def _cmd_repair(args) -> int:
         mapping = load_mapping(args.mapping)
         target = load_instance(args.target)
     with TRACER.span("execute"):
-        repaired, recoveries = recover_after_alteration(
+        repaired_list, recoveries = _semantics_from(args).repair_and_recover(
             mapping,
             target,
             max_removals=args.max_removals,
             deadline=_deadline_from(args),
             mode=_mode_from(args),
         )
-        if repaired is None:
+        if not repaired_list:
             print("no repair found within the removal budget")
             return 1
         if isinstance(recoveries, AnytimeResult):
             _note_anytime(args, recoveries)
             recoveries = list(recoveries)
-    removed = target.facts - repaired.facts
     args._report["result_size"] = len(recoveries)
-    print(f"repair removes {len(removed)} fact(s):")
-    for fact in sorted(removed):
-        print("  -", fact)
+    for repaired in repaired_list:
+        removed = target.facts - repaired.facts
+        print(f"repair removes {len(removed)} fact(s):")
+        for fact in sorted(removed):
+            print("  -", fact)
     print(f"{len(recoveries)} recovery(ies) of the repaired target:")
     for recovery in recoveries:
         print("  ", recovery)

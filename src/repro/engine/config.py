@@ -7,6 +7,11 @@ pre-engine "seed" code path by turning them all off).
 
 Knobs:
 
+* ``semantics`` — default recovery-semantics mode (see
+  :mod:`repro.semantics`); ``"paper"`` unless the ``REPRO_SEMANTICS``
+  environment variable says otherwise.  Stored as a plain name and
+  resolved lazily so this module keeps importing nothing from the rest
+  of ``repro``.
 * ``lazy_indexes`` — build an :class:`~repro.data.instances.Instance`'s
   per-relation / per-position indexes on first lookup instead of at
   construction time.  Chase-heavy loops create many short-lived
@@ -75,6 +80,7 @@ class EngineConfig:
     """Mutable switchboard for the engine optimisations."""
 
     __slots__ = (
+        "semantics",
         "lazy_indexes",
         "incremental_ops",
         "sort_cache",
@@ -96,6 +102,11 @@ class EngineConfig:
     )
 
     def __init__(self) -> None:
+        #: Default recovery-semantics mode; the name is resolved
+        #: through :func:`repro.semantics.get_semantics` at call time
+        #: (never here — this module must stay import-leaf), so a typo
+        #: surfaces as ``UnknownSemanticsError`` on first use.
+        self.semantics = os.environ.get("REPRO_SEMANTICS", "paper")
         self.lazy_indexes = True
         self.incremental_ops = True
         self.sort_cache = True

@@ -151,6 +151,12 @@ def kernel_has_homomorphism(
     pattern = list(pattern)
     if not pattern:
         return True
+    if deadline is not None:
+        # Canonicalizing and compiling (or even cache-keying) a pattern
+        # is Θ(|pattern|) before the join search starts; charge it so a
+        # step budget also bounds huge-pattern probes (e.g. mapping a
+        # Def. 12 sub-universal instance into each recovery).
+        deadline.step(len(pattern), "plan compilation")
     store = target.columnar_store()
     if store is not None:
         METRICS.inc("planner_vectorized")
@@ -202,6 +208,9 @@ def kernel_homomorphisms(
         METRICS.inc("homomorphisms_explored")
         yield Substitution(kept_base)
         return
+    if deadline is not None:
+        # Same Θ(|pattern|) pre-join charge as kernel_has_homomorphism.
+        deadline.step(len(pattern), "plan compilation")
     store = target.columnar_store()
     if store is not None:
         METRICS.inc("planner_vectorized")

@@ -94,6 +94,9 @@ class RunReport:
     command: str
     status: str = "exact"
     rung: str = "enumeration"
+    #: Recovery-semantics mode the run answered under ("" when the
+    #: command predates modes or the default applied implicitly).
+    semantics: str = ""
     detail: str = ""
     elapsed_ms: float = 0.0
     result_size: int = 0
@@ -117,6 +120,8 @@ class RunReport:
             "result_size": self.result_size,
             "counters": dict(self.counters),
         }
+        if self.semantics:
+            result["semantics"] = self.semantics
         if self.checkpoint:
             result["checkpoint"] = self.checkpoint
             result["resume_outcome"] = self.resume_outcome
@@ -129,6 +134,7 @@ def format_run_report(report: RunReport) -> str:
     """Render a :class:`RunReport` as an aligned two-column table."""
     rows: list[tuple[str, object]] = [
         ("command", report.command),
+        *((("semantics", report.semantics),) if report.semantics else ()),
         ("status", report.status),
         ("rung", report.rung),
         ("elapsed_ms", f"{report.elapsed_ms:.1f}"),

@@ -1,0 +1,343 @@
+"""Exchange-Repairs semantics (ten Cate–Halpert–Kolaitis, arXiv 1509.06390).
+
+The XR framework evaluates queries over *repairs* of an inconsistent
+exchanged instance instead of refusing it.  Transposed to this
+library's recovery direction: a target ``J`` that is not valid for
+recovery (the paper's semantics would return an empty recovery set)
+is replaced by its subset-maximal valid subsets — the repairs of
+:mod:`repro.core.repair` — and the semantics quantifies over them:
+
+* **solution space** — ``XREC(Sigma, J) = union over repairs J' of
+  REC(Sigma, J')``: a source is an exchange-repair solution when it
+  recovers *some* repair;
+* **justification test** — membership in that union;
+* **certainty evaluation** — ``XR-CERT(Q, Sigma, J) = intersection
+  over repairs J' of CERT(Q, Sigma, J')``: a tuple is XR-certain when
+  it is certain no matter which repair the true target is;
+* **repair notion** — the subset-maximal valid subsets themselves.
+
+On a target that *is* valid for recovery there is exactly one repair
+(``J`` itself), so every operation delegates verbatim to the paper
+pipeline — XR is a conservative extension, which the differential
+suite checks property-style.
+
+Degradation composes per direction with opposite polarity:
+
+* the recovery **union** over a *partial* repair set is sound
+  (every member recovers a genuine repair) but incomplete, so an
+  expired enumeration degrades to the union found so far, tagged
+  ``sound-incomplete`` / ``partial-enumeration``;
+* the certainty **intersection** over a partial repair set
+  *over-approximates* (missing repairs can only shrink it), so on an
+  incomplete repair enumeration the only sound degraded answer is the
+  empty set — mirroring :func:`repro.core.certain.certain_answers`'
+  refusal to return a partial intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.certain import certain_answer
+from ..core.inverse_chase import inverse_chase
+from ..core.repair import repairs
+from ..core.semantics import is_recovery as _is_recovery
+from ..core.validity import is_valid_for_recovery
+from ..data.instances import Instance
+from ..errors import BudgetExceededError, DeadlineExceededError, NotRecoverableError
+from ..logic.queries import Query
+from ..logic.tgds import Mapping
+from ..resilience import AnytimeResult
+from .base import BaseSemantics
+
+#: Keywords consumed by the repair-enumeration phase; everything else
+#: in ``**options`` flows through to the per-repair paper pipeline.
+_REPAIR_KEYS = ("max_removals", "max_candidates")
+
+
+class ExchangeRepairsSemantics(BaseSemantics):
+    """Repair-tolerant recovery: quantify over subset-maximal repairs."""
+
+    name = "exchange_repairs"
+    description = (
+        "Exchange-Repairs semantics (arXiv 1509.06390) transposed to "
+        "recovery: invalid targets are replaced by their subset-maximal "
+        "valid subsets; solutions are recoveries of some repair, "
+        "XR-certain answers hold in every repair"
+    )
+    repair_notion = (
+        "subset-maximal valid-for-recovery subsets of the target "
+        "(repro.core.repair); a valid target is its own only repair"
+    )
+
+    # ------------------------------------------------------------------
+    # repair enumeration
+    # ------------------------------------------------------------------
+
+    def _split_options(self, options: dict) -> tuple[dict, dict]:
+        """``(repair_options, pipeline_options)`` from mixed keywords."""
+        repair_options = {
+            key: options.pop(key) for key in _REPAIR_KEYS if key in options
+        }
+        for shared in ("max_covers", "deadline"):
+            if options.get(shared) is not None:
+                repair_options[shared] = options[shared]
+        return repair_options, options
+
+    def _is_valid_target(
+        self,
+        mapping: Mapping,
+        target: Instance,
+        options: dict,
+        *,
+        degrade: bool = False,
+    ) -> bool:
+        """Paper validity of the target (the single-repair fast path).
+
+        With ``degrade=True`` a budget expiry during the check is
+        answered ``False``: the repair path runs next, its own
+        enumeration expires against the same deadline immediately, and
+        the caller degrades soundly instead of leaking the exception.
+        """
+        try:
+            return is_valid_for_recovery(
+                mapping,
+                target,
+                cover_mode=options.get("cover_mode", "minimal"),
+                subsumption=options.get("subsumption"),
+                max_covers=options.get("max_covers", 2000),
+                deadline=options.get("deadline"),
+            )
+        except (BudgetExceededError, DeadlineExceededError):
+            if not degrade:
+                raise
+            return False
+
+    def _enumerate_repairs(
+        self, mapping: Mapping, target: Instance, repair_options: dict, *, degrade: bool
+    ) -> tuple[list[Instance], bool, str]:
+        """``(repairs, complete, detail)`` under the mode's error policy.
+
+        With ``degrade=False`` budget expiry propagates; with
+        ``degrade=True`` it is absorbed and the repairs found so far
+        come back flagged incomplete.
+        """
+        try:
+            return list(repairs(mapping, target, **repair_options)), True, ""
+        except (BudgetExceededError, DeadlineExceededError) as error:
+            if not degrade:
+                raise
+            partial = [
+                instance
+                for instance in getattr(error, "partial", None) or []
+                if isinstance(instance, Instance)
+            ]
+            return partial, False, f"repair enumeration expired: {error}"
+
+    # ------------------------------------------------------------------
+    # SemanticsStrategy
+    # ------------------------------------------------------------------
+
+    def repairs_of(
+        self, mapping: Mapping, target: Instance, **options
+    ) -> list[Instance]:
+        with self.observe("repairs"):
+            repair_options, pipeline = self._split_options(dict(options))
+            if self._is_valid_target(mapping, target, pipeline):
+                return [target]
+            return list(repairs(mapping, target, **repair_options))
+
+    def is_valid(self, mapping: Mapping, target: Instance, **options) -> bool:
+        """XR-valid: at least one repair exists within the budgets."""
+        with self.observe("is_valid"):
+            repair_options, pipeline = self._split_options(dict(options))
+            if self._is_valid_target(mapping, target, pipeline):
+                return True
+            for _ in repairs(mapping, target, **repair_options):
+                return True
+            return False
+
+    def is_recovery(
+        self, mapping: Mapping, source: Instance, target: Instance, **options
+    ) -> bool:
+        """Membership in the union: a recovery of *some* repair."""
+        with self.observe("is_recovery"):
+            options = dict(options)
+            repair_options = {
+                key: options.pop(key) for key in _REPAIR_KEYS if key in options
+            }
+            deadline = options.get("deadline")
+            if deadline is not None:
+                repair_options["deadline"] = deadline
+            if is_valid_for_recovery(mapping, target, deadline=deadline):
+                return _is_recovery(mapping, source, target, **options)
+            return any(
+                _is_recovery(mapping, source, repaired, **options)
+                for repaired in repairs(mapping, target, **repair_options)
+            )
+
+    def _union_recoveries(
+        self,
+        mapping: Mapping,
+        repaired_list: list[Instance],
+        complete: bool,
+        repair_detail: str,
+        mode: str,
+        pipeline: dict,
+    ):
+        """Deduplicated recovery union over an enumerated repair set."""
+        union: list[Instance] = []
+        seen: set[Instance] = set()
+        all_exact = True
+        details: list[str] = []
+        if repair_detail:
+            details.append(repair_detail)
+        for repaired in repaired_list:
+            outcome = inverse_chase(mapping, repaired, mode=mode, **pipeline)
+            if isinstance(outcome, AnytimeResult) and not outcome.is_exact:
+                all_exact = False
+                details.append(f"repair pipeline degraded to rung {outcome.rung}")
+            for recovery in outcome:
+                if recovery not in seen:
+                    seen.add(recovery)
+                    union.append(recovery)
+
+        if mode == "raise":
+            return union
+        exact = complete and all_exact
+        return AnytimeResult(
+            union,
+            "exact" if exact else "sound-incomplete",
+            "enumeration" if exact else "partial-enumeration",
+            detail=(
+                f"exchange-repairs union over {len(repaired_list)} repair(s)"
+                + ("" if not details else "; " + "; ".join(details))
+            ),
+            progress={"repairs": len(repaired_list), "repairs_complete": complete},
+        )
+
+    def recoveries(self, mapping: Mapping, target: Instance, **options):
+        """``XREC(Sigma, J)``: deduplicated union over the repairs.
+
+        Valid targets delegate verbatim to the paper pipeline (one
+        repair: ``J`` itself), including checkpoint support.  The
+        repair path drops ``checkpoint`` — checkpoint scopes are
+        fingerprinted per (mapping, target) pair and the per-repair
+        runs would collide.
+        """
+        with self.observe("recoveries"):
+            repair_options, pipeline = self._split_options(dict(options))
+            mode = pipeline.pop("mode", "raise")
+            if mode not in ("raise", "degrade"):
+                raise ValueError(f"unknown resilience mode {mode!r}")
+            degrade = mode == "degrade"
+            if self._is_valid_target(mapping, target, pipeline, degrade=degrade):
+                return inverse_chase(mapping, target, mode=mode, **pipeline)
+
+            pipeline.pop("checkpoint", None)
+            repaired_list, complete, repair_detail = self._enumerate_repairs(
+                mapping, target, repair_options, degrade=degrade
+            )
+            return self._union_recoveries(
+                mapping, repaired_list, complete, repair_detail, mode, pipeline
+            )
+
+    def certain(self, query: Query, mapping: Mapping, target: Instance, **options):
+        """``XR-CERT(Q, Sigma, J)``: intersection over the repairs.
+
+        A partial repair set would over-approximate the intersection,
+        so in degrade mode an incomplete repair enumeration yields the
+        empty set (sound, maximally incomplete).  Per-repair degraded
+        answers are sound under-approximations, and an intersection of
+        sound under-approximations is itself sound, so those *are*
+        folded in.
+        """
+        with self.observe("certain"):
+            repair_options, pipeline = self._split_options(dict(options))
+            mode = pipeline.pop("mode", "raise")
+            if mode not in ("raise", "degrade"):
+                raise ValueError(f"unknown resilience mode {mode!r}")
+            degrade = mode == "degrade"
+            if self._is_valid_target(mapping, target, pipeline, degrade=degrade):
+                return certain_answer(query, mapping, target, mode=mode, **pipeline)
+
+            pipeline.pop("checkpoint", None)
+            repaired_list, complete, repair_detail = self._enumerate_repairs(
+                mapping, target, repair_options, degrade=degrade
+            )
+            if not repaired_list and complete:
+                raise NotRecoverableError(
+                    "target has no exchange-repair within the removal "
+                    "budget; XR-certain answers are undefined"
+                )
+            if not complete:
+                return AnytimeResult(
+                    set(),
+                    "sound-incomplete",
+                    "partial-enumeration",
+                    detail=(
+                        "repair enumeration incomplete; a partial "
+                        "intersection over-approximates XR-certainty, so "
+                        "the sound degraded answer is empty — "
+                        + repair_detail
+                    ),
+                    progress={"repairs": len(repaired_list), "repairs_complete": False},
+                )
+
+            result: Optional[set] = None
+            all_exact = True
+            details: list[str] = []
+            for repaired in repaired_list:
+                outcome = certain_answer(
+                    query, mapping, repaired, mode=mode, **pipeline
+                )
+                if isinstance(outcome, AnytimeResult):
+                    if not outcome.is_exact:
+                        all_exact = False
+                        details.append(
+                            f"repair certainty degraded to rung {outcome.rung}"
+                        )
+                    answers = set(outcome.value)
+                else:
+                    answers = set(outcome)
+                result = answers if result is None else (result & answers)
+                if not result:
+                    result = set()
+                    break
+            assert result is not None  # repaired_list is non-empty here
+
+            if mode == "raise":
+                return result
+            exact = all_exact
+            return AnytimeResult(
+                result,
+                "exact" if exact else "sound-incomplete",
+                "enumeration" if exact else "partial-enumeration",
+                detail=(
+                    f"exchange-repairs intersection over "
+                    f"{len(repaired_list)} repair(s)"
+                    + ("" if not details else "; " + "; ".join(details))
+                ),
+                progress={"repairs": len(repaired_list), "repairs_complete": True},
+            )
+
+    def repair_and_recover(self, mapping: Mapping, target: Instance, **options):
+        """All repairs plus the recovery union — the ``/repair`` shape."""
+        with self.observe("repair_and_recover"):
+            repair_options, pipeline = self._split_options(dict(options))
+            mode = pipeline.pop("mode", "raise")
+            if mode not in ("raise", "degrade"):
+                raise ValueError(f"unknown resilience mode {mode!r}")
+            degrade = mode == "degrade"
+            pipeline.pop("checkpoint", None)
+            if self._is_valid_target(mapping, target, pipeline, degrade=degrade):
+                repaired_list: list[Instance] = [target]
+                complete, repair_detail = True, ""
+            else:
+                repaired_list, complete, repair_detail = self._enumerate_repairs(
+                    mapping, target, repair_options, degrade=degrade
+                )
+            outcome = self._union_recoveries(
+                mapping, repaired_list, complete, repair_detail, mode, pipeline
+            )
+            return repaired_list, outcome

@@ -30,6 +30,7 @@ per-tenant result cache; degraded ones never do.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -37,10 +38,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Iterator, Optional, Tuple
 
-from ..core.certain import certain_answer
 from ..core.cores import core_recoveries
-from ..core.inverse_chase import inverse_chase
-from ..core.repair import recover_after_alteration
 from ..engine.cache import (
     PartitionedLRUCache,
     cache_partition,
@@ -61,6 +59,7 @@ from ..observability.export import metrics_document
 from ..observability.metrics import METRICS
 from ..reporting import RunReport
 from ..resilience import CheckpointManager
+from ..semantics import UnknownSemanticsError, get_semantics
 from .admission import AdmissionController, AdmissionRejected
 from .jobs import JobManager
 from .qos import QoS, provenance, qos_from
@@ -153,7 +152,10 @@ class RecoveryService:
         )
         self._known_tenants: set[str] = set()
         self._tenant_lock = threading.Lock()
-        self.started_at = time.time()
+        # Monotonic, not wall-clock: the chaos harness injects clock
+        # skew, and a stepped wall clock must never make /healthz or
+        # /metrics report negative uptime.
+        self.started_at = time.monotonic()
 
     # -- tenancy ------------------------------------------------------------
 
@@ -191,13 +193,19 @@ class RecoveryService:
                     reason=error.reason,
                     retry_after_s=error.retry_after_s,
                 ),
-                {"Retry-After": f"{error.retry_after_s:g}"},
+                # RFC 7231 Retry-After is integer delta-seconds; round
+                # sub-second hints up so the header stays parseable.
+                {"Retry-After": str(max(1, math.ceil(error.retry_after_s)))},
             )
         except WireError as error:
-            kind = {404: "not-found", 409: "conflict"}.get(
-                error.http_status, "bad-request"
-            )
+            kind = {
+                404: "not-found",
+                409: "conflict",
+                422: "unprocessable",
+            }.get(error.http_status, "bad-request")
             return error.http_status, error_payload(kind, str(error)), {}
+        except UnknownSemanticsError as error:
+            return 422, error_payload("unknown-semantics", str(error)), {}
         except DeadlineExceededError as error:
             return (
                 504,
@@ -384,6 +392,20 @@ class RecoveryService:
 
     # -- endpoints: POST /recover | /certain | /repair ----------------------
 
+    def _strategy_of(self, body: dict):
+        """Resolve the request's semantics mode (default: config's).
+
+        An unknown name raises
+        :class:`~repro.semantics.UnknownSemanticsError`, which
+        :meth:`dispatch` maps to a 422 listing the registered modes.
+        """
+        name = body.get("semantics")
+        if name is not None and not isinstance(name, str):
+            raise WireError("field 'semantics' must be a string")
+        strategy = get_semantics(name)
+        METRICS.inc(f"service_semantics[{strategy.name}]")
+        return strategy
+
     def _compute_endpoint(
         self, endpoint: str, body: dict, headers: dict[str, str]
     ) -> Response:
@@ -498,6 +520,13 @@ class RecoveryService:
         and warm requests after a small delta are near-cache-hit speed
         without ever serving a stale answer.
         """
+        strategy = self._strategy_of(body)
+        if strategy.name != "paper":
+            raise WireError(
+                "materialized views are maintained under the 'paper' "
+                f"semantics; supply 'target' explicitly to use mode "
+                f"{strategy.name!r}"
+            )
         view = self.registry.view_of(tenant, entry.mapping_id)
         if view is None:
             raise WireError(
@@ -579,6 +608,7 @@ class RecoveryService:
         return ``(runner, options_key)``; the runner does the actual
         core-layer call once a slot and the tenant partition are held."""
         cfg = self.config
+        strategy = self._strategy_of(body)
         max_recoveries = get_int(
             body, "max_recoveries", cfg.max_recoveries, maximum=cfg.max_recoveries
         )
@@ -586,12 +616,12 @@ class RecoveryService:
         verify = get_bool(body, "verify_justification", True)
         if endpoint == "recover":
             cores = get_bool(body, "cores", False)
-            options = (max_recoveries, verify, cores)
+            options = (strategy.name, max_recoveries, verify, cores)
 
             def run(tenant: str, target: Any) -> tuple[int, dict]:
                 started = time.perf_counter()
                 with TRACER.span("service.recover"):
-                    outcome = inverse_chase(
+                    outcome = strategy.recoveries(
                         entry.mapping,
                         target,
                         max_recoveries=max_recoveries,
@@ -602,19 +632,26 @@ class RecoveryService:
                         checkpoint=manager,
                     )
                 return self._recovery_payload(
-                    "recover", tenant, entry, outcome, cores, manager, started
+                    "recover",
+                    tenant,
+                    entry,
+                    outcome,
+                    cores,
+                    manager,
+                    started,
+                    semantics=strategy.name,
                 )
 
             return run, options
         if endpoint == "certain":
             query_text = get_str(body, "query")
             query = parse_query(query_text)
-            options = (max_recoveries, verify, content_key(query_text))
+            options = (strategy.name, max_recoveries, verify, content_key(query_text))
 
             def run(tenant: str, target: Any) -> tuple[int, dict]:
                 started = time.perf_counter()
                 with TRACER.span("service.certain"):
-                    outcome = certain_answer(
+                    outcome = strategy.certain(
                         query,
                         entry.mapping,
                         target,
@@ -638,18 +675,19 @@ class RecoveryService:
                     result_size=len(rendered),
                     manager=manager,
                     result={"answers": rendered, "count": len(rendered)},
+                    semantics=strategy.name,
                 )
                 return 200, payload
 
             return run, options
         # endpoint == "repair"
         max_removals = get_int(body, "max_removals", 4, minimum=0, maximum=16)
-        options = (max_recoveries, max_removals)
+        options = (strategy.name, max_recoveries, max_removals)
 
         def run(tenant: str, target: Any) -> tuple[int, dict]:
             started = time.perf_counter()
             with TRACER.span("service.repair"):
-                repaired, outcome = recover_after_alteration(
+                repaired_list, outcome = strategy.repair_and_recover(
                     entry.mapping,
                     target,
                     max_recoveries=max_recoveries,
@@ -659,13 +697,17 @@ class RecoveryService:
                 )
             recoveries, status, rung, detail = provenance(outcome)
             recoveries = list(recoveries)
-            result: dict[str, Any] = {"repaired": repaired is not None}
-            if repaired is not None:
-                result["repair"] = render_instance(repaired)
+            result: dict[str, Any] = {"repaired": bool(repaired_list)}
+            if repaired_list:
+                # "repair"/"removed" keep the historical single-repair
+                # shape (first repair wins); "repairs" carries the full
+                # set for modes that quantify over several.
+                result["repair"] = render_instance(repaired_list[0])
                 result["removed"] = sorted(
                     str(fact)
-                    for fact in set(target.facts) - set(repaired.facts)
+                    for fact in set(target.facts) - set(repaired_list[0].facts)
                 )
+                result["repairs"] = render_instances(repaired_list)
             result["count"] = len(recoveries)
             result["recoveries"] = render_instances(recoveries)
             payload = self._envelope(
@@ -679,6 +721,7 @@ class RecoveryService:
                 result_size=len(recoveries),
                 manager=None,
                 result=result,
+                semantics=strategy.name,
             )
             return 200, payload
 
@@ -695,6 +738,7 @@ class RecoveryService:
         started: float,
         rung_override: Optional[str] = None,
         detail_override: str = "",
+        semantics: str = "paper",
     ) -> tuple[int, dict]:
         recoveries, status, rung, detail = provenance(outcome)
         if rung_override is not None and status == "exact":
@@ -723,6 +767,7 @@ class RecoveryService:
             result_size=len(recoveries),
             manager=manager,
             result=result,
+            semantics=semantics,
         )
         return 200, payload
 
@@ -739,6 +784,7 @@ class RecoveryService:
         result_size: int,
         manager: Optional[CheckpointManager],
         result: dict,
+        semantics: str = "paper",
     ) -> dict:
         # Per-request counter deltas are not attributable under
         # concurrency (METRICS is process-global), so the per-request
@@ -747,6 +793,7 @@ class RecoveryService:
             command=f"service.{endpoint}",
             status=status,
             rung=rung,
+            semantics=semantics,
             detail=detail,
             elapsed_ms=(time.perf_counter() - started) * 1000.0,
             result_size=result_size,
@@ -759,6 +806,7 @@ class RecoveryService:
             "fingerprint": entry.fingerprint,
             "status": status,
             "rung": rung,
+            "semantics": semantics,
             "result": result,
             "report": report.to_dict(),
         }
@@ -769,7 +817,7 @@ class RecoveryService:
         doc = metrics_document(
             counters=COUNTERS.snapshot(),
             service={
-                "uptime_s": round(time.time() - self.started_at, 3),
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
                 "tenants": self.registry.tenants(),
                 "admission": self.admission.stats(),
                 "jobs": self.jobs.stats(),
@@ -784,7 +832,7 @@ class RecoveryService:
             200,
             {
                 "ok": True,
-                "uptime_s": round(time.time() - self.started_at, 3),
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
                 "tenants": len(self.registry.tenants()),
                 "executing": stats["executing"],
                 "queued": stats["queued"],

@@ -2,7 +2,10 @@
 
 Each scenario bundles a mapping and a target instance (and optionally
 queries) exactly as printed in the paper, so tests and benchmarks can
-refer to them by name.  Transcription notes:
+refer to them by name.  The ``xr_*`` scenarios are not from the paper:
+they are deliberately *invalid-for-recovery* targets exercising the
+``exchange_repairs`` semantics mode (see :mod:`repro.semantics`).
+Transcription notes:
 
 * In the running example (Example 2) the dependency ``rho`` must read
   ``R(u, v, w) -> T(w)``: only that arity-position makes Examples 3-7
@@ -239,6 +242,78 @@ def lemma1_remark(k: int = 2) -> Scenario:
     )
 
 
+def xr_conflicting_witnesses() -> Scenario:
+    """Two T-facts fight over one frontier binding: no valid subset keeps both.
+
+    ``Sigma = {S(x) -> T(x, y)}`` with ``J = {T(a, b), T(a, c)}`` is the
+    invalidity example from the inverse-chase module docs: both target
+    facts force the same backward fact ``S(a)``, whose forward chase
+    witnesses only one of them.  The exchange-repairs are ``{T(a, b)}``
+    and ``{T(a, c)}``; both recover to ``{S(a)}``, so ``q(x) :- S(x)``
+    is XR-certain at ``{(a)}`` even though the paper semantics rejects
+    ``J`` outright.
+    """
+    return Scenario(
+        name="xr_conflicting_witnesses",
+        description=(
+            "Sigma = {S(x)->T(x,y)}, J = {T(a,b), T(a,c)}: invalid for "
+            "the paper semantics; XR repairs drop one T-fact each"
+        ),
+        mapping=Mapping(parse_tgds("S(x) -> T(x, y)")),
+        target=parse_instance("T(a, b), T(a, c)"),
+        queries={"q_s": parse_query("q(x) :- S(x)")},
+    )
+
+
+def xr_ambiguous_producer() -> Scenario:
+    """Repairs disagree on the producer, so the XR intersection is empty.
+
+    ``Sigma = {S(x) -> T(x, y); D(u) -> T(u, u)}`` with
+    ``J = {T(a, a), T(a, b)}``.  The repairs are ``{T(a, b)}`` (only
+    ``S(a)`` recovers it — the diagonal rule cannot emit ``T(a, b)``)
+    and ``{T(a, a)}`` (recovered by ``S(a)`` *or* ``D(a)``).  Under the
+    second repair ``q(x) :- S(x)`` is not certain, so XR-certainty
+    genuinely intersects to the empty set.
+    """
+    return Scenario(
+        name="xr_ambiguous_producer",
+        description=(
+            "Sigma = {S(x)->T(x,y); D(u)->T(u,u)}, J = {T(a,a), T(a,b)}: "
+            "repairs disagree on whether S produced the data"
+        ),
+        mapping=Mapping(parse_tgds("S(x) -> T(x, y); D(u) -> T(u, u)")),
+        target=parse_instance("T(a, a), T(a, b)"),
+        queries={
+            "q_s": parse_query("q(x) :- S(x)"),
+            "q_d": parse_query("q(x) :- D(x)"),
+        },
+    )
+
+
+def xr_orphan_fact() -> Scenario:
+    """One fact is uncoverable; the single repair simply drops it.
+
+    ``Sigma = {P(x) -> A(x); Q(x) -> A(x), B(x)}`` with
+    ``J = {A(a), B(a), B(b)}``: ``B(b)`` has no producing rule firing
+    (``Q(b)`` would also need ``A(b)``), so the unique repair is
+    ``{A(a), B(a)}``, recovered only by ``{Q(a)}`` — ``q(x) :- Q(x)``
+    is XR-certain at ``{(a)}``.
+    """
+    return Scenario(
+        name="xr_orphan_fact",
+        description=(
+            "Sigma = {P(x)->A(x); Q(x)->A(x),B(x)}, J = {A(a), B(a), "
+            "B(b)}: B(b) is uncoverable, one repair drops it"
+        ),
+        mapping=Mapping(parse_tgds("P(x) -> A(x); Q(x) -> A(x), B(x)")),
+        target=parse_instance("A(a), B(a), B(b)"),
+        queries={
+            "q_q": parse_query("q(x) :- Q(x)"),
+            "q_p": parse_query("q(x) :- P(x)"),
+        },
+    )
+
+
 #: Registry of the parameter-free paper scenarios by name.
 PAPER_SCENARIOS: dict[str, Callable[[], Scenario]] = {
     "intro_split": intro_split,
@@ -250,7 +325,18 @@ PAPER_SCENARIOS: dict[str, Callable[[], Scenario]] = {
     "example9": example9,
     "example12": example12,
     "example13": example13,
+    "xr_conflicting_witnesses": xr_conflicting_witnesses,
+    "xr_ambiguous_producer": xr_ambiguous_producer,
+    "xr_orphan_fact": xr_orphan_fact,
 }
+
+#: The inconsistent-source scenarios (invalid for the paper semantics,
+#: repairable under exchange_repairs); the XR suites iterate these.
+XR_SCENARIOS: tuple[str, ...] = (
+    "xr_conflicting_witnesses",
+    "xr_ambiguous_producer",
+    "xr_orphan_fact",
+)
 
 
 def scenario(name: str) -> Scenario:

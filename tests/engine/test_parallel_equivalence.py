@@ -14,14 +14,24 @@ from repro.baselines import cq_max_recovery_chase, derive_cq_max_recovery
 from repro.core.certain import certain_answer, certain_answers
 from repro.core.inverse_chase import inverse_chase, inverse_chase_candidates
 from repro.engine import Executor, engine_options
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, DeadlineExceededError
 from repro.logic.parser import parse_query
+from repro.resilience import Deadline
 from repro.workloads import scenario
 
 from ..properties.strategies import exchanges
 
 THREADS = Executor(jobs=4, backend="thread")
 PROCESSES = Executor(jobs=2, backend="process")
+
+#: Cooperative step budget per inverse-chase call, mirroring the
+#: property suite.  ``max_covers``/``max_recoveries`` only bound
+#: *results*: the justification search can still spend minutes per
+#: candidate on null-rich targets before the first result exists,
+#: blowing the per-test wall-clock cap.  A step deadline bounds that
+#: work deterministically, so pathological examples skip stably
+#: instead of flaking on slow boxes.
+_MAX_STEPS = 2_000_000
 
 
 @pytest.fixture(autouse=True)
@@ -90,9 +100,14 @@ def _bounded_inverse_chase(mapping, target, **options):
     skipped rather than weakening the equivalence property)."""
     try:
         return inverse_chase(
-            mapping, target, max_covers=100, max_recoveries=200, **options
+            mapping,
+            target,
+            max_covers=100,
+            max_recoveries=200,
+            deadline=Deadline(max_steps=_MAX_STEPS),
+            **options,
         )
-    except BudgetExceededError:
+    except (BudgetExceededError, DeadlineExceededError):
         return None
 
 
@@ -107,6 +122,10 @@ def test_random_exchanges_parallel_equals_serial(exchange):
         if serial is None:
             return
         parallel = _bounded_inverse_chase(mapping, target, executor=THREADS)
+        if parallel is None:
+            # The fan-out path charges the same work in a different
+            # order, so only one side of a near-budget example may trip.
+            return
     assert parallel == serial
     assert set(parallel) == set(serial)
 

@@ -21,6 +21,7 @@ from repro import (
 )
 from repro.workloads import (
     PAPER_SCENARIOS,
+    XR_SCENARIOS,
     employee_benefits_scaled,
     exchange_workload,
     scenario,
@@ -65,7 +66,12 @@ class TestSoundnessLattice:
     recovery-mapping chase <= I_{Sigma,J} <= CERT, and the Theorem 7
     instance below CERT as well."""
 
-    @pytest.mark.parametrize("name", sorted(PAPER_SCENARIOS))
+    @pytest.mark.parametrize(
+        # The xr_* scenarios are deliberately invalid under the paper
+        # semantics (no recoveries), so the containment chain the paper
+        # proves does not apply to them.
+        "name", sorted(set(PAPER_SCENARIOS) - set(XR_SCENARIOS))
+    )
     def test_chain_on_every_paper_scenario(self, name):
         s = scenario(name)
         queries = list(s.queries.values())

@@ -1,0 +1,249 @@
+"""Exchange-Repairs mode: hand-computed repairs and XR-certain answers.
+
+Three inconsistent-source fixtures (``xr_*`` scenarios) are solved by
+hand in the scenario docstrings; these tests pin the strategy to those
+solutions, check the conservative-extension property (on valid targets
+XR coincides with the paper semantics), and drive the degrade ladder.
+The hypothesis suite generates random inconsistent targets for the
+one-rule mapping ``S(x) -> T(x, y)`` and checks the defining equations
+of the mode: repairs are subset-maximal valid subsets, and XR-certain
+is the intersection of the per-repair certain answers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.certain import certain_answer
+from repro.core.inverse_chase import inverse_chase
+from repro.core.validity import is_valid_for_recovery
+from repro.data.terms import Constant
+from repro.errors import NotRecoverableError
+from repro.logic.parser import parse_instance, parse_query, parse_tgds
+from repro.logic.tgds import Mapping
+from repro.resilience import AnytimeResult, Deadline
+from repro.semantics import get_semantics
+from repro.workloads.scenarios import XR_SCENARIOS, scenario
+
+
+def xr():
+    return get_semantics("exchange_repairs")
+
+
+def a(name: str) -> tuple:
+    return (Constant(name),)
+
+
+def as_fact_sets(instances) -> set[frozenset]:
+    return {frozenset(instance.facts) for instance in instances}
+
+
+class TestConflictingWitnesses:
+    """Sigma = {S(x)->T(x,y)}, J = {T(a,b), T(a,c)}."""
+
+    def test_repairs_drop_one_witness_each(self):
+        s = scenario("xr_conflicting_witnesses")
+        repaired = xr().repairs_of(s.mapping, s.target)
+        assert as_fact_sets(repaired) == {
+            frozenset(parse_instance("T(a, b)").facts),
+            frozenset(parse_instance("T(a, c)").facts),
+        }
+
+    def test_recovery_union_is_sa(self):
+        s = scenario("xr_conflicting_witnesses")
+        recoveries = xr().recoveries(s.mapping, s.target)
+        assert as_fact_sets(recoveries) == {
+            frozenset(parse_instance("S(a)").facts)
+        }
+
+    def test_xr_certain_where_paper_is_undefined(self):
+        s = scenario("xr_conflicting_witnesses")
+        with pytest.raises(NotRecoverableError):
+            certain_answer(s.queries["q_s"], s.mapping, s.target)
+        assert xr().certain(s.queries["q_s"], s.mapping, s.target) == {a("a")}
+
+    def test_membership_in_the_union(self):
+        s = scenario("xr_conflicting_witnesses")
+        assert xr().is_recovery(s.mapping, parse_instance("S(a)"), s.target)
+        assert not xr().is_recovery(s.mapping, parse_instance("S(b)"), s.target)
+
+
+class TestAmbiguousProducer:
+    """Sigma = {S(x)->T(x,y); D(u)->T(u,u)}, J = {T(a,a), T(a,b)}."""
+
+    def test_repairs(self):
+        s = scenario("xr_ambiguous_producer")
+        assert as_fact_sets(xr().repairs_of(s.mapping, s.target)) == {
+            frozenset(parse_instance("T(a, a)").facts),
+            frozenset(parse_instance("T(a, b)").facts),
+        }
+
+    def test_intersection_genuinely_empties(self):
+        # Repair {T(a,b)} certainly came from S; repair {T(a,a)} could
+        # have come from D instead — so neither producer is XR-certain.
+        s = scenario("xr_ambiguous_producer")
+        assert xr().certain(s.queries["q_s"], s.mapping, s.target) == set()
+        assert xr().certain(s.queries["q_d"], s.mapping, s.target) == set()
+
+    def test_union_contains_both_producers(self):
+        s = scenario("xr_ambiguous_producer")
+        union = as_fact_sets(xr().recoveries(s.mapping, s.target))
+        assert frozenset(parse_instance("S(a)").facts) in union
+        assert frozenset(parse_instance("D(a)").facts) in union
+
+
+class TestOrphanFact:
+    """Sigma = {P(x)->A(x); Q(x)->A(x),B(x)}, J = {A(a), B(a), B(b)}."""
+
+    def test_single_repair_drops_the_orphan(self):
+        s = scenario("xr_orphan_fact")
+        assert as_fact_sets(xr().repairs_of(s.mapping, s.target)) == {
+            frozenset(parse_instance("A(a), B(a)").facts)
+        }
+
+    def test_q_is_certain_p_is_not(self):
+        s = scenario("xr_orphan_fact")
+        assert xr().certain(s.queries["q_q"], s.mapping, s.target) == {a("a")}
+        assert xr().certain(s.queries["q_p"], s.mapping, s.target) == set()
+
+    def test_recoveries(self):
+        s = scenario("xr_orphan_fact")
+        assert as_fact_sets(xr().recoveries(s.mapping, s.target)) == {
+            frozenset(parse_instance("Q(a)").facts)
+        }
+
+
+class TestConservativeExtension:
+    """On valid targets XR has one repair (J itself) and equals paper."""
+
+    @pytest.mark.parametrize(
+        "name", ["running_example", "intro_split", "example12"]
+    )
+    def test_recoveries_coincide(self, name):
+        s = scenario(name)
+        expected = get_semantics("paper").recoveries(
+            s.mapping, s.target, max_recoveries=50
+        )
+        actual = xr().recoveries(s.mapping, s.target, max_recoveries=50)
+        assert actual == expected
+
+    @pytest.mark.parametrize("name", ["intro_split", "example12"])
+    def test_certain_coincides(self, name):
+        s = scenario(name)
+        query = next(iter(s.queries.values()))
+        expected = get_semantics("paper").certain(
+            query, s.mapping, s.target, max_recoveries=50
+        )
+        assert xr().certain(query, s.mapping, s.target, max_recoveries=50) == expected
+
+    def test_valid_target_is_its_own_repair(self):
+        s = scenario("running_example")
+        assert xr().repairs_of(s.mapping, s.target) == [s.target]
+
+
+class TestBudgets:
+    def test_no_repair_within_removal_budget(self):
+        # Three conflicting witnesses need two removals; with
+        # max_removals=1 the mode has no solution at all.
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        target = parse_instance("T(a, b), T(a, c), T(a, d)")
+        assert not xr().is_valid(mapping, target, max_removals=1)
+        assert xr().recoveries(mapping, target, max_removals=1) == []
+        query = parse_query("q(x) :- S(x)")
+        with pytest.raises(NotRecoverableError):
+            xr().certain(query, mapping, target, max_removals=1)
+
+    def test_expired_deadline_degrades_recoveries_soundly(self):
+        s = scenario("xr_conflicting_witnesses")
+        result = xr().recoveries(
+            s.mapping, s.target, deadline=Deadline(wall_ms=0.0001), mode="degrade"
+        )
+        assert isinstance(result, AnytimeResult)
+        assert result.status == "sound-incomplete"
+        assert result.rung == "partial-enumeration"
+
+    def test_expired_deadline_degrades_certain_to_empty(self):
+        # A partial repair set over-approximates the intersection, so
+        # the only sound degraded XR-certain answer is the empty set.
+        s = scenario("xr_conflicting_witnesses")
+        result = xr().certain(
+            s.queries["q_s"],
+            s.mapping,
+            s.target,
+            deadline=Deadline(wall_ms=0.0001),
+            mode="degrade",
+        )
+        assert isinstance(result, AnytimeResult)
+        assert result.status == "sound-incomplete"
+        assert set(result.value) == set()
+        assert result.progress.get("repairs_complete") is False
+
+    def test_generous_deadline_stays_exact(self):
+        s = scenario("xr_conflicting_witnesses")
+        result = xr().certain(
+            s.queries["q_s"],
+            s.mapping,
+            s.target,
+            deadline=Deadline(wall_ms=60000),
+            mode="degrade",
+        )
+        assert isinstance(result, AnytimeResult)
+        assert result.is_exact
+        assert set(result.value) == {a("a")}
+
+
+# Small domains keep each hypothesis example inside the repair search's
+# default budgets while still generating both valid and invalid targets.
+_PAIRS = st.sets(
+    st.tuples(st.sampled_from("ab"), st.sampled_from("bcd")),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestDefiningEquations:
+    @given(pairs=_PAIRS)
+    @settings(max_examples=25, deadline=None)
+    def test_repairs_are_subset_maximal_valid_subsets(self, pairs):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        target = parse_instance(
+            ", ".join(f"T({x}, {y})" for x, y in sorted(pairs))
+        )
+        repaired = xr().repairs_of(mapping, target)
+        assert repaired  # this mapping always admits some valid subset
+        for candidate in repaired:
+            assert candidate.facts <= target.facts
+            assert is_valid_for_recovery(mapping, candidate)
+            # Subset-maximal: adding back any removed fact breaks validity.
+            for fact in target.facts - candidate.facts:
+                grown = candidate.with_facts([fact])
+                assert not is_valid_for_recovery(mapping, grown)
+
+    @given(pairs=_PAIRS)
+    @settings(max_examples=25, deadline=None)
+    def test_xr_certain_is_intersection_over_repairs(self, pairs):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        target = parse_instance(
+            ", ".join(f"T({x}, {y})" for x, y in sorted(pairs))
+        )
+        query = parse_query("q(x) :- S(x)")
+        repaired = xr().repairs_of(mapping, target)
+        expected = None
+        for candidate in repaired:
+            answers = certain_answer(query, mapping, candidate)
+            expected = answers if expected is None else (expected & answers)
+        assert xr().certain(query, mapping, target) == expected
+
+    @given(pairs=_PAIRS)
+    @settings(max_examples=25, deadline=None)
+    def test_union_members_recover_some_repair(self, pairs):
+        mapping = Mapping(parse_tgds("S(x) -> T(x, y)"))
+        target = parse_instance(
+            ", ".join(f"T({x}, {y})" for x, y in sorted(pairs))
+        )
+        repaired = xr().repairs_of(mapping, target)
+        for recovery in xr().recoveries(mapping, target):
+            assert any(
+                recovery in inverse_chase(mapping, candidate)
+                for candidate in repaired
+            )

@@ -16,7 +16,12 @@ import urllib.request
 
 import pytest
 
-from repro.service import ServiceConfig, running_server
+from repro.service import (
+    AdmissionRejected,
+    RecoveryService,
+    ServiceConfig,
+    running_server,
+)
 
 TGDS = "S(x, y) -> T(x, y)\nR(x) -> T(x, x)"
 
@@ -269,6 +274,114 @@ class TestErrorMapping:
         assert status == 400
 
 
+class TestSemanticsOverHTTP:
+    """Per-request ``semantics`` selection with envelope provenance."""
+
+    XR_TGDS = "S(x) -> T(x, y)"
+    XR_TARGET = "T(a, b)\nT(a, c)"  # two witnesses for one S(a): invalid
+
+    @pytest.fixture(scope="class")
+    def xr_server(self, server):
+        service, base = server
+        call(
+            base, "POST", "/mappings",
+            {"tgds": self.XR_TGDS, "name": "xr"}, tenant="t1",
+        )
+        return service, base
+
+    def test_envelope_defaults_to_paper(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(s, s)"}, tenant="t1",
+        )
+        assert status == 200
+        assert payload["semantics"] == "paper"
+        assert payload["report"]["semantics"] == "paper"
+
+    def test_unknown_mode_is_422(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(a, b)", "semantics": "no_such_mode"},
+            tenant="t1",
+        )
+        assert status == 422
+        assert payload["error"]["kind"] == "unknown-semantics"
+        assert "registered modes" in payload["error"]["message"]
+
+    def test_non_string_mode_is_400(self, server):
+        _, base = server
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            {"mapping": "m", "target": "T(a, b)", "semantics": 7}, tenant="t1",
+        )
+        assert status == 400
+
+    def test_xr_recovers_inconsistent_target_paper_cannot(self, xr_server):
+        _, base = xr_server
+        body = {"mapping": "xr", "target": self.XR_TARGET, "no_cache": True}
+        status, payload, _ = call(base, "POST", "/recover", body, tenant="t1")
+        assert status == 200
+        assert payload["result"]["valid"] is False  # paper: no recovery
+        status, payload, _ = call(
+            base, "POST", "/recover",
+            dict(body, semantics="exchange_repairs"), tenant="t1",
+        )
+        assert status == 200
+        assert payload["semantics"] == "exchange_repairs"
+        assert payload["result"]["recoveries"] == [["S(a)"]]
+
+    def test_xr_certain_where_paper_is_422(self, xr_server):
+        _, base = xr_server
+        body = {
+            "mapping": "xr",
+            "target": self.XR_TARGET,
+            "query": "q(x) :- S(x)",
+            "no_cache": True,
+        }
+        status, payload, _ = call(base, "POST", "/certain", body, tenant="t1")
+        assert status == 422
+        assert payload["error"]["kind"] == "not-recoverable"
+        status, payload, _ = call(
+            base, "POST", "/certain",
+            dict(body, semantics="exchange_repairs"), tenant="t1",
+        )
+        assert status == 200
+        assert payload["semantics"] == "exchange_repairs"
+        assert payload["result"]["answers"] == [["a"]]
+
+    def test_xr_repair_lists_every_repair(self, xr_server):
+        _, base = xr_server
+        status, payload, _ = call(
+            base, "POST", "/repair",
+            {
+                "mapping": "xr",
+                "target": self.XR_TARGET,
+                "semantics": "exchange_repairs",
+            },
+            tenant="t1",
+        )
+        assert status == 200
+        result = payload["result"]
+        assert result["repaired"] is True
+        assert sorted(result["repairs"]) == [["T(a, b)"], ["T(a, c)"]]
+        assert result["recoveries"] == [["S(a)"]]
+
+    def test_result_cache_is_partitioned_by_mode(self, xr_server):
+        # Same mapping/target under different semantics must not share
+        # a cache slot — the options tuple carries the strategy name.
+        _, base = xr_server
+        body = {"mapping": "xr", "target": "T(k, l)\nT(k, m)"}
+        status, paper, _ = call(base, "POST", "/recover", body, tenant="t1")
+        status, xr_payload, _ = call(
+            base, "POST", "/recover",
+            dict(body, semantics="exchange_repairs"), tenant="t1",
+        )
+        assert paper["result"]["valid"] is False
+        assert xr_payload["result"]["recoveries"] == [["S(k)"]]
+
+
 class TestAdmissionOverHTTP:
     def test_tenant_cap_is_429_with_retry_after(self):
         config = ServiceConfig(
@@ -314,7 +427,65 @@ class TestAdmissionOverHTTP:
             assert rejected, f"expected at least one 429, got {statuses}"
             status, payload, headers = rejected[0]
             assert headers["Retry-After"] == "2"
+            # RFC 7231: Retry-After delta-seconds must parse as a
+            # non-negative integer — no fractional values on the wire.
+            assert int(headers["Retry-After"]) >= 1
             assert payload["error"]["kind"] == "rejected"
             assert payload["error"]["reason"] in (
                 "tenant-limit", "queue-full", "queue-timeout"
             )
+
+
+class TestRetryAfterHeader:
+    """The 429 mapping emits RFC 7231 integer delta-seconds."""
+
+    @pytest.mark.parametrize(
+        "hint_s, expected", [(0.5, "1"), (1.0, "1"), (2.0, "2"), (2.2, "3")]
+    )
+    def test_header_is_integer_and_rounds_up(self, hint_s, expected):
+        service = RecoveryService(ServiceConfig(retry_after_s=hint_s))
+        try:
+
+            def rejecting_route(method, path, raw_body, headers):
+                raise AdmissionRejected("tenant-limit", "t1", hint_s)
+
+            service._route = rejecting_route
+            status, payload, headers = service.dispatch("POST", "/recover", b"{}")
+        finally:
+            service.shutdown()
+        assert status == 429
+        assert headers["Retry-After"] == expected
+        assert int(headers["Retry-After"]) >= 1
+        # The precise fractional hint still reaches clients in the body.
+        assert payload["error"]["retry_after_s"] == hint_s
+
+
+class TestUptimeClock:
+    """Uptime is monotonic: wall-clock steps must not make it negative."""
+
+    def test_uptime_survives_wall_clock_step_backwards(self, monkeypatch):
+        service = RecoveryService(ServiceConfig())
+        try:
+            # Simulate NTP stepping the wall clock an hour into the
+            # past.  started_at is taken from time.monotonic(), so the
+            # skewed time.time() must not influence the reading.
+            skewed = time.time() - 3600.0
+            monkeypatch.setattr(time, "time", lambda: skewed)
+            status, health, _ = service.dispatch("GET", "/healthz")
+            assert status == 200
+            assert health["uptime_s"] >= 0
+            status, metrics, _ = service.dispatch("GET", "/metrics")
+            assert status == 200
+            assert metrics["service"]["uptime_s"] >= 0
+        finally:
+            monkeypatch.undo()
+            service.shutdown()
+
+    def test_uptime_is_non_decreasing(self):
+        service = RecoveryService(ServiceConfig())
+        try:
+            _, first, _ = service.dispatch("GET", "/healthz")
+            _, second, _ = service.dispatch("GET", "/healthz")
+            assert second["uptime_s"] >= first["uptime_s"] >= 0
+        finally:
+            service.shutdown()

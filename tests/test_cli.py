@@ -164,6 +164,122 @@ class TestRepair:
         assert "error:" in capsys.readouterr().err
 
 
+@pytest.fixture
+def xr_workspace(tmp_path):
+    """A mapping whose target is inconsistent under the paper semantics."""
+    mapping_path = tmp_path / "xr.mapping"
+    save_mapping(Mapping(parse_tgds("S(x) -> T(x, y)")), mapping_path)
+    target_path = tmp_path / "xr.instance"
+    save_instance(parse_instance("T(a, b), T(a, c)"), target_path)
+    return mapping_path, target_path
+
+
+class TestSemanticsFlag:
+    def test_paper_rejects_inconsistent_target(self, xr_workspace, capsys):
+        mapping_path, target_path = xr_workspace
+        code = main(
+            ["recover", "--mapping", str(mapping_path), "--target", str(target_path)]
+        )
+        assert code == 1
+        assert "paper semantics" in capsys.readouterr().out
+
+    def test_exchange_repairs_recovers_it(self, xr_workspace, capsys):
+        mapping_path, target_path = xr_workspace
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--semantics",
+                "exchange_repairs",
+            ]
+        )
+        assert code == 0
+        assert "S(a)" in capsys.readouterr().out
+
+    def test_validate_reports_mode_specific_verdict(self, xr_workspace, capsys):
+        mapping_path, target_path = xr_workspace
+        assert main(
+            ["validate", "--mapping", str(mapping_path), "--target", str(target_path)]
+        ) == 1
+        code = main(
+            [
+                "validate",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--semantics",
+                "exchange_repairs",
+            ]
+        )
+        assert code == 0
+        assert "exchange_repairs semantics" in capsys.readouterr().out
+
+    def test_certain_under_exchange_repairs(self, xr_workspace, tmp_path, capsys):
+        mapping_path, target_path = xr_workspace
+        query_path = tmp_path / "q.query"
+        query_path.write_text("q(x) :- S(x)\n")
+        code = main(
+            [
+                "certain",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--query",
+                str(query_path),
+                "--semantics",
+                "exchange_repairs",
+            ]
+        )
+        assert code == 0
+        assert "{(a)}" in capsys.readouterr().out
+
+    def test_unknown_mode_exits_2_listing_alternatives(self, xr_workspace, capsys):
+        mapping_path, target_path = xr_workspace
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--semantics",
+                "no_such_mode",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "registered modes" in err
+
+    def test_report_carries_semantics(self, xr_workspace, tmp_path, capsys):
+        import json
+
+        mapping_path, target_path = xr_workspace
+        out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "recover",
+                "--mapping",
+                str(mapping_path),
+                "--target",
+                str(target_path),
+                "--semantics",
+                "exchange_repairs",
+                "--stats",
+                "--metrics-json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["semantics"] == "exchange_repairs"
+        assert "semantics" in capsys.readouterr().err  # --stats table row
+
+
 class TestEngineFlags:
     def test_recover_with_jobs_and_stats(self, workspace, capsys):
         _, mapping_path, _, target_path = workspace

@@ -4,6 +4,7 @@ import pytest
 
 from repro.workloads.scenarios import (
     PAPER_SCENARIOS,
+    XR_SCENARIOS,
     employee_benefits_scaled,
     example10,
     intro_split_scaled,
@@ -60,8 +61,20 @@ class TestScenarioSemantics:
         from repro.core.validity import is_valid_for_recovery
 
         for name in PAPER_SCENARIOS:
+            if name in XR_SCENARIOS:
+                continue  # deliberately invalid (inconsistent sources)
             s = scenario(name)
             assert is_valid_for_recovery(s.mapping, s.target), name
+
+    def test_xr_targets_are_invalid_but_repairable(self):
+        from repro.core.validity import is_valid_for_recovery
+        from repro.semantics import get_semantics
+
+        xr = get_semantics("exchange_repairs")
+        for name in XR_SCENARIOS:
+            s = scenario(name)
+            assert not is_valid_for_recovery(s.mapping, s.target), name
+            assert xr.is_valid(s.mapping, s.target), name
 
     def test_scaled_employee_benefits_complete_recovery(self):
         from repro.core.tractable import complete_ucq_recovery
